@@ -1,0 +1,97 @@
+// Command mixing computes stationary distributions and mixing times for the
+// Markov chains underlying the paper's models, and prints TV-decay curves.
+//
+// Usage examples:
+//
+//	mixing -chain twostate -p 0.02 -q 0.08
+//	mixing -chain waypoint -m 6
+//	mixing -chain walk -m 12 -stay 0.5
+//	mixing -chain walk -m 12 -k 3      # walk on the k-augmented torus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/markov"
+	"repro/internal/mobility"
+)
+
+func main() {
+	chain := flag.String("chain", "twostate", "chain: twostate | waypoint | walk")
+	p := flag.Float64("p", 0.02, "birth rate (twostate)")
+	q := flag.Float64("q", 0.08, "death rate (twostate)")
+	m := flag.Int("m", 8, "grid side (waypoint, walk)")
+	k := flag.Int("k", 1, "torus augmentation distance (walk)")
+	stay := flag.Float64("stay", 0.5, "laziness (walk)")
+	eps := flag.Float64("eps", markov.DefaultMixingEps, "TV threshold")
+	curve := flag.Int("curve", 0, "if > 0, print the TV decay for this many steps")
+	flag.Parse()
+
+	switch *chain {
+	case "twostate":
+		ts := markov.TwoState{P: *p, Q: *q}
+		if err := ts.Validate(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stationary on-probability alpha = %.6f\n", ts.StationaryOn())
+		fmt.Printf("second eigenvalue = %.6f\n", ts.SecondEigenvalue())
+		fmt.Printf("mixing time (eps=%g) = %d   [Θ(1/(p+q)) = %.1f]\n",
+			*eps, ts.MixingTime(*eps), 1/(*p+*q))
+		for t := 1; t <= *curve; t++ {
+			fmt.Printf("t=%d TV=%.6f\n", t, ts.TVAt(t))
+		}
+
+	case "waypoint":
+		pos, tmix, err := mobility.DiscreteWaypointMixing(*m, *eps, 1<<22)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("states = %d (m⁴), mixing time (eps=%g) = %d   [Θ(m) per unit speed]\n",
+			(*m)*(*m)*(*m)*(*m), *eps, tmix)
+		fmt.Printf("positional distribution (center bias): center=%.5f corner=%.5f uniform=%.5f\n",
+			pos[(*m/2)*(*m)+*m/2], pos[0], 1/float64((*m)*(*m)))
+		if *curve > 0 {
+			chn, err := mobility.DiscreteWaypoint(*m)
+			if err != nil {
+				fatal(err)
+			}
+			pi, err := chn.StationaryPower(1e-10, 200000)
+			if err != nil {
+				fatal(err)
+			}
+			for t, tv := range chn.TVFromStart(0, pi, *curve) {
+				fmt.Printf("t=%d TV=%.6f\n", t+1, tv)
+			}
+		}
+
+	case "walk":
+		var g *graph.Graph
+		if *k > 1 {
+			g = graph.KAugmentedTorus(*m, *m, *k)
+		} else {
+			g = graph.Grid(*m, *m)
+		}
+		ch := markov.LazyRandomWalkChain(g, *stay)
+		pi := markov.WalkStationary(g)
+		tmix, err := ch.MixingTimeFromStart(0, pi, *eps, 1<<24)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("points = %d, avg degree = %.1f, mixing time (eps=%g) = %d\n",
+			g.N(), g.AverageDegree(), *eps, tmix)
+		for t, tv := range ch.TVFromStart(0, pi, *curve) {
+			fmt.Printf("t=%d TV=%.6f\n", t+1, tv)
+		}
+
+	default:
+		fatal(fmt.Errorf("unknown chain %q", *chain))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mixing:", err)
+	os.Exit(1)
+}

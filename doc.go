@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Information Spreading
+// in Dynamic Graphs" (A. Clementi, R. Silvestri, L. Trevisan; PODC 2012,
+// arXiv:1111.0583): the (M, α, β)-stationarity framework for bounding the
+// flooding time of Markovian evolving graphs, together with every model the
+// paper instantiates it on — edge-MEGs, node-MEGs, the random waypoint and
+// random walk mobility models, and random paths over graphs.
+//
+// The library lives under internal/ (see DESIGN.md for the module map);
+// cmd/ holds the CLIs, examples/ runnable scenarios, and bench_test.go one
+// benchmark per experiment of EXPERIMENTS.md.
+package repro

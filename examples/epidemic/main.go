@@ -1,0 +1,67 @@
+// Epidemic: SIR disease spreading in a mobile population — the paper's
+// opening motivation ("a question that can model the spread of disease").
+// People move through a city under the random waypoint model; an infected
+// person transmits to anyone within contact range, and recovers (stops
+// transmitting, stays immune) after a fixed infectious period. That process
+// is exactly parsimonious flooding [4] on the mobility MEG: the infectious
+// period is the activity window. The example sweeps the infectious period
+// and reports the attack rate (final fraction ever infected) and epidemic
+// duration, exhibiting the sharp window threshold that E14 measures on
+// edge-MEGs.
+//
+//	go run ./examples/epidemic
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/flood"
+	"repro/internal/mobility"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func main() {
+	const (
+		people  = 250
+		side    = 40.0 // city size
+		contact = 1.0  // contact radius
+		speed   = 1.0
+		trials  = 9
+	)
+	fmt.Printf("SIR epidemic: %d people on a %.0f×%.0f area, contact radius %.1f, waypoint mobility\n",
+		people, side, side, contact)
+	fmt.Println("(infection = parsimonious flooding: transmit only while infectious)")
+	fmt.Println()
+	fmt.Printf("%-18s %-14s %-16s %-12s\n", "infectious steps", "attack rate", "median duration", "extinct runs")
+
+	for _, infectious := range []int{2, 5, 10, 20, 40} {
+		var attacked []float64
+		var durations []float64
+		extinct := 0
+		for trial := 0; trial < trials; trial++ {
+			params := mobility.WaypointParams{
+				N: people, L: side, R: contact, VMin: speed, VMax: speed,
+			}
+			city := mobility.NewWaypoint(params, mobility.InitSteadyState,
+				rng.New(rng.Seed(3, uint64(infectious), uint64(trial))))
+			res := flood.Parsimonious(city, 0, infectious,
+				flood.Opts{MaxSteps: 1 << 16, KeepTimeline: true})
+			final := res.Timeline[len(res.Timeline)-1]
+			attacked = append(attacked, float64(final)/people)
+			if res.Completed {
+				durations = append(durations, float64(res.Time))
+			} else {
+				extinct++
+				durations = append(durations, float64(len(res.Timeline)-1))
+			}
+		}
+		fmt.Printf("%-18d %-14.2f %-16.0f %d/%d\n",
+			infectious, stats.Mean(attacked), stats.Median(durations), extinct, trials)
+	}
+
+	fmt.Println()
+	fmt.Println("reading: short infectious periods die out before carriers cross the sparse")
+	fmt.Println("contact graph; once the period reaches the mobility mixing scale (~L/v)")
+	fmt.Println("the epidemic reaches everyone — the activity-window threshold of E14.")
+}

@@ -1,0 +1,66 @@
+// Grid robots: a warehouse fleet spreading a firmware update by proximity
+// radio — the graph mobility setting of Section 4.1. Robots move over an
+// aisle grid; an update starts on one robot and transfers whenever two
+// robots come within one aisle-cell of each other. The example contrasts
+// the two trip disciplines the paper analyzes: single-cell random-walk
+// wandering (mixing time Θ(m²)) versus shortest-path tasking, i.e. the
+// random-path model with L-shaped routes (mixing time Θ(m)) — task-driven
+// fleets propagate updates far faster, as Corollary 5 predicts.
+//
+//	go run ./examples/gridrobots
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/dyngraph"
+	"repro/internal/flood"
+	"repro/internal/graph"
+	"repro/internal/randompath"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func main() {
+	const (
+		aisles = 12 // warehouse is aisles × aisles cells
+		robots = 25
+		trials = 9
+	)
+	grid := graph.Grid(aisles, aisles)
+	fmt.Printf("warehouse: %d×%d cells (diameter %d), %d robots, radio reach 1 cell\n",
+		aisles, aisles, grid.Diameter(), robots)
+	fmt.Println()
+
+	families := []struct {
+		name  string
+		paths []randompath.Path
+	}{
+		{"random wandering (walk)", randompath.EdgePaths(grid)},
+		{"task routes (L-paths)", randompath.GridLPaths(aisles)},
+	}
+	for fi, fam := range families {
+		model, err := randompath.New(grid, fam.paths)
+		if err != nil {
+			panic(err)
+		}
+		factory := func(trial int) (dyngraph.Dynamic, int) {
+			sim, err := model.NewSimHopRadius(robots, 1, rng.New(rng.Seed(11, uint64(fi), uint64(trial))))
+			if err != nil {
+				panic(err)
+			}
+			return sim, 0
+		}
+		results := flood.Trials(factory, trials, flood.TrialsOpts{
+			Opts: flood.Opts{MaxSteps: 1 << 18},
+		})
+		times, incomplete := flood.TimesOf(results)
+		fmt.Printf("%-26s median update time %4.0f steps  (δ-regularity %.2f, incomplete %d)\n",
+			fam.name, stats.Median(times), model.DeltaRegularity(), incomplete)
+	}
+
+	fmt.Println()
+	fmt.Println("reading: long task routes decorrelate robot positions in O(diameter) steps,")
+	fmt.Println("so the update crosses the warehouse roughly diameter/m² faster than under")
+	fmt.Println("aimless single-cell wandering — the random-path vs random-walk gap of §4.1.")
+}

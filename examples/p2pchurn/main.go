@@ -1,0 +1,76 @@
+// P2P churn: file dissemination in a peer-to-peer overlay whose links churn
+// — the link-based dynamic network setting of Appendix A. Every potential
+// link follows an independent birth/death chain (sessions come and go); the
+// seeder pushes a file announcement that spreads peer-to-peer. The example
+// compares full flooding against the bandwidth-capped randomized push
+// protocol of Section 5 (each informed peer contacts at most k current
+// neighbors per round) and shows the graceful latency/bandwidth trade-off.
+//
+//	go run ./examples/p2pchurn
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/dyngraph"
+	"repro/internal/edgemeg"
+	"repro/internal/flood"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func main() {
+	const (
+		n      = 600
+		trials = 9
+	)
+	// Average session degree 6; link lifetimes ~ 25 rounds.
+	alpha := 6.0 / float64(n)
+	churn := 0.04
+	params := edgemeg.Params{N: n, P: alpha * churn, Q: churn * (1 - alpha)}
+
+	fmt.Printf("P2P overlay: %d peers, mean degree %.1f, link half-life ≈ %.0f rounds\n",
+		n, params.ExpectedDegree(), 1/params.Q)
+	fmt.Println()
+
+	base := func(trial int) dyngraph.Dynamic {
+		r := rng.New(rng.Seed(7, uint64(trial)))
+		return edgemeg.NewSparse(params, edgemeg.InitStationary, r)
+	}
+
+	// Full flooding reference.
+	fullTimes := runMany(func(trial int) (dyngraph.Dynamic, int) {
+		return base(trial), 0
+	}, trials)
+	fullMed := stats.Median(fullTimes)
+	fmt.Printf("%-22s median %3.0f rounds, est. messages/peer/round: unbounded\n",
+		"flooding (reference)", fullMed)
+
+	// Bandwidth-capped push.
+	for _, k := range []int{1, 2, 4} {
+		k := k
+		times := runMany(func(trial int) (dyngraph.Dynamic, int) {
+			inner := base(trial)
+			return dyngraph.NewSubsample(inner, k, rng.New(rng.Seed(8, uint64(k), uint64(trial)))), 0
+		}, trials)
+		med := stats.Median(times)
+		fmt.Printf("%-22s median %3.0f rounds (%.2fx flooding), messages/peer/round ≤ %d\n",
+			fmt.Sprintf("push k=%d", k), med, med/fullMed, k)
+	}
+
+	fmt.Println()
+	fmt.Println("reading: the randomized protocol is flooding on a virtual subsampled MEG")
+	fmt.Println("(Section 5); capping fan-out to a few messages/round costs only a small")
+	fmt.Println("constant factor in latency, shrinking toward 1x as the cap grows.")
+}
+
+func runMany(factory flood.Factory, trials int) []float64 {
+	results := flood.Trials(factory, trials, flood.TrialsOpts{
+		Opts: flood.Opts{MaxSteps: 1 << 17},
+	})
+	times, incomplete := flood.TimesOf(results)
+	if incomplete > 0 {
+		fmt.Printf("  (%d incomplete runs dropped)\n", incomplete)
+	}
+	return times
+}

@@ -1,0 +1,130 @@
+package balance
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dyngraph"
+	"repro/internal/edgemeg"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMassConservation(t *testing.T) {
+	g := dyngraph.NewStatic(graph.Grid(4, 4))
+	s := New(g, PointLoad(16, 160))
+	want := s.Total()
+	for i := 0; i < 100; i++ {
+		s.Step()
+		if !almostEq(s.Total(), want, 1e-9) {
+			t.Fatalf("total load drifted: %v vs %v", s.Total(), want)
+		}
+	}
+}
+
+func TestConvergesOnStaticConnectedGraph(t *testing.T) {
+	g := dyngraph.NewStatic(graph.Cycle(10))
+	s := New(g, PointLoad(10, 100))
+	steps, ok := s.Run(0.01, 100000)
+	if !ok {
+		t.Fatalf("did not converge in %d steps (imbalance %v)", steps, s.Imbalance())
+	}
+	for i, x := range s.Loads() {
+		if !almostEq(x, 10, 0.02) {
+			t.Fatalf("load[%d] = %v, want ~10", i, x)
+		}
+	}
+}
+
+func TestVarianceMonotoneOnStaticGraph(t *testing.T) {
+	g := dyngraph.NewStatic(graph.Grid(5, 5))
+	s := New(g, PointLoad(25, 25))
+	prev := s.Variance()
+	for i := 0; i < 200; i++ {
+		s.Step()
+		v := s.Variance()
+		if v > prev+1e-12 {
+			t.Fatalf("variance increased at step %d: %v -> %v", i, prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestNoBalancingOnDisconnectedStatic(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	s := New(dyngraph.NewStatic(b.Build()), PointLoad(4, 8))
+	s.Run(0.001, 5000)
+	// Nodes 2 and 3 can never receive load.
+	if s.Loads()[2] != 0 || s.Loads()[3] != 0 {
+		t.Fatal("load crossed a disconnection")
+	}
+	// The connected pair balances to 4 each.
+	if !almostEq(s.Loads()[0], 4, 0.01) || !almostEq(s.Loads()[1], 4, 0.01) {
+		t.Fatalf("pair did not balance: %v", s.Loads()[:2])
+	}
+}
+
+func TestDynamicGraphBalancesAcrossComponents(t *testing.T) {
+	// A sparse edge-MEG's snapshots are disconnected, but churn moves load
+	// everywhere — the dynamic-graph analogue of the flooding story.
+	params := edgemeg.Params{N: 64, P: 0.002, Q: 0.098}
+	d := edgemeg.NewSparse(params, edgemeg.InitStationary, rng.New(7))
+	s := New(d, PointLoad(64, 640))
+	steps, ok := s.Run(0.5, 200000)
+	if !ok {
+		t.Fatalf("dynamic balancing did not converge (imbalance %v)", s.Imbalance())
+	}
+	if steps == 0 {
+		t.Fatal("suspiciously instant convergence")
+	}
+	if !almostEq(s.Total(), 640, 1e-6) {
+		t.Fatal("mass not conserved on dynamic graph")
+	}
+}
+
+func TestFasterChurnBalancesFaster(t *testing.T) {
+	halving := func(speed float64, seed uint64) int {
+		alpha := 2.0 / 64
+		params := edgemeg.Params{N: 64, P: alpha * speed, Q: speed * (1 - alpha)}
+		total := 0
+		for trial := 0; trial < 5; trial++ {
+			d := edgemeg.NewSparse(params, edgemeg.InitStationary, rng.New(seed+uint64(trial)))
+			s := New(d, PointLoad(64, 640))
+			start := s.Variance()
+			steps := 0
+			for s.Variance() > start/16 && steps < 100000 {
+				s.Step()
+				steps++
+			}
+			total += steps
+		}
+		return total
+	}
+	slow := halving(0.02, 11)
+	fast := halving(0.4, 17)
+	if fast >= slow {
+		t.Fatalf("faster churn should balance faster: fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestNewPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	New(dyngraph.NewStatic(graph.Cycle(3)), []float64{1})
+}
+
+func TestImbalanceAndVariance(t *testing.T) {
+	s := New(dyngraph.NewStatic(graph.Cycle(4)), []float64{0, 0, 0, 8})
+	if s.Imbalance() != 8 {
+		t.Fatal("imbalance wrong")
+	}
+	if !almostEq(s.Variance(), 12, 1e-12) { // mean 2; (4+4+4+36)/4
+		t.Fatalf("variance = %v, want 12", s.Variance())
+	}
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(all))
+	}
+	for i, e := range all {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("experiment %d incomplete: %+v", i, e)
+		}
+	}
+	// Ordered E1..E18.
+	if all[0].ID != "E1" || all[17].ID != "E18" {
+		t.Fatalf("ordering wrong: first %s last %s", all[0].ID, all[17].ID)
+	}
+	for i := 1; i < len(all); i++ {
+		if idNum(all[i-1].ID) >= idNum(all[i].ID) {
+			t.Fatal("registry not sorted numerically")
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("E999"); ok {
+		t.Fatal("unknown experiment found")
+	}
+	if err := RunOne("E999", Config{}, io.Discard); err == nil {
+		t.Fatal("RunOne with unknown ID should error")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	tab := NewTable(&buf, "col-a", "b")
+	tab.Row(1, "xx")
+	tab.Row(100000, "y")
+	if err := tab.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+	// The second column must start at the same offset in every line.
+	off := strings.Index(lines[0], "b")
+	if strings.Index(lines[1], "xx") != off || strings.Index(lines[2], "y") != off {
+		t.Fatalf("columns not aligned:\n%s", buf.String())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if f1(1.26) != "1.3" || f2(1.267) != "1.27" || f3(1.2675) != "1.267" && f3(1.2675) != "1.268" {
+		t.Fatal("fixed formatters wrong")
+	}
+	if g3(123456) != "1.23e+05" {
+		t.Fatalf("g3 = %s", g3(123456.0))
+	}
+}
+
+// TestQuickExperimentsRun smoke-tests every registered experiment at quick
+// scale, ensuring tables render without error and are deterministic for a
+// fixed seed.
+func TestQuickExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take tens of seconds")
+	}
+	cfg := Config{Quick: true, Seed: 7}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := RunOne(e.ID, cfg, &buf); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "check:") {
+				t.Fatalf("%s output has no check line:\n%s", e.ID, out)
+			}
+			if strings.Contains(out, "NaN") {
+				t.Fatalf("%s output contains NaN:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full quick experiment twice")
+	}
+	run := func() string {
+		var buf bytes.Buffer
+		if err := RunOne("E3", Config{Quick: true, Seed: 42, Workers: 3}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different tables")
+	}
+}

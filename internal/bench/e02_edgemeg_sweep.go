@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dyngraph"
+	"repro/internal/edgemeg"
+	"repro/internal/rng"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E2",
+		Title: "Appendix A: two-state edge-MEG birth-rate sweep vs the bound of [10]",
+		Claim: "our Theorem 1 instantiation O(1/(p+q)·((p+q)/(np)+1)²·log²n) is almost tight (within polylog of [10]'s O(log n / log(1+np))) whenever q ≥ np",
+		Run:   runE2,
+	})
+
+	register(Experiment{
+		ID:    "E3",
+		Title: "Appendix A: two-state edge-MEG flooding vs n at fixed (p, q)",
+		Claim: "measured flooding follows the O(log n / log(1+np)) shape of [10] as n grows",
+		Run:   runE3,
+	})
+}
+
+func runE2(cfg Config, w io.Writer) error {
+	n := 256
+	trials := 25
+	ps := []float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2}
+	if cfg.Quick {
+		trials = 8
+		ps = []float64{3e-4, 1e-3, 3e-3}
+	}
+	const q = 0.3
+
+	tab := NewTable(w, "p", "np", "regime(q>=np)", "median-flood", "ours", "prior[10]", "ours/prior", "incomplete")
+	for _, p := range ps {
+		params := edgemeg.Params{N: n, P: p, Q: q}
+		factory := func(trial int) (dyngraph.Dynamic, int) {
+			r := rng.New(rng.Seed(cfg.Seed, 2, uint64(p*1e9), uint64(trial)))
+			return edgemeg.NewSparse(params, edgemeg.InitStationary, r), 0
+		}
+		med, inc, _ := medianFlood(factory, trials, 1<<17, cfg.Workers)
+		ours := core.EdgeMEGBound(p, q, n)
+		prior := core.PriorEdgeMEGBound(n, p)
+		regime := "tight"
+		if q < float64(n)*p {
+			regime = "loose"
+		}
+		tab.Row(g3(p), g3(float64(n)*p), regime, med, f1(ours), f1(prior), f1(ours/prior), inc)
+	}
+	if err := tab.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "   check: in the tight regime ours/prior stays within polylog; measured decreases as p grows")
+	return nil
+}
+
+func runE3(cfg Config, w io.Writer) error {
+	ns := []int{64, 128, 256, 512, 1024}
+	trials := 25
+	if cfg.Quick {
+		ns = []int{64, 128, 256}
+		trials = 8
+	}
+	const q = 0.2
+
+	tab := NewTable(w, "n", "np", "median-flood", "prior-bound[10]", "measured/prior", "incomplete")
+	var prior, measured []float64
+	for _, n := range ns {
+		p := 2.0 / float64(n) // np = 2 at every n
+		params := edgemeg.Params{N: n, P: p, Q: q}
+		factory := func(trial int) (dyngraph.Dynamic, int) {
+			r := rng.New(rng.Seed(cfg.Seed, 3, uint64(n), uint64(trial)))
+			return edgemeg.NewSparse(params, edgemeg.InitStationary, r), 0
+		}
+		med, inc, _ := medianFlood(factory, trials, 1<<16, cfg.Workers)
+		pb := core.PriorEdgeMEGBound(n, p)
+		tab.Row(n, f1(float64(n)*p), med, f1(pb), f2(med/pb), inc)
+		prior = append(prior, pb)
+		measured = append(measured, med)
+	}
+	if err := tab.Flush(); err != nil {
+		return err
+	}
+	// Shape check: measured/prior should be roughly constant across n.
+	lo, hi := measured[0]/prior[0], measured[0]/prior[0]
+	for i := range measured {
+		r := measured[i] / prior[i]
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	fmt.Fprintf(w, "   check: measured/prior ratio spans [%s, %s] across n — flat ratio confirms the log n/log(1+np) shape\n", f2(lo), f2(hi))
+	return nil
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/markov"
+	"repro/internal/mobility"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E6",
+		Title: "Mixing-time curves of the paper's chains",
+		Claim: "two-state edge chain mixes in Θ(1/(p+q)); the discretized waypoint chain in Θ(L/v) (linear in grid side m); the lazy grid walk in Θ(m² log m)",
+		Run:   runE6,
+	})
+}
+
+func runE6(cfg Config, w io.Writer) error {
+	// (a) Two-state chain: exact mixing time vs 1/(p+q).
+	fmt.Fprintln(w, "   (a) two-state edge chain, eps = 1/4:")
+	tab := NewTable(w, "p", "q", "1/(p+q)", "Tmix(exact)", "Tmix·(p+q)")
+	for _, pq := range []struct{ p, q float64 }{
+		{0.1, 0.1}, {0.05, 0.05}, {0.02, 0.02}, {0.01, 0.01}, {0.002, 0.018},
+	} {
+		ts := markov.TwoState{P: pq.p, Q: pq.q}
+		tm := ts.MixingTime(markov.DefaultMixingEps)
+		tab.Row(g3(pq.p), g3(pq.q), f1(1/(pq.p+pq.q)), tm, f2(float64(tm)*(pq.p+pq.q)))
+	}
+	if err := tab.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "   check: Tmix·(p+q) is ~constant — the Θ(1/(p+q)) law")
+
+	// (b) Discretized waypoint chain: mixing vs m (unit speed → Θ(m)).
+	ms := []int{4, 5, 6, 7}
+	if cfg.Quick {
+		ms = []int{4, 5, 6}
+	}
+	fmt.Fprintln(w, "   (b) discretized (Manhattan) waypoint chain, corner start, eps = 1/4:")
+	tab = NewTable(w, "m", "states", "Tmix", "Tmix/m")
+	for _, m := range ms {
+		_, tmix, err := mobility.DiscreteWaypointMixing(m, markov.DefaultMixingEps, 1<<20)
+		if err != nil {
+			return err
+		}
+		tab.Row(m, m*m*m*m, tmix, f2(float64(tmix)/float64(m)))
+	}
+	if err := tab.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "   check: Tmix/m is ~constant — the Θ(L/v) law of Section 4.1")
+
+	// (c) Lazy random walk on the grid: mixing vs m (Θ(m² log m)).
+	wm := []int{4, 8, 12, 16}
+	if cfg.Quick {
+		wm = []int{4, 8, 12}
+	}
+	fmt.Fprintln(w, "   (c) lazy random walk on the m×m grid, corner start, eps = 1/4:")
+	tab = NewTable(w, "m", "points", "Tmix", "Tmix/m²")
+	for _, m := range wm {
+		g := graph.Grid(m, m)
+		chain := markov.LazyRandomWalkChain(g, 0.5)
+		pi := markov.WalkStationary(g)
+		tmix, err := chain.MixingTimeFromStart(0, pi, markov.DefaultMixingEps, 1<<22)
+		if err != nil {
+			return err
+		}
+		tab.Row(m, m*m, tmix, f3(float64(tmix)/float64(m*m)))
+	}
+	if err := tab.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "   check: Tmix/m² is ~constant (up to log m) — quadratically slower than waypoint trips over the same space")
+	return nil
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/balance"
+	"repro/internal/dyngraph"
+	"repro/internal/edgemeg"
+	"repro/internal/flood"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E17",
+		Title: "Load balancing over MEGs [16, 28]: convergence vs dynamics speed",
+		Claim: "diffusive averaging over a sparse MEG converges despite every snapshot being disconnected, and — like the flooding time — its convergence speed is governed by the chain speed of the graph process",
+		Run:   runE17,
+	})
+
+	register(Experiment{
+		ID:    "E18",
+		Title: "Protocol family on one MEG: flooding vs k-push vs pull (§5 reductions)",
+		Claim: "the §5 folding argument covers pull and push variants: all complete on the stationary MEG, with push-k and pull trading early-phase vs late-phase speed around the flooding baseline",
+		Run:   runE18,
+	})
+}
+
+func runE17(cfg Config, w io.Writer) error {
+	n := 128
+	trials := 10
+	if cfg.Quick {
+		n = 64
+		trials = 5
+	}
+	alpha := 2.0 / float64(n)
+	tab := NewTable(w, "chain speed p+q", "per-edge Tmix", "median steps to 1/16 variance", "converged")
+	for _, speed := range []float64{0.02, 0.1, 0.4} {
+		params := edgemeg.Params{N: n, P: alpha * speed, Q: speed * (1 - alpha)}
+		var steps []float64
+		converged := 0
+		for trial := 0; trial < trials; trial++ {
+			d := edgemeg.NewSparse(params, edgemeg.InitStationary,
+				rng.New(rng.Seed(cfg.Seed, 26, uint64(speed*1e6), uint64(trial))))
+			s := balance.New(d, balance.PointLoad(n, float64(n)))
+			start := s.Variance()
+			count := 0
+			for s.Variance() > start/16 && count < 1<<17 {
+				s.Step()
+				count++
+			}
+			if s.Variance() <= start/16 {
+				converged++
+				steps = append(steps, float64(count))
+			}
+		}
+		tab.Row(g3(speed), params.MixingTime(0.25), f1(stats.Median(steps)), fmt.Sprintf("%d/%d", converged, trials))
+	}
+	if err := tab.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "   check: variance-halving time falls as the chain speeds up — the same mixing-time dependence Theorem 1 charges flooding, now for the companion load-balancing problem")
+	return nil
+}
+
+func runE18(cfg Config, w io.Writer) error {
+	n := 256
+	trials := 20
+	if cfg.Quick {
+		n = 128
+		trials = 8
+	}
+	alpha := 8.0 / float64(n)
+	speed := 0.2
+	params := edgemeg.Params{N: n, P: alpha * speed, Q: speed * (1 - alpha)}
+	mk := func(trial int) dyngraph.Dynamic {
+		return edgemeg.NewSparse(params, edgemeg.InitStationary,
+			rng.New(rng.Seed(cfg.Seed, 27, uint64(trial))))
+	}
+
+	type proto struct {
+		name string
+		run  func(trial int) flood.Result
+	}
+	protos := []proto{
+		{"flooding", func(trial int) flood.Result {
+			return flood.Run(mk(trial), 0, flood.Opts{MaxSteps: 1 << 16})
+		}},
+		{"push k=1", func(trial int) flood.Result {
+			return flood.RandomizedPush(mk(trial), 0, 1,
+				rng.New(rng.Seed(cfg.Seed, 28, uint64(trial))), flood.Opts{MaxSteps: 1 << 16})
+		}},
+		{"push k=3", func(trial int) flood.Result {
+			return flood.RandomizedPush(mk(trial), 0, 3,
+				rng.New(rng.Seed(cfg.Seed, 29, uint64(trial))), flood.Opts{MaxSteps: 1 << 16})
+		}},
+		{"pull", func(trial int) flood.Result {
+			return flood.Pull(mk(trial), 0,
+				rng.New(rng.Seed(cfg.Seed, 30, uint64(trial))), flood.Opts{MaxSteps: 1 << 16})
+		}},
+	}
+
+	tab := NewTable(w, "protocol", "median total", "median to n/2", "median n/2 -> n", "incomplete")
+	for _, p := range protos {
+		var total, spread, sat []float64
+		incomplete := 0
+		for trial := 0; trial < trials; trial++ {
+			res := p.run(trial)
+			if !res.Completed {
+				incomplete++
+				continue
+			}
+			total = append(total, float64(res.Time))
+			if ps, ok := flood.Phases(res); ok {
+				spread = append(spread, float64(ps.Spreading))
+				sat = append(sat, float64(ps.Saturation))
+			}
+		}
+		tab.Row(p.name, f1(stats.Median(total)), f1(stats.Median(spread)), f1(stats.Median(sat)), incomplete)
+	}
+	if err := tab.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "   check: all protocols complete; push variants pay in the saturation phase (fan-out caps slow the last stragglers), pull pays in the spreading phase (few informed nodes to find early) — each is flooding on a virtual thinned MEG, as §5 argues")
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package bench is the experiment harness that regenerates every
+// quantitative claim of the paper as a table: the experiment registry
+// (E1–E13, indexed in DESIGN.md), parameter sweeps, and the shared
+// configuration used by cmd/benchtab and the root bench_test.go.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/flood"
+	"repro/internal/stats"
+)
+
+// Config selects the scale of an experiment run.
+type Config struct {
+	// Quick selects reduced sizes/trials for CI and testing.B usage;
+	// the full configuration reproduces EXPERIMENTS.md.
+	Quick bool
+	// Seed is the master seed; every experiment derives all randomness
+	// from it, so equal (Config, experiment) pairs print identical tables.
+	Seed uint64
+	// Workers bounds trial parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Experiment is one reproducible experiment.
+type Experiment struct {
+	// ID is the stable identifier (e.g. "E4") used across DESIGN.md,
+	// EXPERIMENTS.md and bench_test.go.
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim cites the paper statement the experiment checks.
+	Claim string
+	// Run executes the experiment, writing its table to w.
+	Run func(cfg Config, w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment; duplicate IDs are a programming error.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment ordered by ID (E1, E2, ..., E13).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric-aware ordering of "E<k>".
+		return idNum(out[i].ID) < idNum(out[j].ID)
+	})
+	return out
+}
+
+func idNum(id string) int {
+	n := 0
+	for _, c := range id {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	return n
+}
+
+// RunOne executes experiment id with a standard header.
+func RunOne(id string, cfg Config, w io.Writer) error {
+	e, ok := Get(id)
+	if !ok {
+		return fmt.Errorf("bench: unknown experiment %q", id)
+	}
+	fmt.Fprintf(w, "== %s: %s\n", e.ID, e.Title)
+	fmt.Fprintf(w, "   claim: %s\n", e.Claim)
+	if err := e.Run(cfg, w); err != nil {
+		return fmt.Errorf("bench: %s failed: %w", e.ID, err)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// RunAll executes every experiment in order.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, e := range All() {
+		if err := RunOne(e.ID, cfg, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// medianFlood runs trials floods and returns the median completed time,
+// the count of incomplete runs, and the full summary.
+func medianFlood(factory flood.Factory, trials, maxSteps, workers int) (median float64, incomplete int, sum stats.Summary) {
+	results := flood.Trials(factory, trials, flood.TrialsOpts{
+		Opts:    flood.Opts{MaxSteps: maxSteps},
+		Workers: workers,
+	})
+	times, inc := flood.TimesOf(results)
+	return stats.Median(times), inc, stats.Summarize(times)
+}

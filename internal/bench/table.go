@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Table renders aligned experiment tables. Columns are separated by at
+// least two spaces; all values are formatted with %v unless given as
+// pre-formatted strings.
+type Table struct {
+	tw *tabwriter.Writer
+}
+
+// NewTable starts a table on w with the given column headers.
+func NewTable(w io.Writer, headers ...string) *Table {
+	t := &Table{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
+	t.Row(toAny(headers)...)
+	return t
+}
+
+func toAny(ss []string) []any {
+	out := make([]any, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+// Row appends one row.
+func (t *Table) Row(cells ...any) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.tw, "\t")
+		}
+		fmt.Fprintf(t.tw, "%v", c)
+	}
+	fmt.Fprintln(t.tw)
+}
+
+// Flush writes the aligned table.
+func (t *Table) Flush() error { return t.tw.Flush() }
+
+// f1, f2, f3 format floats to fixed decimals for table cells.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// g3 formats with three significant digits, for wide-ranging magnitudes.
+func g3(v float64) string { return fmt.Sprintf("%.3g", v) }

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dyngraph"
+	"repro/internal/edgemeg"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTheorem1BoundShape(t *testing.T) {
+	// Denser graphs (larger alpha) flood faster; larger beta slows.
+	if Theorem1Bound(10, 0.5, 1, 100) >= Theorem1Bound(10, 0.01, 1, 100) {
+		t.Fatal("bound should decrease in alpha")
+	}
+	if Theorem1Bound(10, 0.1, 5, 100) <= Theorem1Bound(10, 0.1, 1, 100) {
+		t.Fatal("bound should increase in beta")
+	}
+	if Theorem1Bound(20, 0.1, 1, 100) != 2*Theorem1Bound(10, 0.1, 1, 100) {
+		t.Fatal("bound should be linear in M")
+	}
+}
+
+func TestTheorem1BoundValue(t *testing.T) {
+	// M=1, alpha=1/n, beta=1 -> (1+1)²·ln²n.
+	n := 100
+	want := 4 * math.Log(100) * math.Log(100)
+	if got := Theorem1Bound(1, 1.0/float64(n), 1, n); !almostEq(got, want, 1e-9) {
+		t.Fatalf("bound = %v, want %v", got, want)
+	}
+}
+
+func TestTheorem3BoundMonotoneInEta(t *testing.T) {
+	lo := Theorem3Bound(10, 0.01, 1, 1000)
+	hi := Theorem3Bound(10, 0.01, 8, 1000)
+	if hi <= lo {
+		t.Fatal("bound should grow with eta")
+	}
+}
+
+func TestCorollary4BoundSparseRegime(t *testing.T) {
+	// In the sparse standard setting L ~ √n, r = Θ(1), δ, λ constants, the
+	// bound collapses to ~ (L/v)·polylog: doubling n with L = √n should
+	// roughly double L/v · const — i.e. grow ~ √n up to logs.
+	bound := func(n int) float64 {
+		l := math.Sqrt(float64(n))
+		return Corollary4Bound(l/1.0, 2.25, 0.25, l*l, 1, 2, n)
+	}
+	g1, g2 := bound(1000), bound(4000)
+	ratio := g2 / g1
+	// √n doubles; the log³ n factor contributes another (ln 4000/ln 1000)³
+	// ≈ 1.73, so the exact ratio is ≈ 3.46.
+	want := 2 * math.Pow(math.Log(4000)/math.Log(1000), 3)
+	if math.Abs(ratio-want) > 0.01 {
+		t.Fatalf("sparse-regime growth ratio = %v, want %v (√n · polylog)", ratio, want)
+	}
+}
+
+func TestCorollary5And6Relationship(t *testing.T) {
+	// For δ = 1 both corollaries have the same (|V|/n + 1)² core; C6 is
+	// never smaller than C5 at equal inputs for δ >= 1.
+	if Corollary6Bound(10, 500, 100, 1.5) < Corollary5Bound(10, 500, 100, 1.5) {
+		t.Fatal("C6 should dominate C5 for delta > 1")
+	}
+	if !almostEq(Corollary5Bound(10, 500, 100, 1), Corollary6Bound(10, 500, 100, 1), 1e-9) {
+		t.Fatal("C5 and C6 should coincide at delta = 1")
+	}
+}
+
+func TestEdgeMEGBoundVsPrior(t *testing.T) {
+	// The paper: our bound is almost tight whenever q >= np. Check that in
+	// that regime the two bounds are within polylog factors (ratio grows
+	// slower than log² n), and that for q << np the prior bound is far
+	// smaller.
+	n := 1 << 12
+	p := 1.0 / float64(n) // np = 1
+	qTight := 0.5         // q >= np regime
+	ours := EdgeMEGBound(p, qTight, n)
+	prior := PriorEdgeMEGBound(n, p)
+	ratio := ours / prior
+	ln := math.Log(float64(n))
+	if ratio > 20*ln*ln {
+		t.Fatalf("tight regime ratio = %v, want O(log² n) = %v-ish", ratio, ln*ln)
+	}
+	// Loose regime: q tiny, graph nearly static and dense over time.
+	qLoose := 1e-6
+	looseRatio := EdgeMEGBound(p, qLoose, n) / PriorEdgeMEGBound(n, p)
+	if looseRatio < 10*ratio {
+		t.Fatalf("loose regime should be much worse: %v vs %v", looseRatio, ratio)
+	}
+}
+
+func TestRWPBounds(t *testing.T) {
+	// Sparse setting: L = √n, r = 1 -> bound ~ (√n/v)·(1+1)²·log³n; the
+	// ratio to the lower bound √n/v is polylog.
+	n := 10000
+	l := math.Sqrt(float64(n))
+	v := 1.0
+	up := RWPBound(l, v, 1, n)
+	low := RWPLowerBound(n, v)
+	ratio := up / low
+	ln := math.Log(float64(n))
+	if ratio > 10*ln*ln*ln {
+		t.Fatalf("RWP bound gap = %v, want polylog (%v)", ratio, ln*ln*ln)
+	}
+	if up < low {
+		t.Fatal("upper bound below lower bound")
+	}
+}
+
+func TestMeetingTimeBound(t *testing.T) {
+	if MeetingTimeBound(100, 1000) != 100*math.Log(1000) {
+		t.Fatal("meeting-time bound wrong")
+	}
+}
+
+func TestPaleyZygmund(t *testing.T) {
+	// For a constant variable X = c: E[X]² / E[X²] = 1, bound = (1-θ)².
+	if !almostEq(PaleyZygmund(0.5, 2, 4), 0.25, 1e-12) {
+		t.Fatalf("PZ constant case = %v", PaleyZygmund(0.5, 2, 4))
+	}
+	// Degenerate inputs.
+	if PaleyZygmund(0.5, 1, 0) != 0 || PaleyZygmund(0, 1, 1) != 0 || PaleyZygmund(1, 1, 1) != 0 {
+		t.Fatal("degenerate PZ should be 0")
+	}
+	// Bound is a probability.
+	f := func(m, s uint16) bool {
+		mean := float64(m%100) / 10
+		meanSq := mean*mean + float64(s%100)/10 // E[X²] >= E[X]²
+		b := PaleyZygmund(0.5, mean, meanSq)
+		return b >= 0 && b <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaleyZygmundHoldsEmpirically(t *testing.T) {
+	// X = Binomial(20, 0.3): estimate P(X > θE[X]) and compare against the
+	// PZ lower bound computed from exact moments.
+	r := rng.New(5)
+	const n, p, theta = 20, 0.3, 0.5
+	mean := float64(n) * p
+	variance := float64(n) * p * (1 - p)
+	meanSq := variance + mean*mean
+	bound := PaleyZygmund(theta, mean, meanSq)
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if float64(r.Binomial(n, p)) > theta*mean {
+			hits++
+		}
+	}
+	emp := float64(hits) / trials
+	if emp < bound {
+		t.Fatalf("empirical %v below PZ bound %v", emp, bound)
+	}
+}
+
+func TestChernoffBelowHoldsEmpirically(t *testing.T) {
+	r := rng.New(7)
+	const n, p, delta = 1000, 0.1, 0.3
+	mu := float64(n) * p
+	bound := ChernoffBelow(mu, delta)
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if float64(r.Binomial(n, p)) < (1-delta)*mu {
+			hits++
+		}
+	}
+	emp := float64(hits) / trials
+	if emp > bound {
+		t.Fatalf("empirical %v above Chernoff bound %v", emp, bound)
+	}
+}
+
+func TestBinomialTailBelow(t *testing.T) {
+	if BinomialTailBelow(100, 0.5, 60) != 1 {
+		t.Fatal("above-mean tail should be vacuous")
+	}
+	b := BinomialTailBelow(100, 0.5, 25)
+	if b <= 0 || b >= 1 {
+		t.Fatalf("tail bound = %v", b)
+	}
+}
+
+func TestDegreeExpansionLowerBound(t *testing.T) {
+	// Matches |A|α / (2 + 2|A|αβ).
+	if !almostEq(DegreeExpansionLowerBound(10, 0.1, 2), 1.0/(2+4), 1e-12) {
+		t.Fatal("expansion bound wrong")
+	}
+}
+
+func TestSpreadEpochLengthGrowsWithT(t *testing.T) {
+	a := SpreadEpochLength(4, 100, 0.05, 1, 1)
+	b := SpreadEpochLength(4, 100, 0.05, 1, 10)
+	if b <= a {
+		t.Fatal("epoch length should grow with t")
+	}
+}
+
+func TestEstimateConditionsOnStationaryEdgeMEG(t *testing.T) {
+	// Two-state edge-MEG started stationary: alpha should concentrate near
+	// p/(p+q) for every pair and beta near 1 (independent edges).
+	params := edgemeg.Params{N: 60, P: 0.1, Q: 0.1} // alpha = 0.5
+	factory := func(trial int) dyngraph.Dynamic {
+		return edgemeg.NewDense(params, edgemeg.InitStationary, rng.New(rng.Seed(31, uint64(trial))))
+	}
+	rep, err := EstimateConditions(factory, EstimateOpts{
+		M: 5, Epochs: 60, Trials: 6, Pairs: 40, Triples: 25, SetSize: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.AlphaMean-0.5) > 0.05 {
+		t.Fatalf("alpha mean = %v, want ~0.5", rep.AlphaMean)
+	}
+	if rep.AlphaMin < 0.3 {
+		t.Fatalf("alpha min = %v, implausibly low for 360 samples", rep.AlphaMin)
+	}
+	if math.Abs(rep.BetaMean-1) > 0.1 {
+		t.Fatalf("beta mean = %v, want ~1 (independent edges)", rep.BetaMean)
+	}
+	if rep.Samples != 360 {
+		t.Fatalf("samples = %d", rep.Samples)
+	}
+}
+
+func TestEstimateConditionsValidation(t *testing.T) {
+	factory := func(trial int) dyngraph.Dynamic {
+		return dyngraph.NewStatic(graph.Complete(5))
+	}
+	if _, err := EstimateConditions(factory, EstimateOpts{}); err == nil {
+		t.Fatal("zero opts accepted")
+	}
+	if _, err := EstimateConditions(factory, EstimateOpts{
+		M: 1, Epochs: 1, Trials: 1, Pairs: 1, Triples: 1, SetSize: 4,
+	}); err == nil {
+		t.Fatal("oversized SetSize accepted")
+	}
+}
+
+func TestEstimateConditionsStaticCompleteGraph(t *testing.T) {
+	// The static complete graph: every pair always connected -> alpha = 1,
+	// and all e(i,A) indicators are constant 1 -> beta ratios exactly 1.
+	factory := func(trial int) dyngraph.Dynamic {
+		return dyngraph.NewStatic(graph.Complete(12))
+	}
+	rep, err := EstimateConditions(factory, EstimateOpts{
+		M: 1, Epochs: 5, Trials: 2, Pairs: 10, Triples: 5, SetSize: 3, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AlphaMin != 1 || rep.AlphaMean != 1 {
+		t.Fatalf("complete graph alpha: %+v", rep)
+	}
+	if rep.BetaMax != 1 || rep.BetaMean != 1 {
+		t.Fatalf("complete graph beta: %+v", rep)
+	}
+}
+
+func TestSpreadOnCompleteGraph(t *testing.T) {
+	d := dyngraph.NewStatic(graph.Complete(10))
+	// From any set, every outside node is reached at the first snapshot.
+	if got := Spread(d, []int{0, 1}, 0); got != 8 {
+		t.Fatalf("Spread = %d, want 8", got)
+	}
+}
+
+func TestSpreadAccumulatesOverTime(t *testing.T) {
+	// Sparse edge-MEG: a single snapshot reaches few nodes; over many
+	// epochs the spread accumulates — the heart of the dynamic-expansion
+	// argument.
+	params := edgemeg.Params{N: 100, P: 0.0005, Q: 0.0495} // alpha=0.01
+	d := edgemeg.NewSparse(params, edgemeg.InitStationary, rng.New(41))
+	a := []int{0, 1, 2, 3, 4}
+	short := Spread(d, a, 0)
+	d2 := edgemeg.NewSparse(params, edgemeg.InitStationary, rng.New(41))
+	long := Spread(d2, a, 200)
+	if long <= short {
+		t.Fatalf("spread should accumulate: %d then %d", short, long)
+	}
+	if long > 95 {
+		t.Fatalf("spread cannot exceed outside-set size: %d", long)
+	}
+}
+
+func TestSpreadUntilDoubled(t *testing.T) {
+	params := edgemeg.Params{N: 80, P: 0.002, Q: 0.098}
+	d := edgemeg.NewSparse(params, edgemeg.InitStationary, rng.New(43))
+	steps := SpreadUntilDoubled(d, []int{0, 1, 2, 3}, 5000)
+	if steps < 0 {
+		t.Fatal("doubling never happened within cap")
+	}
+	// Tiny cap: must report -1.
+	d2 := edgemeg.NewSparse(edgemeg.Params{N: 80, P: 1e-6, Q: 0.1}, edgemeg.InitEmpty, rng.New(47))
+	if got := SpreadUntilDoubled(d2, []int{0, 1, 2, 3}, 2); got != -1 {
+		t.Fatalf("expected -1 under cap, got %d", got)
+	}
+}
+
+func TestSpreadPanicsOnBadSet(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range set member did not panic")
+		}
+	}()
+	Spread(dyngraph.NewStatic(graph.Complete(3)), []int{5}, 1)
+}

@@ -1,0 +1,68 @@
+package core
+
+import "math"
+
+// PaleyZygmund returns the Paley–Zygmund lower bound
+//
+//	P(X > θ·E[X]) >= (1-θ)² · E[X]² / E[X²]
+//
+// for a non-negative random variable X with the given first and second
+// moments and 0 < θ < 1. The proofs of Lemmas 9–10 use it with θ = 1/2 to
+// convert the β-independence condition into per-epoch expansion. It returns
+// 0 for degenerate inputs (meanSq <= 0).
+func PaleyZygmund(theta, mean, meanSq float64) float64 {
+	if meanSq <= 0 || mean < 0 || theta <= 0 || theta >= 1 {
+		return 0
+	}
+	b := (1 - theta) * (1 - theta) * mean * mean / meanSq
+	if b > 1 {
+		return 1
+	}
+	return b
+}
+
+// ChernoffBelow returns the multiplicative Chernoff upper bound
+//
+//	P(X < (1-δ)·μ) < exp(-δ²μ/2)
+//
+// for a sum of independent binary variables with mean μ (Lemma 8).
+func ChernoffBelow(mu, delta float64) float64 {
+	if delta <= 0 || mu <= 0 {
+		return 1
+	}
+	return math.Exp(-delta * delta * mu / 2)
+}
+
+// BinomialTailBelow bounds P(B(n, p) <= k) using ChernoffBelow. For
+// k >= np the bound is vacuous and 1 is returned.
+func BinomialTailBelow(n int, p float64, k float64) float64 {
+	mu := float64(n) * p
+	if mu <= 0 || k >= mu {
+		return 1
+	}
+	delta := 1 - k/mu
+	return ChernoffBelow(mu, delta)
+}
+
+// DegreeExpansionLowerBound evaluates the Lemma 9 guarantee: for an
+// (M, α, β)-stationary graph, the probability that a node has at least
+// |A|α/2 neighbors in a set A at an epoch boundary is at least
+//
+//	|A|α / (2 + 2|A|αβ).
+func DegreeExpansionLowerBound(setSize int, alpha, beta float64) float64 {
+	a := float64(setSize) * alpha
+	return a / (2 + 2*a*beta)
+}
+
+// SpreadEpochLength evaluates the T of Lemma 11: the number of epochs
+// within which a set A of size a doubles its reach with probability
+// >= 1 - exp(-t):
+//
+//	T = 256·(1/(a n² α²) + β/(nα) + aβ²/n) + (4/(a n α) + 3β)·t.
+func SpreadEpochLength(a, n int, alpha, beta, t float64) float64 {
+	an := float64(a)
+	nn := float64(n)
+	base := 256 * (1/(an*nn*nn*alpha*alpha) + beta/(nn*alpha) + an*beta*beta/nn)
+	slope := 4/(an*nn*alpha) + 3*beta
+	return base + slope*t
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dyngraph"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// ConditionReport summarizes an empirical check of the two
+// (M, α, β)-stationarity conditions of Section 3 on a dynamic-graph model:
+//
+//	Density:        P(e_{i,j} at epoch boundaries) >= α for all pairs;
+//	β-Independence: P(e_{i,A}·e_{j,A}) <= β·P(e_{i,A})·P(e_{j,A}).
+//
+// The estimator samples epoch-boundary snapshots and measures the
+// probabilities marginally (the paper's conditions are conditional on the
+// past; for the stationary Markovian models measured here the marginal
+// stationary quantities are the relevant instantiation, as in Theorem 3's
+// proof).
+type ConditionReport struct {
+	Epochs  int // epoch boundaries observed (per trial)
+	Trials  int
+	Samples int // Epochs · Trials
+
+	// Density condition: empirical edge probability over sampled pairs.
+	AlphaMin  float64
+	AlphaMean float64
+
+	// β-independence: ratio P(ei,A ej,A) / (P(ei,A) P(ej,A)) over sampled
+	// (i, j, A) triples. NaN-free: triples whose denominator is zero are
+	// dropped and counted in SkippedTriples.
+	BetaMax        float64
+	BetaMean       float64
+	SkippedTriples int
+}
+
+// EstimateOpts configures EstimateConditions.
+type EstimateOpts struct {
+	M       int // epoch length (steps between observed snapshots)
+	Epochs  int // snapshots per trial
+	Trials  int // independent model instances
+	Pairs   int // sampled node pairs for the density condition
+	Triples int // sampled (i, j, A) triples for β-independence
+	SetSize int // |A| for the sampled triples
+	Seed    uint64
+}
+
+// EstimateConditions measures the two stationarity conditions on the
+// dynamic graphs produced by factory (one fresh instance per trial; the
+// factory must seed each instance from its trial index for independence).
+func EstimateConditions(factory func(trial int) dyngraph.Dynamic, opts EstimateOpts) (ConditionReport, error) {
+	if opts.M < 1 || opts.Epochs < 1 || opts.Trials < 1 {
+		return ConditionReport{}, fmt.Errorf("core: need M, Epochs, Trials >= 1, got %+v", opts)
+	}
+	probe := factory(0)
+	n := probe.N()
+	if opts.Pairs < 1 || opts.Triples < 1 || opts.SetSize < 1 || opts.SetSize > n-2 {
+		return ConditionReport{}, fmt.Errorf("core: invalid sampling sizes for n=%d: %+v", n, opts)
+	}
+
+	r := rng.New(rng.Seed(opts.Seed, 0xC04D17))
+	// Fixed sampled pairs and triples, shared across epochs and trials so
+	// per-pair probabilities accumulate.
+	type pair struct{ i, j int }
+	pairs := make([]pair, opts.Pairs)
+	for k := range pairs {
+		i := r.Intn(n)
+		j := r.Intn(n)
+		for j == i {
+			j = r.Intn(n)
+		}
+		pairs[k] = pair{i, j}
+	}
+	type triple struct {
+		i, j int
+		inA  []bool
+	}
+	triples := make([]triple, opts.Triples)
+	for k := range triples {
+		i := r.Intn(n)
+		j := r.Intn(n)
+		for j == i {
+			j = r.Intn(n)
+		}
+		inA := make([]bool, n)
+		// Sample A ⊆ [n] - {i, j} of the requested size.
+		count := 0
+		for count < opts.SetSize {
+			v := r.Intn(n)
+			if v != i && v != j && !inA[v] {
+				inA[v] = true
+				count++
+			}
+		}
+		triples[k] = triple{i, j, inA}
+	}
+
+	pairHits := make([]int, opts.Pairs)
+	hitI := make([]int, opts.Triples)
+	hitJ := make([]int, opts.Triples)
+	hitBoth := make([]int, opts.Triples)
+
+	samples := 0
+	for trial := 0; trial < opts.Trials; trial++ {
+		d := factory(trial)
+		if d.N() != n {
+			return ConditionReport{}, fmt.Errorf("core: factory node count changed across trials")
+		}
+		for e := 0; e < opts.Epochs; e++ {
+			for s := 0; s < opts.M; s++ {
+				d.Step()
+			}
+			snap := dyngraph.Snapshot(d)
+			samples++
+			for k, p := range pairs {
+				if snap.HasEdge(p.i, p.j) {
+					pairHits[k]++
+				}
+			}
+			for k := range triples {
+				tr := &triples[k]
+				ei := touchesSet(snap, tr.i, tr.inA)
+				ej := touchesSet(snap, tr.j, tr.inA)
+				if ei {
+					hitI[k]++
+				}
+				if ej {
+					hitJ[k]++
+				}
+				if ei && ej {
+					hitBoth[k]++
+				}
+			}
+		}
+	}
+
+	rep := ConditionReport{Epochs: opts.Epochs, Trials: opts.Trials, Samples: samples}
+	rep.AlphaMin = 2 // above any probability
+	for _, h := range pairHits {
+		p := float64(h) / float64(samples)
+		rep.AlphaMean += p
+		if p < rep.AlphaMin {
+			rep.AlphaMin = p
+		}
+	}
+	rep.AlphaMean /= float64(opts.Pairs)
+
+	used := 0
+	for k := range triples {
+		pi := float64(hitI[k]) / float64(samples)
+		pj := float64(hitJ[k]) / float64(samples)
+		if pi == 0 || pj == 0 {
+			rep.SkippedTriples++
+			continue
+		}
+		ratio := (float64(hitBoth[k]) / float64(samples)) / (pi * pj)
+		rep.BetaMean += ratio
+		if ratio > rep.BetaMax {
+			rep.BetaMax = ratio
+		}
+		used++
+	}
+	if used > 0 {
+		rep.BetaMean /= float64(used)
+	}
+	return rep, nil
+}
+
+// touchesSet reports whether node i has an edge into the indicator set inA.
+func touchesSet(g *graph.Graph, i int, inA []bool) bool {
+	found := false
+	g.ForEachNeighbor(i, func(j int) {
+		if inA[j] {
+			found = true
+		}
+	})
+	return found
+}

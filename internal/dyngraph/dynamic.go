@@ -1,0 +1,80 @@
+// Package dyngraph defines the discrete-time dynamic graph abstraction that
+// every model in this repository implements (edge-MEGs, node-MEGs, mobility
+// models, random-path models) and that the flooding engine consumes. It also
+// provides snapshot adapters, trace recording and replay, and the virtual
+// subsampled graph used to reduce randomized gossip to flooding (Section 5
+// of the paper).
+package dyngraph
+
+import "repro/internal/graph"
+
+// Dynamic is a discrete-time dynamic graph G([n], {E_t}) on the vertex set
+// {0, ..., n-1}. At any moment the object exposes the current snapshot E_t;
+// Step advances the process to E_{t+1}.
+//
+// Implementations are deterministic given their seed, and are not safe for
+// concurrent use: parallel experiments construct one instance per worker.
+type Dynamic interface {
+	// N returns the number of nodes.
+	N() int
+	// Step advances the process one time unit.
+	Step()
+	// ForEachNeighbor calls fn for every node j adjacent to i in the
+	// current snapshot. Order is unspecified; fn must not mutate the graph.
+	ForEachNeighbor(i int, fn func(j int))
+}
+
+// Static adapts a fixed graph.Graph as a Dynamic whose snapshot never
+// changes. It is the degenerate baseline in experiments (a dynamic graph
+// with mixing time 0) and a convenience in tests.
+type Static struct {
+	g *graph.Graph
+}
+
+// NewStatic wraps g.
+func NewStatic(g *graph.Graph) *Static { return &Static{g: g} }
+
+// N implements Dynamic.
+func (s *Static) N() int { return s.g.N() }
+
+// Step implements Dynamic; the snapshot is constant.
+func (s *Static) Step() {}
+
+// ForEachNeighbor implements Dynamic.
+func (s *Static) ForEachNeighbor(i int, fn func(j int)) {
+	s.g.ForEachNeighbor(i, fn)
+}
+
+// Snapshot materializes the current snapshot of d as a static graph. It
+// costs O(n + m) and is used by observers and stationarity estimators.
+func Snapshot(d Dynamic) *graph.Graph {
+	b := graph.NewBuilder(d.N())
+	for i := 0; i < d.N(); i++ {
+		d.ForEachNeighbor(i, func(j int) {
+			b.AddEdge(i, j)
+		})
+	}
+	return b.Build()
+}
+
+// EdgeCount returns the number of edges in the current snapshot.
+func EdgeCount(d Dynamic) int {
+	total := 0
+	for i := 0; i < d.N(); i++ {
+		d.ForEachNeighbor(i, func(j int) { total++ })
+	}
+	return total / 2 // each undirected edge reported from both endpoints
+}
+
+// AverageDegreeOver advances d by steps and returns the average per-node
+// degree across all visited snapshots (including the initial one).
+func AverageDegreeOver(d Dynamic, steps int) float64 {
+	total := 0
+	for t := 0; t <= steps; t++ {
+		total += 2 * EdgeCount(d)
+		if t < steps {
+			d.Step()
+		}
+	}
+	return float64(total) / float64(d.N()*(steps+1))
+}

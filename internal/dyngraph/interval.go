@@ -1,0 +1,70 @@
+package dyngraph
+
+import "repro/internal/graph"
+
+// IntervalConnectivity analyzes a recorded trace for the T-interval
+// connectivity property of Kuhn, Lynch and Oshman (STOC 2010), the
+// worst-case stability condition the paper contrasts its probabilistic
+// framework with: a dynamic graph is T-interval connected if for every
+// window of T consecutive snapshots there is a *stable* connected spanning
+// subgraph (equivalently: the intersection of the window's edge sets is
+// connected).
+//
+// MaxT returns the largest T for which the trace is T-interval connected
+// (0 if even single snapshots are disconnected — the typical situation for
+// the paper's sparse MEGs, which is exactly why the paper's machinery is
+// needed there).
+func IntervalConnectivity(tr *Trace) (maxT int) {
+	steps := tr.Len()
+	if steps == 0 {
+		return 0
+	}
+	for t := 1; t <= steps; t++ {
+		if !isTIntervalConnected(tr, t) {
+			return t - 1
+		}
+	}
+	return steps
+}
+
+// IsTIntervalConnected reports whether the trace satisfies T-interval
+// connectivity for the given T >= 1.
+func IsTIntervalConnected(tr *Trace, t int) bool {
+	if t < 1 {
+		return false
+	}
+	return isTIntervalConnected(tr, t)
+}
+
+func isTIntervalConnected(tr *Trace, t int) bool {
+	steps := tr.Len()
+	if t > steps {
+		return false
+	}
+	for start := 0; start+t <= steps; start++ {
+		if !windowIntersectionConnected(tr, start, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// windowIntersectionConnected intersects the edge sets of snapshots
+// [start, start+t) and checks connectivity of the result.
+func windowIntersectionConnected(tr *Trace, start, t int) bool {
+	// Count occurrences of each edge across the window; an edge is stable
+	// iff it appears in all t snapshots.
+	counts := make(map[Edge]int)
+	for s := start; s < start+t; s++ {
+		for _, e := range tr.EdgesAt(s) {
+			counts[e]++
+		}
+	}
+	b := graph.NewBuilder(tr.N())
+	for e, c := range counts {
+		if c == t {
+			b.AddEdge(int(e.U), int(e.V))
+		}
+	}
+	return b.Build().IsConnected()
+}

@@ -1,0 +1,76 @@
+package dyngraph
+
+import "repro/internal/rng"
+
+// Subsample wraps a Dynamic so that each node exposes only a uniformly
+// random subset of at most K of its current neighbors. This is exactly the
+// reduction sketched in the paper's conclusions: "a randomized protocol in
+// which, at every step, a node that possesses the information transmits it
+// to a randomly chosen subset of neighbors ... can be reduced to the
+// analysis of flooding in a 'virtual' dynamic graph in which a subset of the
+// edges are removed."
+//
+// The subset is resampled on every Step, and within one snapshot it is
+// stable per node (repeated queries of the same node in the same step see
+// the same subset). Note that subsampling is directional: i keeping j does
+// not imply j keeps i, matching push-style gossip.
+type Subsample struct {
+	inner Dynamic
+	k     int
+	r     *rng.RNG
+	epoch uint64
+	// Per-node cache of the sampled neighbor subset, keyed by epoch.
+	cacheEpoch []uint64
+	cache      [][]int32
+	scratch    []int32
+}
+
+// NewSubsample wraps inner so each node forwards to at most k random
+// neighbors per step. It panics if k <= 0.
+func NewSubsample(inner Dynamic, k int, r *rng.RNG) *Subsample {
+	if k <= 0 {
+		panic("dyngraph: NewSubsample needs k > 0")
+	}
+	return &Subsample{
+		inner:      inner,
+		k:          k,
+		r:          r,
+		epoch:      1,
+		cacheEpoch: make([]uint64, inner.N()),
+		cache:      make([][]int32, inner.N()),
+	}
+}
+
+// N implements Dynamic.
+func (s *Subsample) N() int { return s.inner.N() }
+
+// Step implements Dynamic: advances the inner graph and invalidates all
+// sampled subsets.
+func (s *Subsample) Step() {
+	s.inner.Step()
+	s.epoch++
+}
+
+// ForEachNeighbor implements Dynamic, yielding the sampled subset of i's
+// current neighbors.
+func (s *Subsample) ForEachNeighbor(i int, fn func(j int)) {
+	if s.cacheEpoch[i] != s.epoch {
+		s.scratch = s.scratch[:0]
+		s.inner.ForEachNeighbor(i, func(j int) {
+			s.scratch = append(s.scratch, int32(j))
+		})
+		chosen := s.cache[i][:0]
+		if len(s.scratch) <= s.k {
+			chosen = append(chosen, s.scratch...)
+		} else {
+			for _, idx := range s.r.SampleDistinct(len(s.scratch), s.k) {
+				chosen = append(chosen, s.scratch[idx])
+			}
+		}
+		s.cache[i] = chosen
+		s.cacheEpoch[i] = s.epoch
+	}
+	for _, j := range s.cache[i] {
+		fn(int(j))
+	}
+}

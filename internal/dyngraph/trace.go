@@ -1,0 +1,212 @@
+package dyngraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Edge is an undirected edge with U < V.
+type Edge struct {
+	U, V int32
+}
+
+// Trace is a recorded sequence of snapshots of a dynamic graph, replayable
+// as a Dynamic. Traces decouple expensive model simulation from repeated
+// analysis and make dynamics serializable.
+type Trace struct {
+	n     int
+	steps [][]Edge
+}
+
+// NewTrace creates an empty trace for an n-node graph.
+func NewTrace(n int) *Trace {
+	if n <= 0 {
+		panic("dyngraph: NewTrace needs n > 0")
+	}
+	return &Trace{n: n}
+}
+
+// Record captures the current snapshot of d and appends it to the trace.
+func (tr *Trace) Record(d Dynamic) {
+	if d.N() != tr.n {
+		panic("dyngraph: Record node count mismatch")
+	}
+	var edges []Edge
+	for i := 0; i < tr.n; i++ {
+		d.ForEachNeighbor(i, func(j int) {
+			if i < j {
+				edges = append(edges, Edge{int32(i), int32(j)})
+			}
+		})
+	}
+	tr.steps = append(tr.steps, edges)
+}
+
+// Capture records steps+1 snapshots of d: the current one and each snapshot
+// after the next `steps` Step calls.
+func Capture(d Dynamic, steps int) *Trace {
+	tr := NewTrace(d.N())
+	tr.Record(d)
+	for t := 0; t < steps; t++ {
+		d.Step()
+		tr.Record(d)
+	}
+	return tr
+}
+
+// N returns the node count.
+func (tr *Trace) N() int { return tr.n }
+
+// Len returns the number of recorded snapshots.
+func (tr *Trace) Len() int { return len(tr.steps) }
+
+// EdgesAt returns the recorded edges of snapshot t.
+func (tr *Trace) EdgesAt(t int) []Edge { return tr.steps[t] }
+
+// Replay returns a Dynamic that replays the trace from snapshot 0. Stepping
+// past the final snapshot keeps the last snapshot forever (the trace is
+// "frozen" at its end).
+func (tr *Trace) Replay() *Replay {
+	r := &Replay{trace: tr}
+	r.build()
+	return r
+}
+
+// Replay is a Dynamic that replays a Trace.
+type Replay struct {
+	trace *Trace
+	t     int
+	adj   [][]int32
+}
+
+func (r *Replay) build() {
+	if r.adj == nil {
+		r.adj = make([][]int32, r.trace.n)
+	}
+	for i := range r.adj {
+		r.adj[i] = r.adj[i][:0]
+	}
+	idx := r.t
+	if idx >= len(r.trace.steps) {
+		idx = len(r.trace.steps) - 1
+	}
+	if idx < 0 {
+		return
+	}
+	for _, e := range r.trace.steps[idx] {
+		r.adj[e.U] = append(r.adj[e.U], e.V)
+		r.adj[e.V] = append(r.adj[e.V], e.U)
+	}
+}
+
+// N implements Dynamic.
+func (r *Replay) N() int { return r.trace.n }
+
+// Step implements Dynamic.
+func (r *Replay) Step() {
+	r.t++
+	r.build()
+}
+
+// ForEachNeighbor implements Dynamic.
+func (r *Replay) ForEachNeighbor(i int, fn func(j int)) {
+	for _, j := range r.adj[i] {
+		fn(int(j))
+	}
+}
+
+// traceMagic identifies the binary trace format.
+const traceMagic = uint32(0x44594E47) // "DYNG"
+
+// WriteTo serializes the trace in a compact binary format.
+func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	put32 := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		n, err := bw.Write(buf[:])
+		written += int64(n)
+		return err
+	}
+	if err := put32(traceMagic); err != nil {
+		return written, err
+	}
+	if err := put32(uint32(tr.n)); err != nil {
+		return written, err
+	}
+	if err := put32(uint32(len(tr.steps))); err != nil {
+		return written, err
+	}
+	for _, step := range tr.steps {
+		if err := put32(uint32(len(step))); err != nil {
+			return written, err
+		}
+		for _, e := range step {
+			if err := put32(uint32(e.U)); err != nil {
+				return written, err
+			}
+			if err := put32(uint32(e.V)); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	get32 := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+	magic, err := get32()
+	if err != nil {
+		return nil, fmt.Errorf("dyngraph: reading trace header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, errors.New("dyngraph: not a trace stream")
+	}
+	n, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > 1<<28 {
+		return nil, fmt.Errorf("dyngraph: implausible node count %d", n)
+	}
+	steps, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	tr := NewTrace(int(n))
+	for s := uint32(0); s < steps; s++ {
+		count, err := get32()
+		if err != nil {
+			return nil, fmt.Errorf("dyngraph: reading step %d: %w", s, err)
+		}
+		edges := make([]Edge, count)
+		for i := range edges {
+			u, err := get32()
+			if err != nil {
+				return nil, err
+			}
+			v, err := get32()
+			if err != nil {
+				return nil, err
+			}
+			if u >= n || v >= n || u >= v {
+				return nil, fmt.Errorf("dyngraph: invalid edge (%d,%d) in step %d", u, v, s)
+			}
+			edges[i] = Edge{int32(u), int32(v)}
+		}
+		tr.steps = append(tr.steps, edges)
+	}
+	return tr, nil
+}

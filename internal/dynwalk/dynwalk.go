@@ -1,0 +1,97 @@
+// Package dynwalk implements random walks ON dynamic graphs — the process
+// studied by Avin, Koucký and Lotker ("How to explore a fast-changing
+// world", ICALP 2008), the work that introduced the MEG model this paper
+// builds on. A token sits on a node and, each time step, moves to a
+// uniformly random neighbor of its node in the *current* snapshot (staying
+// put when the node is isolated, which in sparse MEGs happens often).
+//
+// The package provides the walker itself plus estimators for the two
+// quantities [2] analyzes: hitting times and cover times.
+package dynwalk
+
+import (
+	"repro/internal/dyngraph"
+	"repro/internal/rng"
+)
+
+// Walker is a random walk on a dynamic graph. The walker owns the graph's
+// clock: Step advances both the token and the graph.
+type Walker struct {
+	d       dyngraph.Dynamic
+	r       *rng.RNG
+	pos     int
+	scratch []int32
+}
+
+// NewWalker places a token on start. It panics if start is out of range.
+func NewWalker(d dyngraph.Dynamic, start int, r *rng.RNG) *Walker {
+	if start < 0 || start >= d.N() {
+		panic("dynwalk: start out of range")
+	}
+	return &Walker{d: d, r: r, pos: start}
+}
+
+// Pos returns the token's current node.
+func (w *Walker) Pos() int { return w.pos }
+
+// Step moves the token to a uniform current neighbor (staying put if the
+// node is isolated in this snapshot), then advances the dynamic graph.
+func (w *Walker) Step() {
+	w.scratch = w.scratch[:0]
+	w.d.ForEachNeighbor(w.pos, func(j int) {
+		w.scratch = append(w.scratch, int32(j))
+	})
+	if len(w.scratch) > 0 {
+		w.pos = int(w.scratch[w.r.Intn(len(w.scratch))])
+	}
+	w.d.Step()
+}
+
+// HittingTime runs the walk until it reaches target and returns the number
+// of steps taken, or -1 if maxSteps elapsed first.
+func HittingTime(d dyngraph.Dynamic, start, target, maxSteps int, r *rng.RNG) int {
+	w := NewWalker(d, start, r)
+	if w.Pos() == target {
+		return 0
+	}
+	for t := 1; t <= maxSteps; t++ {
+		w.Step()
+		if w.Pos() == target {
+			return t
+		}
+	}
+	return -1
+}
+
+// CoverResult reports a cover-time run.
+type CoverResult struct {
+	// Steps is the time at which the last node was first visited, or -1
+	// if the walk did not cover the graph within the cap.
+	Steps int
+	// Visited is the number of distinct nodes seen (== N on success).
+	Visited int
+}
+
+// CoverTime runs the walk until every node has been visited and returns
+// the cover time, or the partial progress at maxSteps.
+func CoverTime(d dyngraph.Dynamic, start, maxSteps int, r *rng.RNG) CoverResult {
+	n := d.N()
+	w := NewWalker(d, start, r)
+	seen := make([]bool, n)
+	seen[start] = true
+	visited := 1
+	if visited == n {
+		return CoverResult{Steps: 0, Visited: visited}
+	}
+	for t := 1; t <= maxSteps; t++ {
+		w.Step()
+		if !seen[w.Pos()] {
+			seen[w.Pos()] = true
+			visited++
+			if visited == n {
+				return CoverResult{Steps: t, Visited: visited}
+			}
+		}
+	}
+	return CoverResult{Steps: -1, Visited: visited}
+}

@@ -1,0 +1,148 @@
+package edgemeg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/flood"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func validFourState(n int) FourStateParams {
+	return FourStateParams{
+		N:       n,
+		WakeUp:  0.02, // bursts start rarely
+		Rebound: 0.5,  // bursts continue eagerly
+		Calm:    0.2,
+		Drop:    0.3,
+		Settle:  0.1,
+		Detach:  0.05,
+	}
+}
+
+func TestFourStateValidate(t *testing.T) {
+	if err := validFourState(10).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := validFourState(10)
+	bad.N = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	bad = validFourState(10)
+	bad.Rebound, bad.Calm = 0.7, 0.7
+	if err := bad.Validate(); err == nil {
+		t.Fatal("overfull row accepted")
+	}
+	bad = validFourState(10)
+	bad.WakeUp = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("absorbing long-off accepted")
+	}
+	bad = validFourState(10)
+	bad.Drop = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestFourStateChainStochastic(t *testing.T) {
+	p := validFourState(10)
+	c := p.Chain()
+	for i := 0; i < 4; i++ {
+		sum := 0.0
+		for j := 0; j < 4; j++ {
+			sum += c.At(i, j)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestFourStateAlphaMatchesSimulation(t *testing.T) {
+	p := validFourState(25)
+	alpha, err := p.Alpha()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		t.Fatalf("alpha = %v", alpha)
+	}
+	g, err := NewFourState(p, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o stats.Online
+	for step := 0; step < 600; step++ {
+		o.Add(float64(g.EdgeCount()) / float64(pairCount(25)))
+		g.Step()
+	}
+	if math.Abs(o.Mean()-alpha) > 0.15*alpha+0.01 {
+		t.Fatalf("simulated density %v, stationary alpha %v", o.Mean(), alpha)
+	}
+}
+
+func TestFourStateOffDurationsOverdispersed(t *testing.T) {
+	// The defining feature versus the two-state chain: a two-state chain's
+	// off-durations are geometric (variance ≈ μ²−μ for mean μ), while the
+	// four-state chain's two off timescales (long-off vs short-off) make
+	// off-durations overdispersed — the bursty inter-contact statistics of
+	// [5, 19]. Measure the off-run length distribution on one edge.
+	p := validFourState(2)
+	chain := p.Chain()
+	pi, _ := chain.StationaryExact()
+	r := rng.New(7)
+	state := rng.NewAlias(pi).Sample(r)
+	isOn := func(s int) bool { return s >= 2 }
+
+	var runs []float64
+	runLen := 0
+	const steps = 400000
+	for i := 0; i < steps; i++ {
+		state = sampleRow(chain.Row(state), r)
+		if isOn(state) {
+			if runLen > 0 {
+				runs = append(runs, float64(runLen))
+				runLen = 0
+			}
+		} else {
+			runLen++
+		}
+	}
+	s := stats.Summarize(runs)
+	if s.N < 1000 {
+		t.Fatalf("too few off-runs observed: %d", s.N)
+	}
+	// Geometric (support 1, 2, ...) with mean μ has variance μ² − μ.
+	geomVar := s.Mean*s.Mean - s.Mean
+	if s.Var < 1.5*geomVar {
+		t.Fatalf("off-durations not overdispersed: var %v vs geometric %v (mean %v)",
+			s.Var, geomVar, s.Mean)
+	}
+}
+
+func sampleRow(row []float64, r *rng.RNG) int {
+	u := r.Float64()
+	acc := 0.0
+	for j, p := range row {
+		acc += p
+		if u < acc {
+			return j
+		}
+	}
+	return len(row) - 1
+}
+
+func TestFourStateFloodingCompletes(t *testing.T) {
+	p := validFourState(60)
+	g, err := NewFourState(p, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := flood.Run(g, 0, flood.Opts{MaxSteps: 50000})
+	if !res.Completed {
+		t.Fatal("four-state edge-MEG flooding did not complete")
+	}
+}

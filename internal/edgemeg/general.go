@@ -1,0 +1,133 @@
+package edgemeg
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+	"repro/internal/rng"
+)
+
+// General is the paper's generalized edge-MEG EM(n, M, χ) (Appendix A):
+// every potential edge independently follows an arbitrary hidden Markov
+// chain M over states S, and the edge is present exactly when χ(state) is
+// true. The basic two-state model is the special case S = {off, on},
+// χ = identity.
+//
+// Because edges are independent, the β-independence condition of Theorem 1
+// always holds with β = 1, and the flooding bound reduces to
+// O(Tmix (1/(nα) + 1)² log² n) with α the stationary probability of
+// {χ(s) = 1}.
+type General struct {
+	n       int
+	chain   *markov.Chain
+	sampler *markov.Sampler
+	chi     []bool
+	r       *rng.RNG
+	states  []int32 // per pair, pairRank order
+	pairs   int64
+	adj     [][]int32
+	dirty   bool
+}
+
+// NewGeneral builds a generalized edge-MEG with each edge's initial state
+// drawn independently from init (a distribution over the chain's states).
+// Pass the chain's stationary distribution to start the MEG stationary.
+func NewGeneral(n int, chain *markov.Chain, chi []bool, init []float64, r *rng.RNG) (*General, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("edgemeg: need at least 2 nodes, got %d", n)
+	}
+	if len(chi) != chain.N() {
+		return nil, fmt.Errorf("edgemeg: chi has %d entries, chain has %d states", len(chi), chain.N())
+	}
+	if len(init) != chain.N() {
+		return nil, fmt.Errorf("edgemeg: init has %d entries, chain has %d states", len(init), chain.N())
+	}
+	pairs := pairCount(n)
+	g := &General{
+		n:       n,
+		chain:   chain,
+		sampler: markov.NewSampler(chain),
+		chi:     append([]bool(nil), chi...),
+		r:       r,
+		states:  make([]int32, pairs),
+		pairs:   pairs,
+		adj:     make([][]int32, n),
+		dirty:   true,
+	}
+	initAlias := rng.NewAlias(init)
+	for i := range g.states {
+		g.states[i] = int32(initAlias.Sample(r))
+	}
+	return g, nil
+}
+
+// StationaryAlpha returns the stationary probability that an edge exists:
+// Σ_{s: χ(s)} π(s), computed from the chain's exact stationary law.
+func StationaryAlpha(chain *markov.Chain, chi []bool) (float64, error) {
+	pi, err := chain.StationaryExact()
+	if err != nil {
+		return 0, fmt.Errorf("edgemeg: stationary alpha: %w", err)
+	}
+	alpha := 0.0
+	for s, on := range chi {
+		if on {
+			alpha += pi[s]
+		}
+	}
+	return alpha, nil
+}
+
+// N implements dyngraph.Dynamic.
+func (g *General) N() int { return g.n }
+
+// Step implements dyngraph.Dynamic: every edge's hidden state advances one
+// step of M independently.
+func (g *General) Step() {
+	for i := range g.states {
+		g.states[i] = int32(g.sampler.Next(int(g.states[i]), g.r))
+	}
+	g.dirty = true
+}
+
+func (g *General) rebuildAdj() {
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	for rank := int64(0); rank < g.pairs; rank++ {
+		if g.chi[g.states[rank]] {
+			u, v := pairFromRank(rank, g.n)
+			g.adj[u] = append(g.adj[u], int32(v))
+			g.adj[v] = append(g.adj[v], int32(u))
+		}
+	}
+	g.dirty = false
+}
+
+// ForEachNeighbor implements dyngraph.Dynamic.
+func (g *General) ForEachNeighbor(i int, fn func(j int)) {
+	if g.dirty {
+		g.rebuildAdj()
+	}
+	for _, j := range g.adj[i] {
+		fn(int(j))
+	}
+}
+
+// HasEdge reports whether {i, j} currently exists.
+func (g *General) HasEdge(i, j int) bool {
+	if i == j {
+		return false
+	}
+	return g.chi[g.states[pairRank(i, j, g.n)]]
+}
+
+// EdgeCount returns the current number of edges.
+func (g *General) EdgeCount() int {
+	total := 0
+	for rank := int64(0); rank < g.pairs; rank++ {
+		if g.chi[g.states[rank]] {
+			total++
+		}
+	}
+	return total
+}

@@ -1,0 +1,186 @@
+package edgemeg
+
+import (
+	"repro/internal/rng"
+)
+
+// Sparse is the exact O(alive + births)-per-step simulator of the two-state
+// edge-MEG, for the sparse regimes the paper cares about (stationary average
+// degree O(polylog n)). Its per-step transition law is identical to Dense:
+//
+//   - every alive edge dies independently with probability q;
+//   - the number of births is Binomial(#dead, p) and the born edges are a
+//     uniform subset of the dead pairs — exactly the law of independent
+//     per-dead-pair Bernoulli(p) births.
+//
+// Alive edges are stored in an insertion-ordered slice with a position
+// index, so the random-number stream is consumed in a deterministic order
+// and runs are reproducible per seed (Go map iteration order would not be).
+type Sparse struct {
+	params Params
+	r      *rng.RNG
+	edges  []int64       // alive edge ranks, arbitrary but deterministic order
+	pos    map[int64]int // rank -> index in edges
+	adj    [][]int32     // current adjacency lists, rebuilt on change
+	dirty  bool
+}
+
+// NewSparse builds a sparse simulator with the given initial distribution.
+func NewSparse(params Params, init Init, r *rng.RNG) *Sparse {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Sparse{
+		params: params,
+		r:      r,
+		pos:    make(map[int64]int),
+		adj:    make([][]int32, params.N),
+		dirty:  true,
+	}
+	pairs := pairCount(params.N)
+	switch init {
+	case InitEmpty:
+		// empty
+	case InitFull:
+		for rank := int64(0); rank < pairs; rank++ {
+			s.insert(rank)
+		}
+	case InitStationary:
+		// Sample Binomial(pairs, alpha) edges uniformly without
+		// replacement — the exact product-Bernoulli law.
+		k := binomialInt64(pairs, params.Alpha(), r)
+		s.sampleNewEdges(k, nil)
+	default:
+		panic("edgemeg: unknown Init")
+	}
+	return s
+}
+
+// insert adds rank to the alive set; it must not already be present.
+func (s *Sparse) insert(rank int64) {
+	s.pos[rank] = len(s.edges)
+	s.edges = append(s.edges, rank)
+}
+
+// remove deletes rank from the alive set by swap-with-last.
+func (s *Sparse) remove(rank int64) {
+	i := s.pos[rank]
+	last := len(s.edges) - 1
+	moved := s.edges[last]
+	s.edges[i] = moved
+	s.pos[moved] = i
+	s.edges = s.edges[:last]
+	delete(s.pos, rank)
+}
+
+// binomialInt64 samples Binomial(n, p) for potentially huge n via geometric
+// skipping (exact; expected cost O(np)).
+func binomialInt64(n int64, p float64, r *rng.RNG) int64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	var k, i int64
+	i = int64(r.Geometric(p))
+	for i < n {
+		k++
+		i += 1 + int64(r.Geometric(p))
+	}
+	return k
+}
+
+// sampleNewEdges inserts k uniformly random currently-dead pairs into the
+// alive set. exclude optionally holds ranks that must also be avoided (the
+// pairs that died this step: births apply to pre-step dead pairs only).
+func (s *Sparse) sampleNewEdges(k int64, exclude map[int64]struct{}) {
+	pairs := pairCount(s.params.N)
+	for added := int64(0); added < k; {
+		rank := int64(s.r.Uint64n(uint64(pairs)))
+		if _, isAlive := s.pos[rank]; isAlive {
+			continue
+		}
+		if exclude != nil {
+			if _, was := exclude[rank]; was {
+				continue
+			}
+		}
+		s.insert(rank)
+		added++
+	}
+}
+
+// N implements dyngraph.Dynamic.
+func (s *Sparse) N() int { return s.params.N }
+
+// Step implements dyngraph.Dynamic.
+func (s *Sparse) Step() {
+	p, q := s.params.P, s.params.Q
+	pairs := pairCount(s.params.N)
+	aliveBefore := int64(len(s.edges))
+
+	// Deaths: sweep the slice in deterministic order; collect then remove.
+	var died []int64
+	if q > 0 {
+		for _, rank := range s.edges {
+			if s.r.Bool(q) {
+				died = append(died, rank)
+			}
+		}
+		for _, rank := range died {
+			s.remove(rank)
+		}
+	}
+
+	// Births apply to pairs dead *before* the step: skip both the
+	// surviving alive set and the just-died ranks.
+	if p > 0 {
+		dead := pairs - aliveBefore
+		births := binomialInt64(dead, p, s.r)
+		var exclude map[int64]struct{}
+		if len(died) > 0 && births > 0 {
+			exclude = make(map[int64]struct{}, len(died))
+			for _, rank := range died {
+				exclude[rank] = struct{}{}
+			}
+		}
+		s.sampleNewEdges(births, exclude)
+	}
+	s.dirty = true
+}
+
+func (s *Sparse) rebuildAdj() {
+	for i := range s.adj {
+		s.adj[i] = s.adj[i][:0]
+	}
+	n := s.params.N
+	for _, rank := range s.edges {
+		u, v := pairFromRank(rank, n)
+		s.adj[u] = append(s.adj[u], int32(v))
+		s.adj[v] = append(s.adj[v], int32(u))
+	}
+	s.dirty = false
+}
+
+// ForEachNeighbor implements dyngraph.Dynamic.
+func (s *Sparse) ForEachNeighbor(i int, fn func(j int)) {
+	if s.dirty {
+		s.rebuildAdj()
+	}
+	for _, j := range s.adj[i] {
+		fn(int(j))
+	}
+}
+
+// HasEdge reports whether {i, j} is currently alive.
+func (s *Sparse) HasEdge(i, j int) bool {
+	if i == j {
+		return false
+	}
+	_, ok := s.pos[pairRank(i, j, s.params.N)]
+	return ok
+}
+
+// EdgeCount returns the current number of alive edges.
+func (s *Sparse) EdgeCount() int { return len(s.edges) }

@@ -1,0 +1,137 @@
+// Package flood implements the flooding process of Section 2 of the paper
+// over any dynamic graph, plus the timeline instrumentation (spreading and
+// saturation phases, Lemmas 13–14) and the randomized push-gossip variant
+// sketched in the conclusions.
+//
+// Flooding semantics follow the paper exactly: I_0 = {s}, and a node j
+// becomes informed at time t+1 iff some edge of the snapshot E_t connects j
+// to a node of I_t. Because the graph changes every step, the engine
+// rescans every informed node each round — in a dynamic graph a node
+// informed long ago can meet an uninformed node at any later time, so
+// frontier-only propagation would be incorrect.
+package flood
+
+import (
+	"repro/internal/dyngraph"
+	"repro/internal/rng"
+)
+
+// Result reports one flooding execution.
+type Result struct {
+	// Time is the flooding time: the first t with I_t = [n], or -1 if the
+	// run hit MaxSteps before completing.
+	Time int
+	// HalfTime is the first t with |I_t| >= n/2 (the spreading phase
+	// boundary of Lemma 13), or -1 if never reached.
+	HalfTime int
+	// Timeline records |I_t| for t = 0, 1, ..., up to completion or cutoff.
+	Timeline []int
+	// Completed reports whether every node was informed within MaxSteps.
+	Completed bool
+}
+
+// SaturationTime returns Time - HalfTime, the duration of the saturation
+// phase (Lemma 14), or -1 when the run did not complete.
+func (r Result) SaturationTime() int {
+	if !r.Completed || r.HalfTime < 0 {
+		return -1
+	}
+	return r.Time - r.HalfTime
+}
+
+// TimeToFraction returns the first time at which at least frac·n nodes were
+// informed, or -1 if the run never reached it.
+func (r Result) TimeToFraction(n int, frac float64) int {
+	need := int(frac * float64(n))
+	if need < 1 {
+		need = 1
+	}
+	for t, size := range r.Timeline {
+		if size >= need {
+			return t
+		}
+	}
+	return -1
+}
+
+// Opts configures a flooding run.
+type Opts struct {
+	// MaxSteps caps the run; a run that does not finish within the cap
+	// reports Completed == false. Zero means DefaultMaxSteps.
+	MaxSteps int
+	// KeepTimeline controls whether the full |I_t| series is recorded.
+	// When false only Time/HalfTime are tracked, saving memory in sweeps.
+	KeepTimeline bool
+}
+
+// DefaultMaxSteps bounds runs whose caller did not choose a cap.
+const DefaultMaxSteps = 1 << 20
+
+// Run floods d from source and returns the result. It panics if source is
+// out of range (a programming error in the caller).
+func Run(d dyngraph.Dynamic, source int, opts Opts) Result {
+	n := d.N()
+	if source < 0 || source >= n {
+		panic("flood: source out of range")
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+
+	informed := make([]bool, n)
+	informed[source] = true
+	// members holds the informed set; scanned fully each round.
+	members := make([]int32, 1, n)
+	members[0] = int32(source)
+
+	res := Result{Time: -1, HalfTime: -1}
+	if opts.KeepTimeline {
+		res.Timeline = append(res.Timeline, 1)
+	}
+	if 2*1 >= n {
+		res.HalfTime = 0
+	}
+	if len(members) == n {
+		res.Time = 0
+		res.Completed = true
+		return res
+	}
+
+	newly := make([]int32, 0, n)
+	for t := 0; t < maxSteps; t++ {
+		// Scan snapshot E_t for edges leaving the informed set.
+		newly = newly[:0]
+		for _, i := range members {
+			d.ForEachNeighbor(int(i), func(j int) {
+				if !informed[j] {
+					informed[j] = true
+					newly = append(newly, int32(j))
+				}
+			})
+		}
+		members = append(members, newly...)
+		size := len(members)
+		if opts.KeepTimeline {
+			res.Timeline = append(res.Timeline, size)
+		}
+		if res.HalfTime < 0 && 2*size >= n {
+			res.HalfTime = t + 1
+		}
+		if size == n {
+			res.Time = t + 1
+			res.Completed = true
+			return res
+		}
+		d.Step()
+	}
+	return res
+}
+
+// RandomizedPush floods d with the §5 randomized protocol: each informed
+// node contacts at most k uniformly random current neighbors per step. It
+// is implemented, as the paper suggests, as plain flooding on the virtual
+// subsampled dynamic graph.
+func RandomizedPush(d dyngraph.Dynamic, source, k int, r *rng.RNG, opts Opts) Result {
+	return Run(dyngraph.NewSubsample(d, k, r), source, opts)
+}

@@ -1,0 +1,100 @@
+package flood
+
+import (
+	"repro/internal/dyngraph"
+)
+
+// Parsimonious runs the parsimonious flooding protocol of Baumann,
+// Crescenzi and Fraigniaud [4] (cited in the paper's protocol family): a
+// node forwards the information only during the first `active` steps after
+// becoming informed, then falls silent — informed forever, but no longer
+// transmitting. Plain flooding is the limit active → ∞.
+//
+// Parsimonious flooding trades completion time (and possibly completion
+// itself) for a bounded per-node transmission budget: in a dynamic graph a
+// silent informed node may be the only one ever to meet some isolated node,
+// so too-small activity windows can strand nodes. The returned Result
+// reports Completed accordingly.
+func Parsimonious(d dyngraph.Dynamic, source, active int, opts Opts) Result {
+	n := d.N()
+	if source < 0 || source >= n {
+		panic("flood: source out of range")
+	}
+	if active <= 0 {
+		panic("flood: Parsimonious needs active > 0")
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+
+	informed := make([]bool, n)
+	informed[source] = true
+	// expiry[i] is the last step at which node i still transmits.
+	expiry := make([]int32, n)
+
+	// activeList holds nodes still within their transmission window.
+	activeList := make([]int32, 1, n)
+	activeList[0] = int32(source)
+	expiry[source] = int32(active - 1)
+
+	size := 1
+	res := Result{Time: -1, HalfTime: -1}
+	if opts.KeepTimeline {
+		res.Timeline = append(res.Timeline, 1)
+	}
+	if 2*size >= n {
+		res.HalfTime = 0
+	}
+	if size == n {
+		res.Time = 0
+		res.Completed = true
+		return res
+	}
+
+	newly := make([]int32, 0, n)
+	for t := 0; t < maxSteps; t++ {
+		newly = newly[:0]
+		// Only active nodes transmit on snapshot E_t.
+		for _, i := range activeList {
+			d.ForEachNeighbor(int(i), func(j int) {
+				if !informed[j] {
+					informed[j] = true
+					newly = append(newly, int32(j))
+				}
+			})
+		}
+		// Expire nodes whose window ended at step t, then add the newly
+		// informed with fresh windows.
+		keep := activeList[:0]
+		for _, i := range activeList {
+			if int(expiry[i]) > t {
+				keep = append(keep, i)
+			}
+		}
+		activeList = keep
+		for _, j := range newly {
+			expiry[j] = int32(t + active)
+			activeList = append(activeList, j)
+		}
+		size += len(newly)
+		if opts.KeepTimeline {
+			res.Timeline = append(res.Timeline, size)
+		}
+		if res.HalfTime < 0 && 2*size >= n {
+			res.HalfTime = t + 1
+		}
+		if size == n {
+			res.Time = t + 1
+			res.Completed = true
+			return res
+		}
+		// All transmitters silent and nobody newly informed: the process
+		// is dead — no future step can inform anyone.
+		if len(activeList) == 0 {
+			return res
+		}
+		d.Step()
+	}
+	return res
+}

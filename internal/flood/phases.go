@@ -1,0 +1,52 @@
+package flood
+
+// PhaseSplit decomposes a completed run with a recorded timeline into the
+// paper's two phases: the spreading phase (to n/2 informed, Lemma 13) and
+// the saturation phase (n/2 to n, Lemma 14).
+type PhaseSplit struct {
+	Spreading  int // steps from 1 informed to >= n/2 informed
+	Saturation int // steps from >= n/2 informed to all informed
+}
+
+// Phases returns the phase split of a completed result, or ok == false for
+// incomplete runs or runs without half-time tracking.
+func Phases(r Result) (PhaseSplit, bool) {
+	if !r.Completed || r.HalfTime < 0 {
+		return PhaseSplit{}, false
+	}
+	return PhaseSplit{
+		Spreading:  r.HalfTime,
+		Saturation: r.Time - r.HalfTime,
+	}, true
+}
+
+// Doublings returns the times at which the informed set first reached
+// 2, 4, 8, ... nodes, from a recorded timeline. Lemma 11 predicts these
+// events are spaced ~T epochs apart during the spreading phase, giving the
+// log n factor in Theorem 1.
+func Doublings(timeline []int) []int {
+	if len(timeline) == 0 {
+		return nil
+	}
+	var out []int
+	target := 2
+	for t, size := range timeline {
+		for size >= target {
+			out = append(out, t)
+			target *= 2
+		}
+	}
+	return out
+}
+
+// GrowthIsMonotone verifies the fundamental flooding invariant
+// I_0 ⊆ I_1 ⊆ I_2 ⊆ ... on a recorded timeline. It exists for tests and
+// sanity checks of new Dynamic implementations.
+func GrowthIsMonotone(timeline []int) bool {
+	for i := 1; i < len(timeline); i++ {
+		if timeline[i] < timeline[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,84 @@
+package flood
+
+import (
+	"repro/internal/dyngraph"
+	"repro/internal/rng"
+)
+
+// Pull runs the pull-gossip protocol over a dynamic graph: at every step,
+// each *uninformed* node queries one uniformly random current neighbor and
+// becomes informed if that neighbor is. The paper's conclusions note that
+// such protocols "might also be reduced to flooding by folding the actions
+// of the protocol into the dynamic graph process" — pull is flooding on the
+// virtual graph keeping, per uninformed node, one incoming edge.
+//
+// Pull inverts flooding's cost profile: per-step work is O(Σ_{uninformed}
+// deg) and the saturation phase is fast (stragglers pull from an almost
+// fully informed population) while the early phase is slow. The sweep is
+// synchronous: all pulls observe the informed set as of the start of the
+// step.
+func Pull(d dyngraph.Dynamic, source int, r *rng.RNG, opts Opts) Result {
+	n := d.N()
+	if source < 0 || source >= n {
+		panic("flood: source out of range")
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+
+	informed := make([]bool, n)
+	informed[source] = true
+	size := 1
+
+	res := Result{Time: -1, HalfTime: -1}
+	if opts.KeepTimeline {
+		res.Timeline = append(res.Timeline, 1)
+	}
+	if 2*size >= n {
+		res.HalfTime = 0
+	}
+	if size == n {
+		res.Time = 0
+		res.Completed = true
+		return res
+	}
+
+	var nbrs []int32
+	newly := make([]int32, 0, n)
+	for t := 0; t < maxSteps; t++ {
+		newly = newly[:0]
+		for i := 0; i < n; i++ {
+			if informed[i] {
+				continue
+			}
+			nbrs = nbrs[:0]
+			d.ForEachNeighbor(i, func(j int) {
+				nbrs = append(nbrs, int32(j))
+			})
+			if len(nbrs) == 0 {
+				continue
+			}
+			if informed[nbrs[r.Intn(len(nbrs))]] {
+				newly = append(newly, int32(i))
+			}
+		}
+		for _, i := range newly {
+			informed[i] = true
+		}
+		size += len(newly)
+		if opts.KeepTimeline {
+			res.Timeline = append(res.Timeline, size)
+		}
+		if res.HalfTime < 0 && 2*size >= n {
+			res.HalfTime = t + 1
+		}
+		if size == n {
+			res.Time = t + 1
+			res.Completed = true
+			return res
+		}
+		d.Step()
+	}
+	return res
+}

@@ -1,0 +1,108 @@
+package flood
+
+import (
+	"testing"
+
+	"repro/internal/dyngraph"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestPullCompleteGraphCompletes(t *testing.T) {
+	d := dyngraph.NewStatic(graph.Complete(64))
+	res := Pull(d, 0, rng.New(3), Opts{MaxSteps: 10000, KeepTimeline: true})
+	if !res.Completed {
+		t.Fatal("pull did not complete on K64")
+	}
+	if !GrowthIsMonotone(res.Timeline) {
+		t.Fatal("timeline not monotone")
+	}
+	// Pull on K_n needs Θ(log n) + coupon-ish early phase; it cannot be 1.
+	if res.Time < 3 {
+		t.Fatalf("pull suspiciously fast: %d", res.Time)
+	}
+}
+
+func TestPullSlowerEarlyFasterLate(t *testing.T) {
+	// Compared to push-style flooding, pull's early phase is slow (few
+	// informed to find) — total time must exceed flooding's on K_n.
+	full := Run(dyngraph.NewStatic(graph.Complete(64)), 0, Opts{})
+	pull := Pull(dyngraph.NewStatic(graph.Complete(64)), 0, rng.New(5), Opts{MaxSteps: 1000})
+	if pull.Time <= full.Time {
+		t.Fatalf("pull (%d) should be slower than flooding (%d) on K_n", pull.Time, full.Time)
+	}
+}
+
+func TestPullSynchronousSweep(t *testing.T) {
+	// On a path with the source at one end, information moves at most one
+	// hop per step under pull (a node informed this step must not serve
+	// later pulls in the same step).
+	n := 6
+	res := Pull(dyngraph.NewStatic(graph.Path(n)), 0, rng.New(7), Opts{MaxSteps: 10000})
+	if !res.Completed {
+		t.Fatal("pull on path did not complete")
+	}
+	if res.Time < n-1 {
+		t.Fatalf("pull time %d beats the hop limit %d — sweep not synchronous", res.Time, n-1)
+	}
+}
+
+func TestPullIsolatedNodesStall(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	res := Pull(dyngraph.NewStatic(b.Build()), 0, rng.New(9), Opts{MaxSteps: 200})
+	if res.Completed {
+		t.Fatal("pull completed despite isolated node")
+	}
+}
+
+func TestPullSingleNodeAndPanics(t *testing.T) {
+	b := graph.NewBuilder(1)
+	res := Pull(dyngraph.NewStatic(b.Build()), 0, rng.New(1), Opts{})
+	if !res.Completed || res.Time != 0 {
+		t.Fatalf("single-node pull: %+v", res)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad source did not panic")
+		}
+	}()
+	Pull(dyngraph.NewStatic(graph.Cycle(3)), 9, rng.New(1), Opts{})
+}
+
+func TestWorstSourcePathEndpoints(t *testing.T) {
+	// On a static path, flooding from an endpoint takes n-1 steps, from
+	// the middle ⌈(n-1)/2⌉: the endpoint must be the worst source.
+	n := 9
+	factory := func(trial, source int) dyngraph.Dynamic {
+		return dyngraph.NewStatic(graph.Path(n))
+	}
+	sources := []int{0, n / 2, n - 1}
+	medians, worst := WorstSource(factory, sources, 3, TrialsOpts{Opts: Opts{MaxSteps: 100}})
+	if medians[0] != float64(n-1) || medians[2] != float64(n-1) {
+		t.Fatalf("endpoint medians = %v", medians)
+	}
+	if medians[1] != float64(n/2) {
+		t.Fatalf("middle median = %v, want %d", medians[1], n/2)
+	}
+	if worst != 0 && worst != 2 {
+		t.Fatalf("worst source index = %d, want an endpoint", worst)
+	}
+}
+
+func TestWorstSourceAllFailing(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	factory := func(trial, source int) dyngraph.Dynamic {
+		return dyngraph.NewStatic(b.Build())
+	}
+	medians, worst := WorstSource(factory, []int{0, 2}, 2, TrialsOpts{Opts: Opts{MaxSteps: 20}})
+	if len(medians) != 2 {
+		t.Fatal("medians length wrong")
+	}
+	// Both sources fail on the disconnected graph; worst must point at a
+	// failing source.
+	if worst != 0 && worst != 1 {
+		t.Fatalf("worst = %d", worst)
+	}
+}

@@ -1,0 +1,78 @@
+package flood
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/dyngraph"
+	"repro/internal/stats"
+)
+
+// Factory builds a fresh dynamic graph and source node for one trial.
+// Implementations must derive per-trial seeds from the trial index so that
+// trials are independent and the whole experiment is reproducible.
+type Factory func(trial int) (d dyngraph.Dynamic, source int)
+
+// TrialsOpts configures a multi-trial flooding experiment.
+type TrialsOpts struct {
+	Opts
+	// Workers bounds the number of concurrent trials; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Trials runs `trials` independent flooding executions in a bounded worker
+// pool and returns per-trial results in trial order. Each worker owns its
+// graph instance, so no synchronization is needed beyond work distribution.
+func Trials(factory Factory, trials int, opts TrialsOpts) []Result {
+	if trials <= 0 {
+		return nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	results := make([]Result, trials)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range work {
+				d, source := factory(trial)
+				results[trial] = Run(d, source, opts.Opts)
+			}
+		}()
+	}
+	for trial := 0; trial < trials; trial++ {
+		work <- trial
+	}
+	close(work)
+	wg.Wait()
+	return results
+}
+
+// TimesOf extracts the flooding times of completed runs and the count of
+// incomplete ones.
+func TimesOf(results []Result) (times []float64, incomplete int) {
+	times = make([]float64, 0, len(results))
+	for _, r := range results {
+		if r.Completed {
+			times = append(times, float64(r.Time))
+		} else {
+			incomplete++
+		}
+	}
+	return times, incomplete
+}
+
+// SummarizeTimes runs Trials and summarizes the completed flooding times.
+// The second return value counts incomplete (capped) runs.
+func SummarizeTimes(factory Factory, trials int, opts TrialsOpts) (stats.Summary, int) {
+	times, incomplete := TimesOf(Trials(factory, trials, opts))
+	return stats.Summarize(times), incomplete
+}

@@ -1,0 +1,49 @@
+package flood
+
+import (
+	"math"
+
+	"repro/internal/dyngraph"
+	"repro/internal/stats"
+)
+
+// The paper defines the flooding time of a dynamic graph as the worst case
+// over sources: F(G) = max_s F(G, s). For the vertex-transitive models most
+// experiments use, any source is representative; WorstSource implements the
+// full definition for models where the source matters (e.g. border vs
+// center positions).
+
+// SourceFactory builds a fresh dynamic graph for the given (trial, source)
+// pair. Seeds must derive from both so that trials are independent and the
+// same graph law is used for every source.
+type SourceFactory func(trial, source int) dyngraph.Dynamic
+
+// WorstSource runs `trials` floods from every listed source and returns the
+// per-source median flooding times along with the index (into sources) of
+// the worst one. Incomplete runs are excluded from medians; a source whose
+// runs all fail yields NaN and is reported as worst.
+func WorstSource(factory SourceFactory, sources []int, trials int, opts TrialsOpts) (medians []float64, worst int) {
+	medians = make([]float64, len(sources))
+	worst = 0
+	for si, src := range sources {
+		src := src
+		results := Trials(func(trial int) (dyngraph.Dynamic, int) {
+			return factory(trial, src), src
+		}, trials, opts)
+		times, incomplete := TimesOf(results)
+		if incomplete == len(results) {
+			medians[si] = math.NaN()
+			continue
+		}
+		medians[si] = stats.Median(times)
+	}
+	for si, m := range medians {
+		if math.IsNaN(m) { // fully failing source dominates
+			return medians, si
+		}
+		if m > medians[worst] {
+			worst = si
+		}
+	}
+	return medians, worst
+}

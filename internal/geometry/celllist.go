@@ -1,0 +1,122 @@
+package geometry
+
+import "math"
+
+// CellList is a uniform-grid spatial index over a fixed set of points in a
+// rectangle, supporting neighbor queries within a radius r in O(1) expected
+// time per reported neighbor. It is rebuilt in place every simulation step,
+// so construction allocates once and Rebuild reuses all storage.
+//
+// The cell side equals the query radius, so a radius query only inspects the
+// 3x3 block of cells around the query point.
+type CellList struct {
+	rect  Rect
+	r     float64
+	cols  int
+	rows  int
+	heads []int32 // head of the linked list per cell, -1 when empty
+	next  []int32 // next index per point, -1 at list end
+	cell  []int32 // cell id per point
+	pts   []Point // the indexed points (caller-owned copy semantics: stored by value)
+}
+
+// NewCellList builds an index over pts within rect for radius-r queries.
+// It panics if r <= 0 or the rectangle is degenerate.
+func NewCellList(rect Rect, r float64, pts []Point) *CellList {
+	if r <= 0 {
+		panic("geometry: NewCellList needs r > 0")
+	}
+	if rect.W() <= 0 || rect.H() <= 0 {
+		panic("geometry: NewCellList needs a non-degenerate rect")
+	}
+	cols := int(math.Ceil(rect.W() / r))
+	rows := int(math.Ceil(rect.H() / r))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	c := &CellList{
+		rect:  rect,
+		r:     r,
+		cols:  cols,
+		rows:  rows,
+		heads: make([]int32, cols*rows),
+		next:  make([]int32, len(pts)),
+		cell:  make([]int32, len(pts)),
+		pts:   make([]Point, len(pts)),
+	}
+	c.Rebuild(pts)
+	return c
+}
+
+// Rebuild reindexes the (possibly moved) points. len(pts) must equal the
+// original point count.
+func (c *CellList) Rebuild(pts []Point) {
+	if len(pts) != len(c.pts) {
+		panic("geometry: Rebuild with different point count")
+	}
+	copy(c.pts, pts)
+	for i := range c.heads {
+		c.heads[i] = -1
+	}
+	for i, p := range c.pts {
+		id := c.cellOf(p)
+		c.cell[i] = id
+		c.next[i] = c.heads[id]
+		c.heads[id] = int32(i)
+	}
+}
+
+// cellOf maps a point (clamped into the rectangle) to its cell id.
+func (c *CellList) cellOf(p Point) int32 {
+	p = c.rect.Clamp(p)
+	col := int((p.X - c.rect.X0) / c.r)
+	row := int((p.Y - c.rect.Y0) / c.r)
+	if col >= c.cols {
+		col = c.cols - 1
+	}
+	if row >= c.rows {
+		row = c.rows - 1
+	}
+	return int32(row*c.cols + col)
+}
+
+// ForEachWithin calls fn(j) for every indexed point j != i whose distance to
+// point i is at most the query radius. Iteration order is unspecified.
+func (c *CellList) ForEachWithin(i int, fn func(j int)) {
+	p := c.pts[i]
+	id := int(c.cell[i])
+	row := id / c.cols
+	col := id % c.cols
+	r2 := c.r * c.r
+	for dr := -1; dr <= 1; dr++ {
+		nr := row + dr
+		if nr < 0 || nr >= c.rows {
+			continue
+		}
+		for dc := -1; dc <= 1; dc++ {
+			nc := col + dc
+			if nc < 0 || nc >= c.cols {
+				continue
+			}
+			for j := c.heads[nr*c.cols+nc]; j >= 0; j = c.next[j] {
+				if int(j) != i && Dist2(p, c.pts[j]) <= r2 {
+					fn(int(j))
+				}
+			}
+		}
+	}
+}
+
+// CountWithin returns the number of indexed points within the radius of
+// point i, excluding i itself.
+func (c *CellList) CountWithin(i int) int {
+	n := 0
+	c.ForEachWithin(i, func(int) { n++ })
+	return n
+}
+
+// Len returns the number of indexed points.
+func (c *CellList) Len() int { return len(c.pts) }

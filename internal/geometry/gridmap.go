@@ -1,0 +1,63 @@
+package geometry
+
+// GridMap discretizes a rectangle into an m x m lattice of points, the
+// construction the paper uses to turn continuous random-trip models into
+// node-MEGs ("a square grid Q formed by m x m points regularly spaced in the
+// square region").
+type GridMap struct {
+	rect Rect
+	m    int
+}
+
+// NewGridMap builds an m x m discretization of rect. It panics for m < 2 or
+// a degenerate rectangle.
+func NewGridMap(rect Rect, m int) *GridMap {
+	if m < 2 {
+		panic("geometry: NewGridMap needs m >= 2")
+	}
+	if rect.W() <= 0 || rect.H() <= 0 {
+		panic("geometry: NewGridMap needs a non-degenerate rect")
+	}
+	return &GridMap{rect: rect, m: m}
+}
+
+// M returns the per-side point count.
+func (g *GridMap) M() int { return g.m }
+
+// Points returns the total number of lattice points (m*m).
+func (g *GridMap) Points() int { return g.m * g.m }
+
+// Spacing returns the distance between horizontally adjacent lattice points.
+func (g *GridMap) Spacing() float64 { return g.rect.W() / float64(g.m-1) }
+
+// PointAt returns the continuous coordinates of lattice point (i, j), with
+// i, j in [0, m).
+func (g *GridMap) PointAt(i, j int) Point {
+	return Point{
+		X: g.rect.X0 + float64(i)*g.rect.W()/float64(g.m-1),
+		Y: g.rect.Y0 + float64(j)*g.rect.H()/float64(g.m-1),
+	}
+}
+
+// Index converts lattice coordinates to a flat index in [0, m*m).
+func (g *GridMap) Index(i, j int) int { return i*g.m + j }
+
+// Coords converts a flat index back to lattice coordinates.
+func (g *GridMap) Coords(idx int) (i, j int) { return idx / g.m, idx % g.m }
+
+// Nearest returns the lattice coordinates of the grid point closest to p
+// (with p clamped into the rectangle first).
+func (g *GridMap) Nearest(p Point) (i, j int) {
+	p = g.rect.Clamp(p)
+	fi := (p.X - g.rect.X0) / g.rect.W() * float64(g.m-1)
+	fj := (p.Y - g.rect.Y0) / g.rect.H() * float64(g.m-1)
+	i = int(fi + 0.5)
+	j = int(fj + 0.5)
+	if i >= g.m {
+		i = g.m - 1
+	}
+	if j >= g.m {
+		j = g.m - 1
+	}
+	return i, j
+}

@@ -1,0 +1,134 @@
+package graph
+
+// BFS returns the vector of hop distances from src, with -1 for unreachable
+// vertices.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, g.n)
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.adj[v] {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns one shortest path from src to dst (inclusive of both
+// endpoints) or nil if dst is unreachable. Ties are broken toward the
+// smallest-index predecessor, making the result deterministic.
+func (g *Graph) ShortestPath(src, dst int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	prev := make([]int32, g.n)
+	for i := range prev {
+		prev[i] = -2 // unvisited
+	}
+	prev[src] = -1 // root marker
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if int(v) == dst {
+			break
+		}
+		for _, u := range g.adj[v] {
+			if prev[u] == -2 {
+				prev[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	if prev[dst] == -2 {
+		return nil
+	}
+	// Reconstruct backwards.
+	path := []int{dst}
+	for v := prev[dst]; v != -1; v = prev[v] {
+		path = append(path, int(v))
+	}
+	// Reverse in place.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// Components returns the connected component id of each vertex and the
+// number of components. Ids are assigned in increasing order of the smallest
+// vertex in each component.
+func (g *Graph) Components() (ids []int, count int) {
+	ids = make([]int, g.n)
+	for i := range ids {
+		ids[i] = -1
+	}
+	for v := 0; v < g.n; v++ {
+		if ids[v] != -1 {
+			continue
+		}
+		ids[v] = count
+		queue := []int32{int32(v)}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, u := range g.adj[x] {
+				if ids[u] == -1 {
+					ids[u] = count
+					queue = append(queue, u)
+				}
+			}
+		}
+		count++
+	}
+	return ids, count
+}
+
+// IsConnected reports whether the graph is connected. The empty graph on one
+// vertex is connected.
+func (g *Graph) IsConnected() bool {
+	_, c := g.Components()
+	return c == 1
+}
+
+// Eccentricity returns the maximum finite BFS distance from v, or -1 if some
+// vertex is unreachable from v.
+func (g *Graph) Eccentricity(v int) int {
+	dist := g.BFS(v)
+	max := 0
+	for _, d := range dist {
+		if d == -1 {
+			return -1
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Diameter returns the hop diameter via all-pairs BFS, or -1 for a
+// disconnected graph. Cost is O(n·m); intended for the moderate graph sizes
+// used in experiments.
+func (g *Graph) Diameter() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		e := g.Eccentricity(v)
+		if e == -1 {
+			return -1
+		}
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}

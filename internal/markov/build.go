@@ -1,0 +1,112 @@
+package markov
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// RandomWalkChain returns the sparse transition matrix of the simple random
+// walk on g: from v, move to a uniformly random neighbor. Vertices of degree
+// zero self-loop (the walk is stuck, matching the convention that an
+// isolated node does not move).
+func RandomWalkChain(g *graph.Graph) *Sparse {
+	b := NewSparseBuilder(g.N())
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		if d == 0 {
+			b.Set(v, v, 1)
+			continue
+		}
+		p := 1 / float64(d)
+		g.ForEachNeighbor(v, func(u int) {
+			b.Set(v, u, p)
+		})
+	}
+	return b.MustBuild()
+}
+
+// LazyRandomWalkChain returns the walk that stays put with probability stay
+// and otherwise moves to a uniform neighbor. Laziness guarantees
+// aperiodicity on bipartite graphs such as grids.
+func LazyRandomWalkChain(g *graph.Graph, stay float64) *Sparse {
+	if stay < 0 || stay >= 1 {
+		panic("markov: LazyRandomWalkChain needs 0 <= stay < 1")
+	}
+	b := NewSparseBuilder(g.N())
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		if d == 0 {
+			b.Set(v, v, 1)
+			continue
+		}
+		b.Set(v, v, stay)
+		p := (1 - stay) / float64(d)
+		g.ForEachNeighbor(v, func(u int) {
+			b.Set(v, u, p)
+		})
+	}
+	return b.MustBuild()
+}
+
+// UniformChain returns the chain that jumps to a uniformly random state each
+// step — mixing time 1, the fastest-mixing reference point in experiments.
+func UniformChain(n int) *Chain {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		for j := range rows[i] {
+			rows[i][j] = 1 / float64(n)
+		}
+	}
+	return MustChain(rows)
+}
+
+// WalkStationary returns the exact stationary distribution of the simple
+// random walk on g: π(v) = deg(v) / 2m. For graphs with isolated vertices
+// the walk is not irreducible and this closed form does not apply; callers
+// should check connectivity first.
+func WalkStationary(g *graph.Graph) []float64 {
+	pi := make([]float64, g.N())
+	total := 2 * float64(g.M())
+	if total == 0 {
+		for i := range pi {
+			pi[i] = 1 / float64(g.N())
+		}
+		return pi
+	}
+	for v := 0; v < g.N(); v++ {
+		pi[v] = float64(g.Degree(v)) / total
+	}
+	return pi
+}
+
+// MeetingTime estimates the expected meeting time T* of two independent
+// lazy random walks on g started from uniformly random distinct vertices —
+// the quantity the flooding bound of Dimitriou–Nikoletseas–Spirakis [15]
+// depends on. It runs trials simulations capped at maxSteps each (capped
+// runs contribute maxSteps, so the estimate is a lower bound when the cap
+// binds) and returns the sample mean. Walks meet when they occupy the same
+// vertex after a synchronous step.
+func MeetingTime(g *graph.Graph, stay float64, trials, maxSteps int, r *rng.RNG) float64 {
+	chain := LazyRandomWalkChain(g, stay)
+	sampler := NewSparseSampler(chain)
+	total := 0.0
+	for trial := 0; trial < trials; trial++ {
+		a := r.Intn(g.N())
+		b := r.Intn(g.N())
+		for b == a && g.N() > 1 {
+			b = r.Intn(g.N())
+		}
+		steps := maxSteps
+		for t := 1; t <= maxSteps; t++ {
+			a = sampler.Next(a, r)
+			b = sampler.Next(b, r)
+			if a == b {
+				steps = t
+				break
+			}
+		}
+		total += float64(steps)
+	}
+	return total / float64(trials)
+}

@@ -1,0 +1,196 @@
+// Package markov implements the finite Markov chain substrate the paper's
+// models are built on: dense and sparse transition matrices, exact and
+// iterative stationary distributions, total-variation mixing times, spectral
+// gaps for reversible chains, and closed forms for the two-state edge chain
+// of the basic edge-MEG model.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// tolerance for row-stochasticity validation.
+const rowSumTol = 1e-9
+
+// Chain is a dense row-stochastic transition matrix over states 0..n-1.
+type Chain struct {
+	n int
+	p []float64 // row-major n x n
+}
+
+// NewChain validates and wraps a dense transition matrix. Rows must be
+// non-negative and sum to 1 within tolerance.
+func NewChain(rows [][]float64) (*Chain, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, errors.New("markov: empty chain")
+	}
+	c := &Chain{n: n, p: make([]float64, n*n)}
+	for i, row := range rows {
+		if len(row) != n {
+			return nil, fmt.Errorf("markov: row %d has length %d, want %d", i, len(row), n)
+		}
+		sum := 0.0
+		for j, v := range row {
+			if v < 0 || math.IsNaN(v) {
+				return nil, fmt.Errorf("markov: P[%d][%d] = %v is invalid", i, j, v)
+			}
+			sum += v
+			c.p[i*n+j] = v
+		}
+		if math.Abs(sum-1) > rowSumTol {
+			return nil, fmt.Errorf("markov: row %d sums to %v, want 1", i, sum)
+		}
+	}
+	return c, nil
+}
+
+// MustChain is NewChain that panics on error, for statically known matrices
+// in tests and examples.
+func MustChain(rows [][]float64) *Chain {
+	c, err := NewChain(rows)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// N returns the number of states.
+func (c *Chain) N() int { return c.n }
+
+// At returns P[i][j].
+func (c *Chain) At(i, j int) float64 { return c.p[i*c.n+j] }
+
+// Row returns row i as a shared slice; callers must not modify it.
+func (c *Chain) Row(i int) []float64 { return c.p[i*c.n : (i+1)*c.n] }
+
+// Copy returns a deep copy.
+func (c *Chain) Copy() *Chain {
+	out := &Chain{n: c.n, p: make([]float64, len(c.p))}
+	copy(out.p, c.p)
+	return out
+}
+
+// EvolveDist returns dist · P, the distribution after one step. It panics on
+// a length mismatch (a programming error).
+func (c *Chain) EvolveDist(dist []float64) []float64 {
+	if len(dist) != c.n {
+		panic("markov: EvolveDist dimension mismatch")
+	}
+	out := make([]float64, c.n)
+	for i, d := range dist {
+		if d == 0 {
+			continue
+		}
+		row := c.Row(i)
+		for j, pij := range row {
+			out[j] += d * pij
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product c · other (the two-step chain when other
+// follows c).
+func (c *Chain) Mul(other *Chain) *Chain {
+	if c.n != other.n {
+		panic("markov: Mul dimension mismatch")
+	}
+	n := c.n
+	out := &Chain{n: n, p: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		ci := c.p[i*n : (i+1)*n]
+		oi := out.p[i*n : (i+1)*n]
+		for k, v := range ci {
+			if v == 0 {
+				continue
+			}
+			bk := other.p[k*n : (k+1)*n]
+			for j, w := range bk {
+				oi[j] += v * w
+			}
+		}
+	}
+	return out
+}
+
+// Power returns c^t via binary exponentiation. t = 0 yields the identity.
+func (c *Chain) Power(t int) *Chain {
+	if t < 0 {
+		panic("markov: negative power")
+	}
+	result := Identity(c.n)
+	base := c.Copy()
+	for t > 0 {
+		if t&1 == 1 {
+			result = result.Mul(base)
+		}
+		t >>= 1
+		if t > 0 {
+			base = base.Mul(base)
+		}
+	}
+	return result
+}
+
+// Identity returns the identity chain on n states.
+func Identity(n int) *Chain {
+	c := &Chain{n: n, p: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		c.p[i*n+i] = 1
+	}
+	return c
+}
+
+// Lazy returns the lazy version (I + P)/2, which is aperiodic and has the
+// same stationary distribution.
+func (c *Chain) Lazy() *Chain {
+	out := c.Copy()
+	for i := 0; i < c.n; i++ {
+		for j := 0; j < c.n; j++ {
+			out.p[i*c.n+j] /= 2
+		}
+		out.p[i*c.n+i] += 0.5
+	}
+	return out
+}
+
+// IsReversible reports whether the chain satisfies detailed balance with
+// respect to pi within tolerance tol.
+func (c *Chain) IsReversible(pi []float64, tol float64) bool {
+	for i := 0; i < c.n; i++ {
+		for j := i + 1; j < c.n; j++ {
+			if math.Abs(pi[i]*c.At(i, j)-pi[j]*c.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Sampler draws state transitions in O(1) per step using per-row alias
+// tables. It is the hot path of every node-MEG simulation.
+type Sampler struct {
+	rows []*rng.Alias
+}
+
+// NewSampler builds alias tables for every row of the chain.
+func NewSampler(c *Chain) *Sampler {
+	s := &Sampler{rows: make([]*rng.Alias, c.n)}
+	for i := 0; i < c.n; i++ {
+		s.rows[i] = rng.NewAlias(c.Row(i))
+	}
+	return s
+}
+
+// Next samples the successor state of state i.
+func (s *Sampler) Next(i int, r *rng.RNG) int {
+	return s.rows[i].Sample(r)
+}
+
+// N returns the number of states.
+func (s *Sampler) N() int { return len(s.rows) }

@@ -1,0 +1,257 @@
+package markov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// randomChain builds a random dense ergodic chain for property tests.
+func randomChain(n int, r *rng.RNG) *Chain {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		sum := 0.0
+		for j := range rows[i] {
+			v := r.Float64() + 0.01 // strictly positive: irreducible, aperiodic
+			rows[i][j] = v
+			sum += v
+		}
+		for j := range rows[i] {
+			rows[i][j] /= sum
+		}
+	}
+	return MustChain(rows)
+}
+
+func TestNewChainValidation(t *testing.T) {
+	if _, err := NewChain(nil); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	if _, err := NewChain([][]float64{{0.5, 0.4}}); err == nil {
+		t.Fatal("ragged chain accepted")
+	}
+	if _, err := NewChain([][]float64{{0.5, 0.4}, {0.5, 0.5}}); err == nil {
+		t.Fatal("non-stochastic row accepted")
+	}
+	if _, err := NewChain([][]float64{{1.5, -0.5}, {0.5, 0.5}}); err == nil {
+		t.Fatal("negative entry accepted")
+	}
+	c, err := NewChain([][]float64{{0.3, 0.7}, {0.6, 0.4}})
+	if err != nil || c.N() != 2 || c.At(0, 1) != 0.7 {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+}
+
+func TestEvolveDistPreservesMass(t *testing.T) {
+	r := rng.New(3)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		c := randomChain(n, r)
+		dist := make([]float64, n)
+		for i := range dist {
+			dist[i] = r.Float64()
+		}
+		total := 0.0
+		for _, d := range dist {
+			total += d
+		}
+		for i := range dist {
+			dist[i] /= total
+		}
+		out := c.EvolveDist(dist)
+		sum := 0.0
+		for _, v := range out {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return almostEq(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulMatchesTwoSteps(t *testing.T) {
+	r := rng.New(5)
+	c := randomChain(4, r)
+	c2 := c.Mul(c)
+	dist := []float64{1, 0, 0, 0}
+	viaMatrix := Identity(4).Mul(c2).EvolveDist(dist)
+	viaSteps := c.EvolveDist(c.EvolveDist(dist))
+	for i := range viaMatrix {
+		if !almostEq(viaMatrix[i], viaSteps[i], 1e-12) {
+			t.Fatalf("two-step mismatch at %d: %v vs %v", i, viaMatrix[i], viaSteps[i])
+		}
+	}
+}
+
+func TestPowerMatchesRepeatedMul(t *testing.T) {
+	r := rng.New(7)
+	c := randomChain(3, r)
+	p5 := c.Power(5)
+	manual := c.Copy()
+	for i := 0; i < 4; i++ {
+		manual = manual.Mul(c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !almostEq(p5.At(i, j), manual.At(i, j), 1e-12) {
+				t.Fatalf("Power(5) mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	id := c.Power(0)
+	if id.At(0, 0) != 1 || id.At(0, 1) != 0 {
+		t.Fatal("Power(0) is not identity")
+	}
+}
+
+func TestPowerRowStochasticProperty(t *testing.T) {
+	r := rng.New(9)
+	f := func(tRaw uint8) bool {
+		c := randomChain(5, r)
+		p := c.Power(int(tRaw%20) + 1)
+		for i := 0; i < 5; i++ {
+			sum := 0.0
+			for j := 0; j < 5; j++ {
+				v := p.At(i, j)
+				if v < -1e-12 {
+					return false
+				}
+				sum += v
+			}
+			if !almostEq(sum, 1, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLazyPreservesStationary(t *testing.T) {
+	r := rng.New(11)
+	c := randomChain(4, r)
+	pi, err := c.StationaryExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazyPi, err := c.Lazy().StationaryExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pi {
+		if !almostEq(pi[i], lazyPi[i], 1e-9) {
+			t.Fatalf("lazy stationary differs at %d: %v vs %v", i, pi[i], lazyPi[i])
+		}
+	}
+}
+
+func TestStationaryExactFixedPoint(t *testing.T) {
+	r := rng.New(13)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + trial%6
+		c := randomChain(n, r)
+		pi, err := c.StationaryExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		evolved := c.EvolveDist(pi)
+		if tv := tvDist(pi, evolved); tv > 1e-10 {
+			t.Fatalf("stationary not fixed: TV = %v", tv)
+		}
+	}
+}
+
+func TestStationaryPowerMatchesExact(t *testing.T) {
+	r := rng.New(17)
+	c := randomChain(6, r)
+	exact, err := c.StationaryExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iter, err := c.StationaryPower(1e-12, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv := tvDist(exact, iter); tv > 1e-8 {
+		t.Fatalf("power vs exact TV = %v", tv)
+	}
+}
+
+func TestStationaryKnownChain(t *testing.T) {
+	// Birth/death 2-state chain has closed-form stationary distribution.
+	c := MustChain([][]float64{{0.9, 0.1}, {0.3, 0.7}})
+	pi, err := c.StationaryExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(pi[0], 0.75, 1e-12) || !almostEq(pi[1], 0.25, 1e-12) {
+		t.Fatalf("pi = %v, want [0.75 0.25]", pi)
+	}
+}
+
+func TestIsReversible(t *testing.T) {
+	// Symmetric chains are reversible w.r.t. uniform.
+	c := MustChain([][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	if !c.IsReversible([]float64{0.5, 0.5}, 1e-12) {
+		t.Fatal("symmetric chain should be reversible")
+	}
+	// A 3-cycle with asymmetric rotation is not reversible.
+	rot := MustChain([][]float64{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+	if rot.IsReversible([]float64{1.0 / 3, 1.0 / 3, 1.0 / 3}, 1e-12) {
+		t.Fatal("rotation chain should not be reversible")
+	}
+}
+
+func TestSamplerFrequencies(t *testing.T) {
+	c := MustChain([][]float64{{0.2, 0.8}, {0.5, 0.5}})
+	s := NewSampler(c)
+	r := rng.New(19)
+	const trials = 100000
+	ones := 0
+	for i := 0; i < trials; i++ {
+		if s.Next(0, r) == 1 {
+			ones++
+		}
+	}
+	got := float64(ones) / trials
+	if math.Abs(got-0.8) > 0.01 {
+		t.Fatalf("sampled P(0->1) = %v, want 0.8", got)
+	}
+	if s.N() != 2 {
+		t.Fatal("Sampler.N wrong")
+	}
+}
+
+func TestSamplerLongRunMatchesStationary(t *testing.T) {
+	r := rng.New(23)
+	c := randomChain(5, r)
+	pi, err := c.StationaryExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(c)
+	state := 0
+	counts := make([]float64, 5)
+	const steps = 400000
+	for i := 0; i < steps; i++ {
+		state = s.Next(state, r)
+		counts[state]++
+	}
+	for i := range counts {
+		counts[i] /= steps
+	}
+	if tv := tvDist(counts, pi); tv > 0.01 {
+		t.Fatalf("empirical occupancy TV to stationary = %v", tv)
+	}
+}

@@ -1,0 +1,106 @@
+package markov
+
+import "fmt"
+
+// ExpectedHittingTimes solves the first-step equations for the expected
+// hitting time of target from every state:
+//
+//	h[target] = 0,   h[i] = 1 + Σ_j P[i][j]·h[j]  (i ≠ target)
+//
+// by Gaussian elimination, O(n³). It errors when target is unreachable
+// from some state (singular system). These exact values validate the
+// dynamic-walk estimators on static graphs and provide the T* baseline of
+// [15] in closed form for small instances.
+func (c *Chain) ExpectedHittingTimes(target int) ([]float64, error) {
+	n := c.n
+	if target < 0 || target >= n {
+		return nil, fmt.Errorf("markov: target %d out of range [0,%d)", target, n)
+	}
+	// Unknowns: h[i] for i != target. Build the (n-1)x(n-1) system
+	// (I - Q)h = 1 where Q is P restricted to non-target states.
+	idx := make([]int, 0, n-1) // row -> state
+	col := make(map[int]int, n-1)
+	for i := 0; i < n; i++ {
+		if i != target {
+			col[i] = len(idx)
+			idx = append(idx, i)
+		}
+	}
+	m := len(idx)
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for r, i := range idx {
+		a[r] = make([]float64, m)
+		row := c.Row(i)
+		for j, pij := range row {
+			if j == target || pij == 0 {
+				continue
+			}
+			a[r][col[j]] -= pij
+		}
+		a[r][col[i]] += 1
+		b[r] = 1
+	}
+	x, err := solveLinear(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("markov: hitting-time system: %w (target unreachable from some state?)", err)
+	}
+	h := make([]float64, n)
+	for r, i := range idx {
+		h[i] = x[r]
+	}
+	return h, nil
+}
+
+// ExpectedMeetingTime computes the exact expected meeting time of two
+// independent copies of the chain from a uniform random pair of distinct
+// states, by solving hitting-to-diagonal equations on the product chain.
+// Cost is O(n⁶) in the worst case (the product chain has n² states); use
+// only for small chains — MeetingTime estimates the same quantity by
+// simulation for larger ones.
+func (c *Chain) ExpectedMeetingTime() (float64, error) {
+	n := c.n
+	// Product-chain states (u, v), u ≠ v as unknowns; the diagonal absorbs.
+	type pair struct{ u, v int }
+	idx := make([]pair, 0, n*n-n)
+	col := make(map[pair]int, n*n-n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				p := pair{u, v}
+				col[p] = len(idx)
+				idx = append(idx, p)
+			}
+		}
+	}
+	m := len(idx)
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for r, p := range idx {
+		a[r] = make([]float64, m)
+		a[r][r] += 1
+		b[r] = 1
+		ru := c.Row(p.u)
+		rv := c.Row(p.v)
+		for ju, pu := range ru {
+			if pu == 0 {
+				continue
+			}
+			for jv, pv := range rv {
+				if pv == 0 || ju == jv {
+					continue // meeting: absorbed, contributes 0
+				}
+				a[r][col[pair{ju, jv}]] -= pu * pv
+			}
+		}
+	}
+	x, err := solveLinear(a, b)
+	if err != nil {
+		return 0, fmt.Errorf("markov: meeting-time system: %w", err)
+	}
+	total := 0.0
+	for r := range idx {
+		total += x[r]
+	}
+	return total / float64(m), nil
+}

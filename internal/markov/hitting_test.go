@@ -1,0 +1,105 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestHittingTimesPathEndToEnd(t *testing.T) {
+	// Simple random walk on a path of n vertices: E[hit n-1 from 0] =
+	// (n-1)².
+	for _, n := range []int{3, 5, 8} {
+		c := RandomWalkChain(graph.Path(n)).Dense()
+		h, err := c.ExpectedHittingTimes(n - 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64((n - 1) * (n - 1))
+		if !almostEq(h[0], want, 1e-8) {
+			t.Fatalf("path-%d hitting = %v, want %v", n, h[0], want)
+		}
+		if h[n-1] != 0 {
+			t.Fatal("hitting target from itself must be 0")
+		}
+	}
+}
+
+func TestHittingTimesCycle(t *testing.T) {
+	// Simple random walk on a cycle of n: E[hit 0 from distance d] =
+	// d(n-d).
+	n := 10
+	c := RandomWalkChain(graph.Cycle(n)).Dense()
+	h, err := c.ExpectedHittingTimes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 1; d < n; d++ {
+		want := float64(d * (n - d))
+		if !almostEq(h[d], want, 1e-8) {
+			t.Fatalf("cycle hitting from %d = %v, want %v", d, h[d], want)
+		}
+	}
+}
+
+func TestHittingTimesUnreachable(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	c := RandomWalkChain(b.Build()).Dense()
+	if _, err := c.ExpectedHittingTimes(0); err == nil {
+		t.Fatal("disconnected hitting system should fail")
+	}
+	if _, err := c.ExpectedHittingTimes(9); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+}
+
+func TestHittingTimesLazyDoubles(t *testing.T) {
+	// A lazy walk with stay = 1/2 takes exactly twice as long in
+	// expectation.
+	g := graph.Cycle(8)
+	plain, err := RandomWalkChain(g).Dense().ExpectedHittingTimes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := LazyRandomWalkChain(g, 0.5).Dense().ExpectedHittingTimes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if !almostEq(lazy[i], 2*plain[i], 1e-8) {
+			t.Fatalf("lazy hitting from %d = %v, want %v", i, lazy[i], 2*plain[i])
+		}
+	}
+}
+
+func TestExpectedMeetingTimeMatchesSimulation(t *testing.T) {
+	g := graph.Cycle(6)
+	exact, err := LazyRandomWalkChain(g, 0.5).Dense().ExpectedMeetingTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := MeetingTime(g, 0.5, 3000, 1<<20, rng.New(3))
+	if math.Abs(sim-exact) > 0.1*exact {
+		t.Fatalf("meeting time: simulated %v vs exact %v", sim, exact)
+	}
+}
+
+func TestExpectedMeetingTimeCompleteGraph(t *testing.T) {
+	// On K_n (non-lazy), two walkers collide in the next step with
+	// probability 1/(n-1)... plus they may swap. Exact value from the
+	// solver must at least be positive and finite; verify against
+	// simulation.
+	g := graph.Complete(5)
+	exact, err := RandomWalkChain(g).Dense().ExpectedMeetingTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := MeetingTime(g, 0, 5000, 1<<20, rng.New(5))
+	if math.Abs(sim-exact) > 0.15*exact {
+		t.Fatalf("K5 meeting: simulated %v vs exact %v", sim, exact)
+	}
+}

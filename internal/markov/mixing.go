@@ -1,0 +1,204 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultMixingEps is the conventional 1/4 threshold for mixing times.
+const DefaultMixingEps = 0.25
+
+// WorstTV returns max_i TV(P^t(i,·), pi) for the already-computed power
+// matrix pt.
+func WorstTV(pt *Chain, pi []float64) float64 {
+	worst := 0.0
+	for i := 0; i < pt.n; i++ {
+		if d := tvDist(pt.Row(i), pi); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// MixingTime returns the smallest t <= maxT with
+// max_i TV(P^t(i,·), π) <= eps, computing π exactly first. It uses doubling
+// plus binary search over stored powers, so the cost is O(n³ log maxT).
+func (c *Chain) MixingTime(eps float64, maxT int) (int, error) {
+	pi, err := c.StationaryExact()
+	if err != nil {
+		return 0, err
+	}
+	return c.MixingTimeWith(pi, eps, maxT)
+}
+
+// MixingTimeWith is MixingTime with a caller-provided stationary
+// distribution.
+func (c *Chain) MixingTimeWith(pi []float64, eps float64, maxT int) (int, error) {
+	if WorstTV(c, pi) <= eps {
+		// Check t = 0 (already mixed only if the chain is a point mass, but
+		// t = 1 may already satisfy the bound).
+		return 1, nil
+	}
+	// Doubling phase: powers P^(2^k) with k = 0, 1, 2, ...
+	type power struct {
+		t int
+		m *Chain
+	}
+	powers := []power{{1, c.Copy()}}
+	for {
+		last := powers[len(powers)-1]
+		if WorstTV(last.m, pi) <= eps {
+			break
+		}
+		if last.t >= maxT {
+			return 0, fmt.Errorf("markov: not mixed within %d steps (worst TV %.4g)", maxT, WorstTV(last.m, pi))
+		}
+		powers = append(powers, power{last.t * 2, last.m.Mul(last.m)})
+	}
+	if len(powers) == 1 {
+		return 1, nil
+	}
+	// Binary search in (lo.t, hi.t]: the mixing threshold is crossed between
+	// the last two powers. Build intermediate powers from the doubling
+	// ladder.
+	lo := powers[len(powers)-2] // not mixed
+	hi := powers[len(powers)-1] // mixed
+	loT, hiT := lo.t, hi.t
+	base := lo.m
+	baseT := lo.t
+	for loT+1 < hiT {
+		mid := (loT + hiT) / 2
+		// Compute P^mid = base (P^baseT) times P^(mid - baseT) using the
+		// ladder of stored powers.
+		m := base.Copy()
+		rem := mid - baseT
+		for k := len(powers) - 1; k >= 0 && rem > 0; k-- {
+			for rem >= powers[k].t {
+				m = m.Mul(powers[k].m)
+				rem -= powers[k].t
+			}
+		}
+		if WorstTV(m, pi) <= eps {
+			hiT = mid
+		} else {
+			loT = mid
+			base = m
+			baseT = mid
+		}
+	}
+	return hiT, nil
+}
+
+// TVProfile returns max-start total-variation distances to pi at each time
+// 1..maxT, computed by evolving the full matrix one step at a time. Cost is
+// O(maxT · n³); intended for small chains feeding decay-curve experiments.
+func (c *Chain) TVProfile(pi []float64, maxT int) []float64 {
+	out := make([]float64, maxT)
+	cur := c.Copy()
+	for t := 1; t <= maxT; t++ {
+		out[t-1] = WorstTV(cur, pi)
+		if t < maxT {
+			cur = cur.Mul(c)
+		}
+	}
+	return out
+}
+
+// TVFromStart returns TV(P^t(start,·), pi) for t = 1..maxT by evolving a
+// single distribution, costing O(maxT · nnz). This scales to large sparse
+// chains.
+func (s *Sparse) TVFromStart(start int, pi []float64, maxT int) []float64 {
+	dist := make([]float64, s.n)
+	dist[start] = 1
+	next := make([]float64, s.n)
+	out := make([]float64, maxT)
+	for t := 1; t <= maxT; t++ {
+		s.EvolveDistInto(dist, next)
+		dist, next = next, dist
+		out[t-1] = tvDist(dist, pi)
+	}
+	return out
+}
+
+// MixingTimeFromStart returns the first t <= maxT at which the single-start
+// TV distance drops to eps, for a sparse chain. Single-start mixing lower
+// bounds the worst-start mixing time; for the vertex-transitive chains used
+// in experiments they coincide.
+func (s *Sparse) MixingTimeFromStart(start int, pi []float64, eps float64, maxT int) (int, error) {
+	dist := make([]float64, s.n)
+	dist[start] = 1
+	next := make([]float64, s.n)
+	for t := 1; t <= maxT; t++ {
+		s.EvolveDistInto(dist, next)
+		dist, next = next, dist
+		if tvDist(dist, pi) <= eps {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("markov: start %d not mixed within %d steps", start, maxT)
+}
+
+// SpectralGapReversible estimates the absolute spectral gap 1 - max(|λ₂|)
+// of a reversible chain with stationary distribution pi, using power
+// iteration on the symmetrized matrix S = D^{1/2} P D^{-1/2} with the top
+// eigenvector deflated. It returns the gap and the second eigenvalue
+// modulus. iters controls the power-iteration count.
+func (c *Chain) SpectralGapReversible(pi []float64, iters int) (gap, slem float64) {
+	n := c.n
+	sqrtPi := make([]float64, n)
+	for i, p := range pi {
+		sqrtPi[i] = math.Sqrt(p)
+	}
+	// v starts pseudo-random deterministic, orthogonal to sqrtPi after
+	// deflation.
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Sin(float64(i+1) * 2.399963)
+	}
+	tmp := make([]float64, n)
+	deflate := func(x []float64) {
+		dot := 0.0
+		for i := range x {
+			dot += x[i] * sqrtPi[i]
+		}
+		for i := range x {
+			x[i] -= dot * sqrtPi[i]
+		}
+	}
+	normalize := func(x []float64) float64 {
+		norm := 0.0
+		for _, xi := range x {
+			norm += xi * xi
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return 0
+		}
+		for i := range x {
+			x[i] /= norm
+		}
+		return norm
+	}
+	deflate(v)
+	normalize(v)
+	lambda := 0.0
+	for it := 0; it < iters; it++ {
+		// tmp = S v where S_ij = sqrt(pi_i) P_ij / sqrt(pi_j).
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			row := c.Row(i)
+			for j, pij := range row {
+				if pij != 0 {
+					sum += pij * v[j] / sqrtPi[j]
+				}
+			}
+			tmp[i] = sqrtPi[i] * sum
+		}
+		deflate(tmp)
+		lambda = normalize(tmp)
+		copy(v, tmp)
+		_ = it
+	}
+	slem = lambda
+	return 1 - slem, slem
+}

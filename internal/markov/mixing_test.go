@@ -1,0 +1,190 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestWorstTVZeroAtStationarity(t *testing.T) {
+	// The uniform chain is exactly mixed after one step.
+	c := UniformChain(4)
+	pi, _ := c.StationaryExact()
+	if tv := WorstTV(c, pi); tv > 1e-12 {
+		t.Fatalf("uniform chain worst TV = %v", tv)
+	}
+}
+
+func TestMixingTimeUniformChain(t *testing.T) {
+	c := UniformChain(8)
+	mt, err := c.MixingTime(DefaultMixingEps, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != 1 {
+		t.Fatalf("uniform chain mixing time = %d, want 1", mt)
+	}
+}
+
+func TestMixingTimeMatchesTwoStateClosedForm(t *testing.T) {
+	for _, ts := range []TwoState{
+		{P: 0.1, Q: 0.2},
+		{P: 0.02, Q: 0.05},
+		{P: 0.5, Q: 0.5},
+	} {
+		c := ts.Chain()
+		mt, err := c.MixingTime(DefaultMixingEps, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ts.MixingTime(DefaultMixingEps)
+		if mt != want {
+			t.Errorf("TwoState{%v,%v}: matrix mixing %d, closed form %d", ts.P, ts.Q, mt, want)
+		}
+	}
+}
+
+func TestMixingTimeMonotoneInEps(t *testing.T) {
+	ts := TwoState{P: 0.03, Q: 0.07}
+	c := ts.Chain()
+	coarse, err := c.MixingTime(0.25, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := c.MixingTime(0.01, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine <= coarse {
+		t.Fatalf("finer eps should take longer: %d vs %d", fine, coarse)
+	}
+}
+
+func TestMixingTimeErrorsWhenCapped(t *testing.T) {
+	ts := TwoState{P: 1e-6, Q: 1e-6}
+	if _, err := ts.Chain().MixingTime(0.01, 10); err == nil {
+		t.Fatal("expected cap error for slow chain")
+	}
+}
+
+func TestTVProfileDecreases(t *testing.T) {
+	ts := TwoState{P: 0.1, Q: 0.15}
+	c := ts.Chain()
+	pi, _ := c.StationaryExact()
+	prof := c.TVProfile(pi, 50)
+	for i := 1; i < len(prof); i++ {
+		if prof[i] > prof[i-1]+1e-12 {
+			t.Fatalf("TV profile increased at %d: %v > %v", i, prof[i], prof[i-1])
+		}
+	}
+	// Matches the closed form.
+	for i, tv := range prof {
+		want := ts.TVAt(i + 1)
+		if !almostEq(tv, want, 1e-9) {
+			t.Fatalf("profile[%d] = %v, closed form %v", i, tv, want)
+		}
+	}
+}
+
+func TestSparseTVFromStartMatchesDense(t *testing.T) {
+	g := graph.Cycle(8)
+	sp := LazyRandomWalkChain(g, 0.5)
+	dense := sp.Dense()
+	pi, err := dense.StationaryExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := sp.TVFromStart(0, pi, 30)
+	// Evolve dense dist manually for comparison.
+	dist := make([]float64, 8)
+	dist[0] = 1
+	for i := 0; i < 30; i++ {
+		dist = dense.EvolveDist(dist)
+		if !almostEq(prof[i], tvDist(dist, pi), 1e-12) {
+			t.Fatalf("sparse profile diverges at t=%d", i+1)
+		}
+	}
+}
+
+func TestMixingTimeFromStart(t *testing.T) {
+	g := graph.Cycle(16)
+	sp := LazyRandomWalkChain(g, 0.5)
+	pi := WalkStationary(g)
+	mt, err := sp.MixingTimeFromStart(0, pi, DefaultMixingEps, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle mixing time is Θ(n²); for n=16 expect tens of steps.
+	if mt < 10 || mt > 1000 {
+		t.Fatalf("cycle-16 mixing time = %d, implausible", mt)
+	}
+	if _, err := sp.MixingTimeFromStart(0, pi, 0.001, 3); err == nil {
+		t.Fatal("expected cap error")
+	}
+}
+
+func TestMixingTimeScalesWithCycleLength(t *testing.T) {
+	mix := func(n int) int {
+		g := graph.Cycle(n)
+		sp := LazyRandomWalkChain(g, 0.5)
+		mt, err := sp.MixingTimeFromStart(0, WalkStationary(g), DefaultMixingEps, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mt
+	}
+	m16, m32 := mix(16), mix(32)
+	ratio := float64(m32) / float64(m16)
+	// Θ(n²) scaling: doubling n should roughly quadruple the mixing time.
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("cycle mixing scaling ratio = %v, want ~4", ratio)
+	}
+}
+
+func TestSpectralGapTwoState(t *testing.T) {
+	ts := TwoState{P: 0.1, Q: 0.3}
+	c := ts.Chain()
+	pi, _ := c.StationaryExact()
+	gap, slem := c.SpectralGapReversible(pi, 200)
+	if !almostEq(slem, math.Abs(ts.SecondEigenvalue()), 1e-6) {
+		t.Fatalf("SLEM = %v, want %v", slem, math.Abs(ts.SecondEigenvalue()))
+	}
+	if !almostEq(gap, 1-math.Abs(ts.SecondEigenvalue()), 1e-6) {
+		t.Fatalf("gap = %v", gap)
+	}
+}
+
+func TestSpectralGapLazyWalkOnCompleteGraph(t *testing.T) {
+	g := graph.Complete(6)
+	c := LazyRandomWalkChain(g, 0.5).Dense()
+	pi := WalkStationary(g)
+	gap, _ := c.SpectralGapReversible(pi, 500)
+	// Lazy walk on K_n: eigenvalues of the walk are 1 and -1/(n-1); the lazy
+	// version maps λ -> (1+λ)/2, giving SLEM = (1 - 1/5)/2 = 0.4.
+	if !almostEq(gap, 0.6, 1e-6) {
+		t.Fatalf("gap = %v, want 0.6", gap)
+	}
+}
+
+func TestMeetingTimeCompleteVsCycle(t *testing.T) {
+	r := rng.New(31)
+	complete := MeetingTime(graph.Complete(16), 0.5, 200, 100000, r)
+	cycle := MeetingTime(graph.Cycle(16), 0.5, 200, 100000, r)
+	if complete >= cycle {
+		t.Fatalf("meeting on K_16 (%v) should beat cycle-16 (%v)", complete, cycle)
+	}
+	if complete < 1 {
+		t.Fatalf("meeting time below 1: %v", complete)
+	}
+}
+
+func TestMeetingTimeGrowsWithCycle(t *testing.T) {
+	r := rng.New(37)
+	small := MeetingTime(graph.Cycle(8), 0.5, 150, 100000, r)
+	big := MeetingTime(graph.Cycle(32), 0.5, 150, 100000, r)
+	if big < 2*small {
+		t.Fatalf("meeting time should grow superlinearly: %v vs %v", small, big)
+	}
+}

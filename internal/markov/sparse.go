@@ -1,0 +1,220 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Sparse is a row-stochastic transition matrix stored in compressed sparse
+// row form. It is the representation of choice for the structured chains in
+// this repository (random walks on graphs, discretized mobility chains),
+// whose rows have O(1) non-zeros.
+type Sparse struct {
+	n    int
+	rowp []int32   // row pointers, len n+1
+	cols []int32   // column indices
+	vals []float64 // probabilities
+}
+
+// SparseBuilder accumulates entries for a Sparse chain.
+type SparseBuilder struct {
+	n    int
+	cols [][]int32
+	vals [][]float64
+}
+
+// NewSparseBuilder creates a builder for an n-state sparse chain.
+func NewSparseBuilder(n int) *SparseBuilder {
+	if n <= 0 {
+		panic("markov: NewSparseBuilder needs n > 0")
+	}
+	return &SparseBuilder{
+		n:    n,
+		cols: make([][]int32, n),
+		vals: make([][]float64, n),
+	}
+}
+
+// Set appends the entry P[i][j] = p. Entries in a row must not repeat.
+func (b *SparseBuilder) Set(i, j int, p float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("markov: Set(%d, %d) out of range [0,%d)", i, j, b.n))
+	}
+	if p == 0 {
+		return
+	}
+	b.cols[i] = append(b.cols[i], int32(j))
+	b.vals[i] = append(b.vals[i], p)
+}
+
+// Build validates row stochasticity and produces the chain.
+func (b *SparseBuilder) Build() (*Sparse, error) {
+	s := &Sparse{n: b.n, rowp: make([]int32, b.n+1)}
+	nnz := 0
+	for i := 0; i < b.n; i++ {
+		sum := 0.0
+		for _, v := range b.vals[i] {
+			if v < 0 || math.IsNaN(v) {
+				return nil, fmt.Errorf("markov: invalid probability in row %d", i)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > rowSumTol {
+			return nil, fmt.Errorf("markov: sparse row %d sums to %v, want 1", i, sum)
+		}
+		nnz += len(b.vals[i])
+	}
+	s.cols = make([]int32, 0, nnz)
+	s.vals = make([]float64, 0, nnz)
+	for i := 0; i < b.n; i++ {
+		s.rowp[i] = int32(len(s.cols))
+		s.cols = append(s.cols, b.cols[i]...)
+		s.vals = append(s.vals, b.vals[i]...)
+	}
+	s.rowp[b.n] = int32(len(s.cols))
+	return s, nil
+}
+
+// MustBuild is Build that panics on error.
+func (b *SparseBuilder) MustBuild() *Sparse {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// N returns the number of states.
+func (s *Sparse) N() int { return s.n }
+
+// NNZ returns the number of stored entries.
+func (s *Sparse) NNZ() int { return len(s.vals) }
+
+// Row calls fn(j, p) for each non-zero entry P[i][j] = p.
+func (s *Sparse) Row(i int, fn func(j int, p float64)) {
+	for k := s.rowp[i]; k < s.rowp[i+1]; k++ {
+		fn(int(s.cols[k]), s.vals[k])
+	}
+}
+
+// EvolveDist returns dist · P.
+func (s *Sparse) EvolveDist(dist []float64) []float64 {
+	if len(dist) != s.n {
+		panic("markov: EvolveDist dimension mismatch")
+	}
+	out := make([]float64, s.n)
+	for i, d := range dist {
+		if d == 0 {
+			continue
+		}
+		for k := s.rowp[i]; k < s.rowp[i+1]; k++ {
+			out[s.cols[k]] += d * s.vals[k]
+		}
+	}
+	return out
+}
+
+// EvolveDistInto computes dist · P into out (both length n), allowing the
+// caller to ping-pong two buffers without allocation.
+func (s *Sparse) EvolveDistInto(dist, out []float64) {
+	if len(dist) != s.n || len(out) != s.n {
+		panic("markov: EvolveDistInto dimension mismatch")
+	}
+	for j := range out {
+		out[j] = 0
+	}
+	for i, d := range dist {
+		if d == 0 {
+			continue
+		}
+		for k := s.rowp[i]; k < s.rowp[i+1]; k++ {
+			out[s.cols[k]] += d * s.vals[k]
+		}
+	}
+}
+
+// Dense expands the sparse chain to a dense Chain (for small n).
+func (s *Sparse) Dense() *Chain {
+	c := &Chain{n: s.n, p: make([]float64, s.n*s.n)}
+	for i := 0; i < s.n; i++ {
+		s.Row(i, func(j int, p float64) {
+			c.p[i*s.n+j] += p
+		})
+	}
+	return c
+}
+
+// StationaryPower estimates the stationary distribution by lazy power
+// iteration from the uniform distribution, stopping when successive
+// iterates are within tol in total variation or after maxIter steps.
+func (s *Sparse) StationaryPower(tol float64, maxIter int) ([]float64, error) {
+	cur := uniformDist(s.n)
+	next := make([]float64, s.n)
+	tmp := make([]float64, s.n)
+	for it := 0; it < maxIter; it++ {
+		// Lazy step: next = (cur + cur·P)/2 keeps periodic chains converging.
+		s.EvolveDistInto(cur, tmp)
+		for j := range next {
+			next[j] = (cur[j] + tmp[j]) / 2
+		}
+		if tvDist(cur, next) < tol {
+			copy(cur, next)
+			return cur, nil
+		}
+		cur, next = next, cur
+	}
+	return nil, fmt.Errorf("markov: power iteration did not converge in %d iters", maxIter)
+}
+
+// NewSparseSampler builds per-row alias tables for the sparse chain.
+func NewSparseSampler(s *Sparse) *SparseSampler {
+	out := &SparseSampler{
+		alias: make([]*rng.Alias, s.n),
+		cols:  make([][]int32, s.n),
+	}
+	for i := 0; i < s.n; i++ {
+		lo, hi := s.rowp[i], s.rowp[i+1]
+		if lo == hi {
+			panic(fmt.Sprintf("markov: state %d has no transitions", i))
+		}
+		out.cols[i] = s.cols[lo:hi]
+		out.alias[i] = rng.NewAlias(s.vals[lo:hi])
+	}
+	return out
+}
+
+// SparseSampler draws transitions from a Sparse chain in O(1).
+type SparseSampler struct {
+	alias []*rng.Alias
+	cols  [][]int32
+}
+
+// Next samples the successor of state i.
+func (ss *SparseSampler) Next(i int, r *rng.RNG) int {
+	k := ss.alias[i].Sample(r)
+	return int(ss.cols[i][k])
+}
+
+// N returns the number of states.
+func (ss *SparseSampler) N() int { return len(ss.alias) }
+
+func uniformDist(n int) []float64 {
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = 1 / float64(n)
+	}
+	return d
+}
+
+func tvDist(p, q []float64) float64 {
+	sum := 0.0
+	for i := range p {
+		sum += math.Abs(p[i] - q[i])
+	}
+	return sum / 2
+}
+
+var errNotConverged = errors.New("markov: iteration did not converge")

@@ -1,0 +1,278 @@
+package markov
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestSparseBuilderValidation(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Set(0, 0, 0.5)
+	b.Set(0, 1, 0.4)
+	b.Set(1, 1, 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("non-stochastic sparse row accepted")
+	}
+}
+
+func TestSparseBuilderPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewSparseBuilder(0) did not panic")
+			}
+		}()
+		NewSparseBuilder(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range Set did not panic")
+			}
+		}()
+		NewSparseBuilder(2).Set(0, 5, 1)
+	}()
+}
+
+func TestSparseZeroEntriesSkipped(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Set(0, 0, 1)
+	b.Set(0, 1, 0) // dropped
+	b.Set(1, 0, 1)
+	s := b.MustBuild()
+	if s.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", s.NNZ())
+	}
+}
+
+func TestSparseDenseRoundTrip(t *testing.T) {
+	g := graph.Grid(3, 3)
+	sp := RandomWalkChain(g)
+	dense := sp.Dense()
+	dist := make([]float64, g.N())
+	dist[4] = 1
+	a := sp.EvolveDist(dist)
+	b := dense.EvolveDist(dist)
+	for i := range a {
+		if !almostEq(a[i], b[i], 1e-12) {
+			t.Fatalf("sparse/dense mismatch at %d", i)
+		}
+	}
+}
+
+func TestSparseEvolvePreservesMassProperty(t *testing.T) {
+	r := rng.New(41)
+	f := func(seed uint16) bool {
+		g := graph.Gnp(20, 0.3, rng.New(uint64(seed)+1))
+		sp := LazyRandomWalkChain(g, 0.3)
+		dist := make([]float64, 20)
+		dist[r.Intn(20)] = 1
+		for step := 0; step < 5; step++ {
+			dist = sp.EvolveDist(dist)
+		}
+		sum := 0.0
+		for _, v := range dist {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return almostEq(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseEvolveInto(t *testing.T) {
+	g := graph.Cycle(5)
+	sp := RandomWalkChain(g)
+	dist := []float64{1, 0, 0, 0, 0}
+	out := make([]float64, 5)
+	sp.EvolveDistInto(dist, out)
+	want := sp.EvolveDist(dist)
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatal("EvolveDistInto differs from EvolveDist")
+		}
+	}
+}
+
+func TestSparseStationaryPowerWalk(t *testing.T) {
+	g := graph.Star(6)
+	sp := RandomWalkChain(g)
+	pi, err := sp.StationaryPower(1e-12, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := WalkStationary(g)
+	if tv := tvDist(pi, want); tv > 1e-8 {
+		t.Fatalf("walk stationary TV = %v", tv)
+	}
+}
+
+func TestWalkStationaryClosedForm(t *testing.T) {
+	g := graph.Path(4)
+	pi := WalkStationary(g)
+	// Degrees 1,2,2,1; 2m = 6.
+	want := []float64{1.0 / 6, 2.0 / 6, 2.0 / 6, 1.0 / 6}
+	for i := range pi {
+		if !almostEq(pi[i], want[i], 1e-12) {
+			t.Fatalf("pi = %v", pi)
+		}
+	}
+}
+
+func TestWalkStationaryEmptyGraph(t *testing.T) {
+	b := graph.NewBuilder(3)
+	g := b.Build()
+	pi := WalkStationary(g)
+	for _, p := range pi {
+		if !almostEq(p, 1.0/3, 1e-12) {
+			t.Fatalf("empty graph stationary should be uniform: %v", pi)
+		}
+	}
+}
+
+func TestRandomWalkChainIsolatedVertex(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	sp := RandomWalkChain(g)
+	dist := []float64{0, 0, 1}
+	out := sp.EvolveDist(dist)
+	if out[2] != 1 {
+		t.Fatal("isolated vertex should self-loop")
+	}
+}
+
+func TestLazyWalkPanicsOnBadStay(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stay=1 did not panic")
+		}
+	}()
+	LazyRandomWalkChain(graph.Cycle(4), 1)
+}
+
+func TestSparseSamplerMatchesChain(t *testing.T) {
+	g := graph.Star(5)
+	sp := RandomWalkChain(g)
+	sampler := NewSparseSampler(sp)
+	r := rng.New(43)
+	// From the hub (vertex 0), all leaves equally likely.
+	counts := make([]int, 5)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		counts[sampler.Next(0, r)]++
+	}
+	if counts[0] != 0 {
+		t.Fatal("hub should never self-transition")
+	}
+	for v := 1; v < 5; v++ {
+		got := float64(counts[v]) / trials
+		if got < 0.22 || got > 0.28 {
+			t.Fatalf("leaf %d frequency %v, want ~0.25", v, got)
+		}
+	}
+	if sampler.N() != 5 {
+		t.Fatal("sampler N wrong")
+	}
+}
+
+func TestTwoStateClosedForms(t *testing.T) {
+	ts := TwoState{P: 0.2, Q: 0.3}
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(ts.StationaryOn(), 0.4, 1e-12) {
+		t.Fatal("StationaryOn wrong")
+	}
+	if !almostEq(ts.SecondEigenvalue(), 0.5, 1e-12) {
+		t.Fatal("SecondEigenvalue wrong")
+	}
+	// OnAfter converges to stationary.
+	if !almostEq(ts.OnAfter(1000, false), 0.4, 1e-9) {
+		t.Fatal("OnAfter should converge to stationary")
+	}
+	// One-step transition matches the matrix.
+	if !almostEq(ts.OnAfter(1, false), 0.2, 1e-12) {
+		t.Fatalf("OnAfter(1, off) = %v, want 0.2", ts.OnAfter(1, false))
+	}
+	if !almostEq(ts.OnAfter(1, true), 0.7, 1e-12) {
+		t.Fatalf("OnAfter(1, on) = %v, want 0.7", ts.OnAfter(1, true))
+	}
+}
+
+func TestTwoStateOnAfterMatchesMatrixPower(t *testing.T) {
+	ts := TwoState{P: 0.15, Q: 0.05}
+	c := ts.Chain()
+	for _, steps := range []int{1, 2, 5, 17} {
+		p := c.Power(steps)
+		if !almostEq(ts.OnAfter(steps, false), p.At(0, 1), 1e-12) {
+			t.Fatalf("OnAfter(%d, off) mismatch", steps)
+		}
+		if !almostEq(ts.OnAfter(steps, true), p.At(1, 1), 1e-12) {
+			t.Fatalf("OnAfter(%d, on) mismatch", steps)
+		}
+	}
+}
+
+func TestTwoStateValidate(t *testing.T) {
+	if err := (TwoState{P: -0.1, Q: 0.5}).Validate(); err == nil {
+		t.Fatal("negative p accepted")
+	}
+	if err := (TwoState{P: 0, Q: 0}).Validate(); err == nil {
+		t.Fatal("p=q=0 accepted")
+	}
+	if err := (TwoState{P: 0.5, Q: 1.5}).Validate(); err == nil {
+		t.Fatal("q>1 accepted")
+	}
+}
+
+func TestTwoStateMixingTimeEdgeCases(t *testing.T) {
+	if (TwoState{P: 0.5, Q: 0.5}).MixingTime(0.25) != 1 {
+		t.Fatal("p+q=1 should mix in one step")
+	}
+	slow := TwoState{P: 0.001, Q: 0.001}
+	fast := TwoState{P: 0.1, Q: 0.1}
+	if slow.MixingTime(0.25) <= fast.MixingTime(0.25) {
+		t.Fatal("slower chain should have larger mixing time")
+	}
+}
+
+func TestUniformChainRows(t *testing.T) {
+	c := UniformChain(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !almostEq(c.At(i, j), 1.0/3, 1e-12) {
+				t.Fatal("uniform chain entries wrong")
+			}
+		}
+	}
+}
+
+func BenchmarkSparseEvolve(b *testing.B) {
+	g := graph.Grid(50, 50)
+	sp := LazyRandomWalkChain(g, 0.5)
+	dist := make([]float64, g.N())
+	dist[0] = 1
+	out := make([]float64, g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.EvolveDistInto(dist, out)
+		dist, out = out, dist
+	}
+}
+
+func BenchmarkDenseMul(b *testing.B) {
+	r := rng.New(1)
+	c := randomChain(64, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Mul(c)
+	}
+}

@@ -1,0 +1,111 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// StationaryPower estimates the stationary distribution of the chain by lazy
+// power iteration from the uniform distribution. It converges for any
+// irreducible chain (the lazy step handles periodicity) and returns an error
+// after maxIter non-converged iterations.
+func (c *Chain) StationaryPower(tol float64, maxIter int) ([]float64, error) {
+	cur := uniformDist(c.n)
+	for it := 0; it < maxIter; it++ {
+		step := c.EvolveDist(cur)
+		next := make([]float64, c.n)
+		for j := range next {
+			next[j] = (cur[j] + step[j]) / 2
+		}
+		if tvDist(cur, next) < tol {
+			return next, nil
+		}
+		cur = next
+	}
+	return nil, fmt.Errorf("%w after %d iterations", errNotConverged, maxIter)
+}
+
+// StationaryExact solves the linear system π P = π, Σπ = 1 by Gaussian
+// elimination with partial pivoting. It is exact up to floating point for
+// chains with a unique stationary distribution and costs O(n³).
+func (c *Chain) StationaryExact() ([]float64, error) {
+	n := c.n
+	// Build A = Pᵀ - I; replace the last equation with Σπ = 1.
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = c.At(j, i)
+		}
+		a[i][i] -= 1
+	}
+	for j := 0; j < n; j++ {
+		a[n-1][j] = 1
+	}
+	b[n-1] = 1
+
+	pi, err := solveLinear(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("markov: stationary solve failed: %w", err)
+	}
+	// Clean tiny negatives from roundoff and renormalize.
+	total := 0.0
+	for i, v := range pi {
+		if v < 0 {
+			if v < -1e-8 {
+				return nil, fmt.Errorf("markov: stationary solution has negative mass %v at state %d", v, i)
+			}
+			pi[i] = 0
+		}
+		total += pi[i]
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("markov: stationary solution degenerate")
+	}
+	for i := range pi {
+		pi[i] /= total
+	}
+	return pi, nil
+}
+
+// solveLinear solves a x = b in place by Gaussian elimination with partial
+// pivoting. a is destroyed.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-14 {
+			return nil, fmt.Errorf("singular system at column %d", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for k := r + 1; k < n; k++ {
+			sum -= a[r][k] * x[k]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,91 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// TwoState is the two-state birth/death chain that drives every edge of the
+// basic edge-MEG model of [Clementi et al., PODC 2008]: state 0 is "off",
+// state 1 is "on"; an off edge turns on with probability P (birth rate) and
+// an on edge turns off with probability Q (death rate).
+//
+// All the quantities the paper quotes for this chain have closed forms,
+// implemented here: the stationary law (q, p)/(p+q), the TV decay
+// |1-p-q|^t, and the mixing time Θ(1/(p+q)).
+type TwoState struct {
+	P float64 // birth rate: P(0 -> 1)
+	Q float64 // death rate: P(1 -> 0)
+}
+
+// Validate returns an error unless 0 <= P, Q <= 1 and the chain is ergodic
+// (P + Q > 0).
+func (ts TwoState) Validate() error {
+	if ts.P < 0 || ts.P > 1 || math.IsNaN(ts.P) {
+		return fmt.Errorf("markov: two-state birth rate %v out of [0,1]", ts.P)
+	}
+	if ts.Q < 0 || ts.Q > 1 || math.IsNaN(ts.Q) {
+		return fmt.Errorf("markov: two-state death rate %v out of [0,1]", ts.Q)
+	}
+	if ts.P+ts.Q == 0 {
+		return fmt.Errorf("markov: two-state chain with p = q = 0 is not ergodic")
+	}
+	return nil
+}
+
+// Chain returns the dense 2x2 transition matrix.
+func (ts TwoState) Chain() *Chain {
+	return MustChain([][]float64{
+		{1 - ts.P, ts.P},
+		{ts.Q, 1 - ts.Q},
+	})
+}
+
+// StationaryOn returns the stationary probability that the edge is on:
+// p / (p + q). This is the α of the edge-MEG instantiation of Theorem 1.
+func (ts TwoState) StationaryOn() float64 {
+	return ts.P / (ts.P + ts.Q)
+}
+
+// SecondEigenvalue returns λ₂ = 1 - p - q, which governs the geometric TV
+// decay.
+func (ts TwoState) SecondEigenvalue() float64 {
+	return 1 - ts.P - ts.Q
+}
+
+// TVAt returns the worst-start total-variation distance from stationarity
+// after t steps: max(π₀, π₁)·|1-p-q|^t.
+func (ts TwoState) TVAt(t int) float64 {
+	pi1 := ts.StationaryOn()
+	pi0 := 1 - pi1
+	return math.Max(pi0, pi1) * math.Pow(math.Abs(ts.SecondEigenvalue()), float64(t))
+}
+
+// MixingTime returns the smallest t with worst-start TV <= eps, from the
+// closed form. A chain with λ₂ = 0 (p + q = 1) mixes in one step.
+func (ts TwoState) MixingTime(eps float64) int {
+	lam := math.Abs(ts.SecondEigenvalue())
+	if lam == 0 {
+		return 1
+	}
+	m := math.Max(1-ts.StationaryOn(), ts.StationaryOn())
+	if m <= eps {
+		return 1
+	}
+	t := math.Log(eps/m) / math.Log(lam)
+	return int(math.Ceil(t))
+}
+
+// OnAfter returns P(state = on at time t | state(0) = on0), the t-step
+// transition probability in closed form:
+//
+//	P^t(x, on) = π_on + (1{x=on} - π_on)·(1-p-q)^t.
+func (ts TwoState) OnAfter(t int, on0 bool) float64 {
+	pi := ts.StationaryOn()
+	lam := math.Pow(ts.SecondEigenvalue(), float64(t))
+	x := 0.0
+	if on0 {
+		x = 1
+	}
+	return pi + (x-pi)*lam
+}

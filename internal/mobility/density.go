@@ -1,0 +1,136 @@
+package mobility
+
+import (
+	"math"
+
+	"repro/internal/geometry"
+	"repro/internal/stats"
+)
+
+// Positioned is any mobility model exposing continuous node positions.
+type Positioned interface {
+	Positions() []geometry.Point
+	Step()
+}
+
+// PositionalDensity runs the model for steps time units, sampling every
+// node's position every sampleEvery steps into a bins x bins histogram over
+// [0, L]². The returned histogram estimates the stationary positional
+// density F(·) of Corollary 4 (assuming the model was warmed up).
+func PositionalDensity(m Positioned, L float64, bins, steps, sampleEvery int) *stats.Hist2D {
+	h := stats.NewHist2D(0, L, bins)
+	for t := 0; t < steps; t++ {
+		if t%sampleEvery == 0 {
+			for _, p := range m.Positions() {
+				h.Add(p.X, p.Y)
+			}
+		}
+		m.Step()
+	}
+	return h
+}
+
+// WaypointDensity returns the Bettstetter–Resta–Santi polynomial
+// approximation of the random waypoint's stationary positional density on
+// the square [0, L]²:
+//
+//	f(x, y) ≈ (36 / L⁶) · x (L − x) · y (L − y)
+//
+// It integrates to 1 over the square and exhibits the center bias the paper
+// emphasizes ("highly biased towards the center of the square"): the center
+// density is 2.25/L², 2.25× uniform.
+func WaypointDensity(x, y, L float64) float64 {
+	if x < 0 || x > L || y < 0 || y > L {
+		return 0
+	}
+	return 36 / math.Pow(L, 6) * x * (L - x) * y * (L - y)
+}
+
+// UniformityReport captures the measured constants of Corollary 4's
+// conditions on a positional density F over a square region R of side L:
+//
+//	(a) ∀u: F(u) <= δ / vol(R)            — Delta is the smallest such δ
+//	(b) ∃B:  vol(B_r) >= λ vol(R) and F >= 1/(δ vol(R)) on B
+//	                                       — Lambda is the measured λ
+type UniformityReport struct {
+	Delta  float64 // sup F · vol(R)
+	Lambda float64 // vol(B_r) / vol(R) for B = {F >= 1/(δ vol)}
+	// TVToUniform is the total-variation distance of the cell distribution
+	// from uniform — a scalar summary of how non-uniform the density is.
+	TVToUniform float64
+}
+
+// MeasureUniformity computes the Corollary 4 constants from an empirical
+// density histogram. r is the transmission radius: B_r keeps only the cells
+// all of whose neighbors within distance r also lie in B, the discrete
+// version of "D(u, r) ⊆ B".
+func MeasureUniformity(h *stats.Hist2D, L, r float64) UniformityReport {
+	density := h.Density()
+	vol := L * L
+	sup := 0.0
+	for _, d := range density {
+		if d > sup {
+			sup = d
+		}
+	}
+	delta := sup * vol
+	// B: cells with density >= 1/(δ·vol), per condition (b). For a uniform
+	// density (δ = 1) the threshold equals the density everywhere, so B is
+	// the whole square.
+	threshold := 1 / (delta * vol)
+	bins := h.Bins
+	inB := make([]bool, bins*bins)
+	for i, d := range density {
+		inB[i] = d >= threshold
+	}
+	// B_r: cells whose whole r-neighborhood (in cell units) lies in B.
+	side := L / float64(bins)
+	reach := int(math.Ceil(r / side))
+	inBr := 0
+	for i := 0; i < bins; i++ {
+		for j := 0; j < bins; j++ {
+			if !inB[i*bins+j] {
+				continue
+			}
+			ok := true
+			for di := -reach; di <= reach && ok; di++ {
+				for dj := -reach; dj <= reach && ok; dj++ {
+					ni, nj := i+di, j+dj
+					if ni < 0 || ni >= bins || nj < 0 || nj >= bins {
+						ok = false // the r-ball leaves the region
+						break
+					}
+					if !inB[ni*bins+nj] {
+						ok = false
+					}
+				}
+			}
+			if ok {
+				inBr++
+			}
+		}
+	}
+	return UniformityReport{
+		Delta:       delta,
+		Lambda:      float64(inBr) / float64(bins*bins),
+		TVToUniform: h.TVToUniform(),
+	}
+}
+
+// DensityTVToAnalytic compares an empirical positional histogram with a
+// reference density f(x, y) (e.g. WaypointDensity), returning the
+// total-variation distance between the two cell distributions.
+func DensityTVToAnalytic(h *stats.Hist2D, L float64, f func(x, y float64) float64) float64 {
+	bins := h.Bins
+	side := L / float64(bins)
+	ref := make([]float64, bins*bins)
+	for i := 0; i < bins; i++ {
+		for j := 0; j < bins; j++ {
+			x, y := h.CellCenter(i, j)
+			ref[i*bins+j] = f(x, y) * side * side
+		}
+	}
+	stats.Normalize(ref)
+	emp := stats.CountsToDist(h.Counts)
+	return stats.TV(emp, ref)
+}

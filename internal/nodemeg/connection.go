@@ -1,0 +1,103 @@
+package nodemeg
+
+import (
+	"math"
+)
+
+// SameState connects two nodes exactly when they occupy the same state —
+// the connection map of the random-path models of Section 4.1, where
+// "two nodes are connected, at any given time t, if they are in the same
+// point at time t".
+type SameState struct {
+	S int
+}
+
+var _ ConnectionMap = SameState{}
+var _ NeighborEnumerator = SameState{}
+
+// NumStates implements ConnectionMap.
+func (c SameState) NumStates() int { return c.S }
+
+// Connected implements ConnectionMap.
+func (c SameState) Connected(u, v int) bool { return u == v }
+
+// NeighborStates implements NeighborEnumerator: Γ(s) = {s}.
+func (c SameState) NeighborStates(s int) []int32 { return []int32{int32(s)} }
+
+// GridRadius connects two nodes when their states, interpreted as points of
+// an m x m grid (state = i*m + j), are within Euclidean distance R in grid
+// units — the connection map of the discretized geometric mobility models.
+// Neighbor state lists are precomputed at construction.
+type GridRadius struct {
+	m     int
+	r     float64
+	gamma [][]int32
+}
+
+var _ ConnectionMap = (*GridRadius)(nil)
+var _ NeighborEnumerator = (*GridRadius)(nil)
+
+// NewGridRadius builds the map for an m x m grid and radius r >= 0. r = 0
+// degenerates to SameState semantics (same point only).
+func NewGridRadius(m int, r float64) *GridRadius {
+	if m < 1 {
+		panic("nodemeg: NewGridRadius needs m >= 1")
+	}
+	if r < 0 || math.IsNaN(r) {
+		panic("nodemeg: NewGridRadius needs r >= 0")
+	}
+	g := &GridRadius{m: m, r: r, gamma: make([][]int32, m*m)}
+	ri := int(r)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			var nbrs []int32
+			for di := -ri; di <= ri; di++ {
+				ni := i + di
+				if ni < 0 || ni >= m {
+					continue
+				}
+				for dj := -ri; dj <= ri; dj++ {
+					nj := j + dj
+					if nj < 0 || nj >= m {
+						continue
+					}
+					if float64(di*di+dj*dj) <= r*r {
+						nbrs = append(nbrs, int32(ni*m+nj))
+					}
+				}
+			}
+			g.gamma[i*m+j] = nbrs
+		}
+	}
+	return g
+}
+
+// NumStates implements ConnectionMap.
+func (g *GridRadius) NumStates() int { return g.m * g.m }
+
+// Connected implements ConnectionMap.
+func (g *GridRadius) Connected(u, v int) bool {
+	ui, uj := u/g.m, u%g.m
+	vi, vj := v/g.m, v%g.m
+	di, dj := float64(ui-vi), float64(uj-vj)
+	return di*di+dj*dj <= g.r*g.r
+}
+
+// NeighborStates implements NeighborEnumerator.
+func (g *GridRadius) NeighborStates(s int) []int32 { return g.gamma[s] }
+
+// FuncMap adapts an arbitrary symmetric predicate as a ConnectionMap, for
+// tests and ad-hoc models. It cannot enumerate neighbor states, so
+// simulations fall back to O(n) scans.
+type FuncMap struct {
+	S  int
+	Fn func(u, v int) bool
+}
+
+var _ ConnectionMap = FuncMap{}
+
+// NumStates implements ConnectionMap.
+func (f FuncMap) NumStates() int { return f.S }
+
+// Connected implements ConnectionMap.
+func (f FuncMap) Connected(u, v int) bool { return f.Fn(u, v) }

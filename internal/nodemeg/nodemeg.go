@@ -1,0 +1,148 @@
+// Package nodemeg implements the paper's node-Markovian evolving graphs
+// NM(n, M, C) (Section 4): every node independently follows a Markov chain
+// M over states S, and two nodes are connected at time t exactly when the
+// symmetric connection map C of their current states is 1.
+//
+// The package provides the general simulator (any chain, any connection
+// map), the state-bucket index that makes neighbor queries cheap when the
+// connection map can enumerate Γ(s), and the exact stationary quantities of
+// Fact 2 — P_NM, P_NM2 and η = P_NM2 / P_NM² — that drive Theorem 3.
+package nodemeg
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// ConnectionMap is the symmetric map C: S × S → {0, 1} of a node-MEG.
+// Implementations must be symmetric: Connected(u, v) == Connected(v, u).
+type ConnectionMap interface {
+	// NumStates returns |S|.
+	NumStates() int
+	// Connected reports C(u, v) = 1.
+	Connected(u, v int) bool
+}
+
+// NeighborEnumerator is an optional extension of ConnectionMap that
+// enumerates Γ(s) = {s' : C(s, s') = 1}. When available, the simulator
+// answers neighbor queries in O(|Γ(s)| + matches) instead of O(n), and the
+// theory functions run in O(S·|Γ|) instead of O(S²).
+type NeighborEnumerator interface {
+	// NeighborStates returns Γ(s). The returned slice is shared and must
+	// not be modified.
+	NeighborStates(s int) []int32
+}
+
+// StateSampler draws Markov chain transitions. Both markov.Sampler (dense)
+// and markov.SparseSampler satisfy it.
+type StateSampler interface {
+	// Next samples the successor of state s.
+	Next(s int, r *rng.RNG) int
+	// N returns the number of states.
+	N() int
+}
+
+// Sim simulates a node-MEG as a dyngraph.Dynamic.
+type Sim struct {
+	n       int
+	sampler StateSampler
+	conn    ConnectionMap
+	enum    NeighborEnumerator // nil when conn cannot enumerate
+	r       *rng.RNG
+	states  []int32
+	buckets [][]int32 // nodes per state
+}
+
+// NewSim creates a node-MEG simulator with each node's initial state drawn
+// independently from init (a distribution over states). Pass the chain's
+// stationary distribution for a stationary start.
+func NewSim(n int, sampler StateSampler, conn ConnectionMap, init []float64, r *rng.RNG) (*Sim, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("nodemeg: need n >= 1, got %d", n)
+	}
+	if sampler.N() != conn.NumStates() {
+		return nil, fmt.Errorf("nodemeg: chain has %d states, connection map %d", sampler.N(), conn.NumStates())
+	}
+	if len(init) != sampler.N() {
+		return nil, fmt.Errorf("nodemeg: init has %d entries, chain has %d states", len(init), sampler.N())
+	}
+	s := &Sim{
+		n:       n,
+		sampler: sampler,
+		conn:    conn,
+		r:       r,
+		states:  make([]int32, n),
+		buckets: make([][]int32, sampler.N()),
+	}
+	if e, ok := conn.(NeighborEnumerator); ok {
+		s.enum = e
+	}
+	alias := rng.NewAlias(init)
+	for i := range s.states {
+		s.states[i] = int32(alias.Sample(r))
+	}
+	s.rebuildBuckets()
+	return s, nil
+}
+
+func (s *Sim) rebuildBuckets() {
+	for st := range s.buckets {
+		s.buckets[st] = s.buckets[st][:0]
+	}
+	for i, st := range s.states {
+		s.buckets[st] = append(s.buckets[st], int32(i))
+	}
+}
+
+// N implements dyngraph.Dynamic.
+func (s *Sim) N() int { return s.n }
+
+// Step implements dyngraph.Dynamic: every node's state advances one step of
+// M independently.
+func (s *Sim) Step() {
+	for i, st := range s.states {
+		s.states[i] = int32(s.sampler.Next(int(st), s.r))
+	}
+	s.rebuildBuckets()
+}
+
+// WarmUp advances the process by steps without any observation, used to
+// approach stationarity from a non-stationary start.
+func (s *Sim) WarmUp(steps int) {
+	for t := 0; t < steps; t++ {
+		s.Step()
+	}
+}
+
+// ForEachNeighbor implements dyngraph.Dynamic.
+func (s *Sim) ForEachNeighbor(i int, fn func(j int)) {
+	ui := s.states[i]
+	if s.enum != nil {
+		for _, v := range s.enum.NeighborStates(int(ui)) {
+			for _, j := range s.buckets[v] {
+				if int(j) != i {
+					fn(int(j))
+				}
+			}
+		}
+		return
+	}
+	for j, uj := range s.states {
+		if j != i && s.conn.Connected(int(ui), int(uj)) {
+			fn(j)
+		}
+	}
+}
+
+// State returns node i's current chain state.
+func (s *Sim) State(i int) int { return int(s.states[i]) }
+
+// StateCounts returns the number of nodes currently in each state.
+func (s *Sim) StateCounts() []int {
+	counts := make([]int, len(s.buckets))
+	for st, b := range s.buckets {
+		counts[st] = len(b)
+	}
+	return counts
+}

@@ -1,0 +1,99 @@
+package nodemeg
+
+import (
+	"fmt"
+
+	"repro/internal/dyngraph"
+)
+
+// Q returns the vector q(x) = π(Γ(x)) = Σ_{y: C(x,y)=1} π(y): the
+// stationary probability that a fixed node is connected to another fixed
+// node whose state is x. It is the basic quantity of Fact 2 and Lemma 15.
+func Q(pi []float64, conn ConnectionMap) []float64 {
+	s := conn.NumStates()
+	if len(pi) != s {
+		panic(fmt.Sprintf("nodemeg: pi has %d entries, map has %d states", len(pi), s))
+	}
+	q := make([]float64, s)
+	if e, ok := conn.(NeighborEnumerator); ok {
+		for x := 0; x < s; x++ {
+			sum := 0.0
+			for _, y := range e.NeighborStates(x) {
+				sum += pi[y]
+			}
+			q[x] = sum
+		}
+		return q
+	}
+	for x := 0; x < s; x++ {
+		sum := 0.0
+		for y := 0; y < s; y++ {
+			if conn.Connected(x, y) {
+				sum += pi[y]
+			}
+		}
+		q[x] = sum
+	}
+	return q
+}
+
+// PNM returns the stationary probability that a fixed pair of nodes is
+// connected: P_NM = Σ_x π(x) q(x). By Fact 2 it does not depend on the
+// choice of the pair.
+func PNM(pi []float64, conn ConnectionMap) float64 {
+	q := Q(pi, conn)
+	total := 0.0
+	for x, p := range pi {
+		total += p * q[x]
+	}
+	return total
+}
+
+// PNM2 returns the stationary probability that two fixed nodes are both
+// connected to a third fixed node: P_NM2 = Σ_x π(x) q(x)².
+func PNM2(pi []float64, conn ConnectionMap) float64 {
+	q := Q(pi, conn)
+	total := 0.0
+	for x, p := range pi {
+		total += p * q[x] * q[x]
+	}
+	return total
+}
+
+// Eta returns η = P_NM2 / P_NM², the pairwise-independence parameter of
+// Theorem 3. η = 1 means incident edges are exactly pairwise independent;
+// Theorem 3 needs η = O(1) (or polylog) for a near-tight flooding bound.
+func Eta(pi []float64, conn ConnectionMap) float64 {
+	p := PNM(pi, conn)
+	if p == 0 {
+		return 0
+	}
+	return PNM2(pi, conn) / (p * p)
+}
+
+// Empirical measures P_NM and P_NM2 from a running node-MEG by sampling
+// snapshots: at each of `samples` observation epochs separated by `gap`
+// steps it checks whether nodes (0, 1) are connected and whether nodes 1
+// and 2 are both connected to node 0. It returns the two empirical
+// frequencies, used by tests and E8 to validate the exact formulas.
+func Empirical(sim *Sim, samples, gap int) (pnm, pnm2 float64) {
+	if sim.N() < 3 {
+		panic("nodemeg: Empirical needs at least 3 nodes")
+	}
+	var hits12, hitsBoth int
+	for s := 0; s < samples; s++ {
+		if sim.conn.Connected(sim.State(0), sim.State(1)) {
+			hits12++
+		}
+		if sim.conn.Connected(sim.State(0), sim.State(1)) && sim.conn.Connected(sim.State(0), sim.State(2)) {
+			hitsBoth++
+		}
+		for g := 0; g < gap; g++ {
+			sim.Step()
+		}
+	}
+	return float64(hits12) / float64(samples), float64(hitsBoth) / float64(samples)
+}
+
+// Compile-time check that Sim satisfies the dynamic-graph contract.
+var _ dyngraph.Dynamic = (*Sim)(nil)

@@ -1,0 +1,146 @@
+package randompath
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// EdgePaths returns the family containing (u, v) and (v, u) for every edge
+// of h. The resulting model is exactly the random walk over h (ρ = 1): at
+// every step a node jumps to a uniform neighbor. The family is simple and
+// reversible, with #P(u) = deg(u).
+func EdgePaths(h *graph.Graph) []Path {
+	out := make([]Path, 0, 2*h.M())
+	for _, e := range h.Edges() {
+		u, v := int32(e[0]), int32(e[1])
+		out = append(out, Path{u, v}, Path{v, u})
+	}
+	return out
+}
+
+// GridLPaths returns, for every ordered pair (u, v) of distinct points of
+// an m x m grid, the two L-shaped shortest paths between them (row-first
+// and column-first; they coincide when the points share a row or column).
+// This realizes the paper's "basic instance ... H is a grid and the
+// feasible paths are the shortest ones" with a polynomial-size family that
+// is simple and reversible: the reverse of a row-first path is the
+// column-first path of the reversed pair.
+func GridLPaths(m int) []Path {
+	if m < 2 {
+		panic("randompath: GridLPaths needs m >= 2")
+	}
+	points := m * m
+	var out []Path
+	for u := 0; u < points; u++ {
+		ui, uj := u/m, u%m
+		for v := 0; v < points; v++ {
+			if u == v {
+				continue
+			}
+			vi, vj := v/m, v%m
+			rowFirst := lPath(ui, uj, vi, vj, m, true)
+			out = append(out, rowFirst)
+			if ui != vi && uj != vj {
+				out = append(out, lPath(ui, uj, vi, vj, m, false))
+			}
+		}
+	}
+	return out
+}
+
+// lPath builds the L-shaped path from (ui, uj) to (vi, vj). rowFirst moves
+// along the row index first, then the column index.
+func lPath(ui, uj, vi, vj, m int, rowFirst bool) Path {
+	p := Path{int32(ui*m + uj)}
+	ci, cj := ui, uj
+	stepRow := func() {
+		for ci != vi {
+			if ci < vi {
+				ci++
+			} else {
+				ci--
+			}
+			p = append(p, int32(ci*m+cj))
+		}
+	}
+	stepCol := func() {
+		for cj != vj {
+			if cj < vj {
+				cj++
+			} else {
+				cj--
+			}
+			p = append(p, int32(ci*m+cj))
+		}
+	}
+	if rowFirst {
+		stepRow()
+		stepCol()
+	} else {
+		stepCol()
+		stepRow()
+	}
+	return p
+}
+
+// StarPaths returns a deliberately congested family on the m x m grid: for
+// every point u other than the center, the row-first L-path from u to the
+// center and its reverse. Every path passes through the center, so
+// #P(center) ≈ |V| while typical points see O(m) paths — a δ-regularity
+// violation used by experiment E10 to show the flooding penalty that
+// Corollary 5 predicts for congested crossroads.
+func StarPaths(m int) []Path {
+	if m < 2 {
+		panic("randompath: StarPaths needs m >= 2")
+	}
+	center := (m/2)*m + m/2
+	ci, cj := center/m, center%m
+	var out []Path
+	for u := 0; u < m*m; u++ {
+		if u == center {
+			continue
+		}
+		ui, uj := u/m, u%m
+		toCenter := lPath(ui, uj, ci, cj, m, true)
+		out = append(out, toCenter, reversePath(toCenter))
+	}
+	return out
+}
+
+// reversePath returns a new Path traversing p backwards.
+func reversePath(p Path) Path {
+	out := make(Path, len(p))
+	for i, v := range p {
+		out[len(p)-1-i] = v
+	}
+	return out
+}
+
+// MakeReversible returns the family extended with any missing reverse
+// paths, so that Model.IsReversible holds.
+func MakeReversible(paths []Path) []Path {
+	index := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		index[pathKey(p)] = true
+	}
+	out := append([]Path(nil), paths...)
+	for _, p := range paths {
+		r := reversePath(p)
+		if k := pathKey(r); !index[k] {
+			index[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// NewGridWalk builds the random-walk-over-H model for an arbitrary graph,
+// via the edge family. It errors on graphs with isolated vertices (no
+// outgoing paths).
+func NewGridWalk(h *graph.Graph) (*Model, error) {
+	if h.Degrees().Min == 0 {
+		return nil, fmt.Errorf("randompath: graph has isolated vertices")
+	}
+	return New(h, EdgePaths(h))
+}

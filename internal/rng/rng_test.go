@@ -1,0 +1,217 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical first output")
+	}
+	// Parent continues after splits without repeating child outputs.
+	p := r.Uint64()
+	if p == c1.state || p == c2.state {
+		t.Fatal("parent output collided with child state")
+	}
+}
+
+func TestSplitN(t *testing.T) {
+	r := New(3)
+	gens := r.SplitN(8)
+	seen := make(map[uint64]bool)
+	for _, g := range gens {
+		v := g.Uint64()
+		if seen[v] {
+			t.Fatal("SplitN produced colliding streams")
+		}
+		seen[v] = true
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(17)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(19)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d: count %d too far from %v", i, c, want)
+		}
+	}
+}
+
+func TestBoolEdgeCases(t *testing.T) {
+	r := New(23)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	r := New(29)
+	const p, trials = 0.3, 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bool(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-p) > 0.01 {
+		t.Fatalf("Bool(%v) frequency %v", p, got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(31)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := New(37)
+	for i := 0; i < 10000; i++ {
+		v := r.Range(2.5, 7.5)
+		if v < 2.5 || v >= 7.5 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(41)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestSeedDeterministicAndDistinct(t *testing.T) {
+	if Seed(1, 2, 3) != Seed(1, 2, 3) {
+		t.Fatal("Seed not deterministic")
+	}
+	if Seed(1, 2, 3) == Seed(1, 3, 2) {
+		t.Fatal("Seed ignores tag order")
+	}
+	if Seed(1, 2) == Seed(2, 2) {
+		t.Fatal("Seed ignores base")
+	}
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	r := New(43)
+	for i := 0; i < 1000; i++ {
+		v := r.Uint64n(64)
+		if v >= 64 {
+			t.Fatalf("Uint64n(64) = %d", v)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package rng
+
+import "math"
+
+// Geometric returns the number of independent Bernoulli(p) failures before
+// the first success, i.e. a sample from the geometric distribution on
+// {0, 1, 2, ...} with success probability p. It panics if p <= 0 or p > 1.
+//
+// Sampling uses inversion: floor(ln U / ln(1-p)) for U uniform in (0, 1].
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric needs 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	// 1 - Float64() is uniform in (0, 1], avoiding log(0).
+	u := 1 - r.Float64()
+	g := math.Floor(math.Log(u) / math.Log(1-p))
+	if g < 0 {
+		return 0
+	}
+	if g > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(g)
+}
+
+// Binomial returns an exact sample from Binomial(n, p).
+//
+// For small n it sums Bernoulli trials. For larger n with small success
+// counts it uses geometric skipping, which costs O(np) expected time — the
+// same order as the number of successes the caller must then process, so it
+// never dominates the caller's own work. For large n with large np it falls
+// back to the BTRS-free inversion on the complementary parameter so the
+// expected cost stays O(n · min(p, 1-p)).
+func (r *RNG) Binomial(n int, p float64) int {
+	switch {
+	case n < 0:
+		panic("rng: Binomial needs n >= 0")
+	case n == 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	}
+	// Work with the smaller tail; successes under p' = 1-p convert back as
+	// n - k.
+	if p > 0.5 {
+		return n - r.Binomial(n, 1-p)
+	}
+	if n <= 32 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	// Geometric skipping: jump over runs of failures.
+	k := 0
+	i := r.Geometric(p)
+	for i < n {
+		k++
+		i += 1 + r.Geometric(p)
+	}
+	return k
+}
+
+// Poisson returns an exact sample from Poisson(lambda) using Knuth's
+// multiplication method for small lambda and splitting for large lambda.
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	// Split large rates to avoid exp underflow: Poisson(a+b) is the sum of
+	// independent Poisson(a) and Poisson(b).
+	const chunk = 500.0
+	k := 0
+	for lambda > chunk {
+		k += r.Poisson(chunk)
+		lambda -= chunk
+	}
+	limit := math.Exp(-lambda)
+	prod := r.Float64()
+	for prod > limit {
+		k++
+		prod *= r.Float64()
+	}
+	return k
+}
+
+// Exponential returns a sample from Exp(rate).
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exponential needs rate > 0")
+	}
+	u := 1 - r.Float64()
+	return -math.Log(u) / rate
+}
+
+// Categorical samples an index from the (not necessarily normalized)
+// non-negative weight vector w by inverse-CDF scanning. It panics if all
+// weights are zero or any weight is negative. For repeated sampling from the
+// same weights prefer NewAlias.
+func (r *RNG) Categorical(w []float64) int {
+	total := 0.0
+	for _, x := range w {
+		if x < 0 || math.IsNaN(x) {
+			panic("rng: Categorical needs non-negative weights")
+		}
+		total += x
+	}
+	if total <= 0 {
+		panic("rng: Categorical needs a positive total weight")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		if u < acc {
+			return i
+		}
+	}
+	// Floating-point slack: return the last positive-weight index.
+	for i := len(w) - 1; i >= 0; i-- {
+		if w[i] > 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// SampleDistinct returns k distinct uniform values from [0, n) in
+// unspecified order. It panics if k > n or k < 0. It uses Floyd's algorithm,
+// costing O(k) expected time and O(k) space regardless of n.
+func (r *RNG) SampleDistinct(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: SampleDistinct needs 0 <= k <= n")
+	}
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}

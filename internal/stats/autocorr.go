@@ -1,0 +1,56 @@
+package stats
+
+import "math"
+
+// Autocorrelation returns the lag-k sample autocorrelation of xs:
+//
+//	r_k = Σ_{t<n-k} (x_t - x̄)(x_{t+k} - x̄) / Σ_t (x_t - x̄)²
+//
+// It returns NaN for k < 0, k >= len(xs), or a constant series. Used to
+// quantify temporal burstiness of edge processes (E16): a two-state chain
+// has r_k = (1-p-q)^k exactly; heavier-than-geometric decay indicates
+// multi-timescale dynamics.
+func Autocorrelation(xs []float64, k int) float64 {
+	n := len(xs)
+	if k < 0 || k >= n {
+		return math.NaN()
+	}
+	mean := Mean(xs)
+	var num, den float64
+	for t := 0; t < n; t++ {
+		d := xs[t] - mean
+		den += d * d
+		if t+k < n {
+			num += d * (xs[t+k] - mean)
+		}
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+// AutocorrelationFn returns r_1..r_maxLag as a slice.
+func AutocorrelationFn(xs []float64, maxLag int) []float64 {
+	out := make([]float64, maxLag)
+	for k := 1; k <= maxLag; k++ {
+		out[k-1] = Autocorrelation(xs, k)
+	}
+	return out
+}
+
+// IntegratedAutocorrelationTime returns 1 + 2·Σ_{k>=1} r_k, truncated at
+// the first non-positive r_k (the standard initial-positive-sequence
+// estimator). It measures how many steps of a stationary series equal one
+// independent sample — the simulation-side cousin of the mixing time.
+func IntegratedAutocorrelationTime(xs []float64, maxLag int) float64 {
+	tau := 1.0
+	for k := 1; k <= maxLag && k < len(xs); k++ {
+		r := Autocorrelation(xs, k)
+		if math.IsNaN(r) || r <= 0 {
+			break
+		}
+		tau += 2 * r
+	}
+	return tau
+}

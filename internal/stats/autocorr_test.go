@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestAutocorrelationLagZero(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Autocorrelation(xs, 0); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("r_0 = %v, want 1", got)
+	}
+}
+
+func TestAutocorrelationInvalid(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if !math.IsNaN(Autocorrelation(xs, -1)) {
+		t.Fatal("negative lag should be NaN")
+	}
+	if !math.IsNaN(Autocorrelation(xs, 3)) {
+		t.Fatal("lag >= n should be NaN")
+	}
+	if !math.IsNaN(Autocorrelation([]float64{2, 2, 2}, 1)) {
+		t.Fatal("constant series should be NaN")
+	}
+}
+
+func TestAutocorrelationIIDNearZero(t *testing.T) {
+	r := rng.New(3)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	for _, k := range []int{1, 2, 5} {
+		if got := Autocorrelation(xs, k); math.Abs(got) > 0.03 {
+			t.Fatalf("iid r_%d = %v, want ~0", k, got)
+		}
+	}
+}
+
+func TestAutocorrelationTwoStateGeometric(t *testing.T) {
+	// For the stationary two-state chain, r_k = (1-p-q)^k exactly; check
+	// the empirical estimate on a long trajectory.
+	r := rng.New(5)
+	const p, q = 0.1, 0.2
+	lambda := 1 - p - q
+	state := 0.0
+	if r.Bool(p / (p + q)) {
+		state = 1
+	}
+	xs := make([]float64, 300000)
+	for i := range xs {
+		if state == 1 {
+			if r.Bool(q) {
+				state = 0
+			}
+		} else if r.Bool(p) {
+			state = 1
+		}
+		xs[i] = state
+	}
+	for _, k := range []int{1, 2, 4} {
+		want := math.Pow(lambda, float64(k))
+		if got := Autocorrelation(xs, k); math.Abs(got-want) > 0.02 {
+			t.Fatalf("two-state r_%d = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestAutocorrelationFn(t *testing.T) {
+	xs := []float64{1, 2, 1, 2, 1, 2, 1, 2}
+	fn := AutocorrelationFn(xs, 2)
+	if len(fn) != 2 {
+		t.Fatal("length wrong")
+	}
+	// Perfect alternation: r_1 < 0, r_2 > 0.
+	if fn[0] >= 0 || fn[1] <= 0 {
+		t.Fatalf("alternating series autocorr = %v", fn)
+	}
+}
+
+func TestIntegratedAutocorrelationTime(t *testing.T) {
+	r := rng.New(7)
+	// IID: tau ≈ 1.
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	if tau := IntegratedAutocorrelationTime(xs, 100); tau < 0.8 || tau > 1.5 {
+		t.Fatalf("iid tau = %v, want ~1", tau)
+	}
+	// Sticky chain: tau ≈ (1+λ)/(1-λ) for AR-like decay; with λ = 0.9 the
+	// two-state symmetric chain p = q = 0.05 gives tau ≈ 19.
+	state := 0.0
+	ys := make([]float64, 400000)
+	for i := range ys {
+		if r.Bool(0.05) {
+			state = 1 - state
+		}
+		ys[i] = state
+	}
+	tau := IntegratedAutocorrelationTime(ys, 1000)
+	if tau < 10 || tau > 30 {
+		t.Fatalf("sticky tau = %v, want ≈ 19", tau)
+	}
+}

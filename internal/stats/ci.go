@@ -1,0 +1,52 @@
+package stats
+
+import "math"
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	Point float64
+	Lo    float64
+	Hi    float64
+}
+
+// Width returns Hi - Lo.
+func (c CI) Width() float64 { return c.Hi - c.Lo }
+
+// Contains reports whether v lies inside the interval (inclusive).
+func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// MeanCI95 returns the normal-approximation 95% confidence interval for the
+// mean of xs. With fewer than two observations the interval degenerates to
+// the point estimate.
+func MeanCI95(xs []float64) CI {
+	s := Summarize(xs)
+	if s.N < 2 {
+		return CI{Point: s.Mean, Lo: s.Mean, Hi: s.Mean}
+	}
+	half := 1.96 * s.Std / math.Sqrt(float64(s.N))
+	return CI{Point: s.Mean, Lo: s.Mean - half, Hi: s.Mean + half}
+}
+
+// ProportionCI95 returns the Wilson score 95% interval for a binomial
+// proportion with k successes out of n trials. Wilson behaves sensibly even
+// for k = 0 or k = n, unlike the Wald interval.
+func ProportionCI95(k, n int) CI {
+	if n <= 0 {
+		return CI{Point: math.NaN(), Lo: math.NaN(), Hi: math.NaN()}
+	}
+	const z = 1.96
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	ci := CI{Point: p, Lo: math.Max(0, center-half), Hi: math.Min(1, center+half)}
+	// Pin exact endpoints: a 0/n or n/n sample always contains its boundary.
+	if k == 0 {
+		ci.Lo = 0
+	}
+	if k == n {
+		ci.Hi = 1
+	}
+	return ci
+}

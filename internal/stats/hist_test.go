@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestHistBinning(t *testing.T) {
+	h := NewHist(0, 10, 10)
+	h.Add(0)    // bin 0
+	h.Add(9.99) // bin 9
+	h.Add(5)    // bin 5
+	h.Add(-1)   // under
+	h.Add(10)   // over (half-open)
+	if h.Counts[0] != 1 || h.Counts[9] != 1 || h.Counts[5] != 1 {
+		t.Fatalf("bad bins: %v", h.Counts)
+	}
+	if h.Under != 1 || h.Over != 1 {
+		t.Fatalf("under/over wrong: %d %d", h.Under, h.Over)
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d", h.N())
+	}
+}
+
+func TestHistDensityIntegratesToOne(t *testing.T) {
+	r := rng.New(21)
+	h := NewHist(0, 1, 20)
+	for i := 0; i < 10000; i++ {
+		h.Add(r.Float64())
+	}
+	sum := 0.0
+	for _, d := range h.Density() {
+		sum += d * h.BinWidth()
+	}
+	if !almostEq(sum, 1, 1e-9) {
+		t.Fatalf("density integral = %v", sum)
+	}
+}
+
+func TestHistUniformDensityFlat(t *testing.T) {
+	r := rng.New(22)
+	h := NewHist(0, 1, 10)
+	for i := 0; i < 200000; i++ {
+		h.Add(r.Float64())
+	}
+	for i, d := range h.Density() {
+		if math.Abs(d-1) > 0.05 {
+			t.Fatalf("bin %d density %v, want ~1", i, d)
+		}
+	}
+}
+
+func TestHistMode(t *testing.T) {
+	h := NewHist(0, 10, 10)
+	for i := 0; i < 5; i++ {
+		h.Add(3.5)
+	}
+	h.Add(7.5)
+	if h.Mode() != 3.5 {
+		t.Fatalf("Mode = %v", h.Mode())
+	}
+}
+
+func TestHistPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero bins": func() { NewHist(0, 1, 0) },
+		"bad range": func() { NewHist(1, 0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHist2DBinning(t *testing.T) {
+	h := NewHist2D(0, 4, 4)
+	h.Add(0.5, 0.5) // cell (0,0)
+	h.Add(3.9, 3.9) // cell (3,3)
+	h.Add(5, 1)     // out
+	if h.At(0, 0) != 1 || h.At(3, 3) != 1 {
+		t.Fatalf("cells wrong")
+	}
+	if h.N() != 3 {
+		t.Fatalf("N = %d", h.N())
+	}
+}
+
+func TestHist2DDensityIntegral(t *testing.T) {
+	r := rng.New(23)
+	h := NewHist2D(0, 2, 8)
+	for i := 0; i < 20000; i++ {
+		h.Add(r.Float64()*2, r.Float64()*2)
+	}
+	side := 2.0 / 8
+	sum := 0.0
+	for _, d := range h.Density() {
+		sum += d * side * side
+	}
+	if !almostEq(sum, 1, 1e-9) {
+		t.Fatalf("2D density integral = %v", sum)
+	}
+}
+
+func TestHist2DTVToUniform(t *testing.T) {
+	r := rng.New(24)
+	uni := NewHist2D(0, 1, 5)
+	for i := 0; i < 100000; i++ {
+		uni.Add(r.Float64(), r.Float64())
+	}
+	if tv := uni.TVToUniform(); tv > 0.03 {
+		t.Fatalf("uniform sample TV to uniform = %v, want ~0", tv)
+	}
+	// All mass in one cell: TV should be close to 1 - 1/cells.
+	point := NewHist2D(0, 1, 5)
+	for i := 0; i < 1000; i++ {
+		point.Add(0.1, 0.1)
+	}
+	want := 1 - 1.0/25
+	if tv := point.TVToUniform(); !almostEq(tv, want, 1e-9) {
+		t.Fatalf("point-mass TV = %v, want %v", tv, want)
+	}
+}
+
+func TestHist2DFractionAbove(t *testing.T) {
+	h := NewHist2D(0, 1, 2) // 4 cells
+	for i := 0; i < 100; i++ {
+		h.Add(0.25, 0.25)
+	}
+	// One of four cells has all the mass; its density is 400.
+	if got := h.FractionAbove(1); got != 0.25 {
+		t.Fatalf("FractionAbove(1) = %v, want 0.25", got)
+	}
+	if got := h.FractionAbove(1000); got != 0 {
+		t.Fatalf("FractionAbove(1000) = %v, want 0", got)
+	}
+}
+
+func TestHist2DCellCenter(t *testing.T) {
+	h := NewHist2D(0, 4, 4)
+	x, y := h.CellCenter(0, 3)
+	if x != 0.5 || y != 3.5 {
+		t.Fatalf("CellCenter = (%v, %v)", x, y)
+	}
+}
+
+func TestTVProperties(t *testing.T) {
+	r := rng.New(25)
+	randDist := func(n int) []float64 {
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		return Normalize(p)
+	}
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		p, q, s := randDist(n), randDist(n), randDist(n)
+		tvpq := TV(p, q)
+		// Symmetry, identity, range, triangle inequality.
+		if !almostEq(tvpq, TV(q, p), 1e-12) {
+			return false
+		}
+		if TV(p, p) != 0 {
+			return false
+		}
+		if tvpq < 0 || tvpq > 1+1e-12 {
+			return false
+		}
+		return TV(p, s) <= tvpq+TV(q, s)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTVMismatchedLengths(t *testing.T) {
+	if !math.IsNaN(TV([]float64{1}, []float64{0.5, 0.5})) {
+		t.Fatal("mismatched TV should be NaN")
+	}
+}
+
+func TestTVExtremes(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	if TV(p, q) != 1 {
+		t.Fatal("disjoint distributions should have TV 1")
+	}
+}
+
+func TestCountsToDist(t *testing.T) {
+	d := CountsToDist([]int64{1, 3})
+	if d[0] != 0.25 || d[1] != 0.75 {
+		t.Fatalf("CountsToDist wrong: %v", d)
+	}
+	z := CountsToDist([]int64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero counts should give zero dist")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform(4)
+	for _, p := range u {
+		if p != 0.25 {
+			t.Fatalf("Uniform wrong: %v", u)
+		}
+	}
+}
+
+func TestNormalizeZeroVector(t *testing.T) {
+	z := []float64{0, 0}
+	Normalize(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero vector should stay zero")
+	}
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fit is the result of an ordinary least-squares line fit y = Slope*x +
+// Intercept.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// String renders the fit for experiment tables.
+func (f Fit) String() string {
+	return fmt.Sprintf("slope=%.3f intercept=%.3f R2=%.3f", f.Slope, f.Intercept, f.R2)
+}
+
+// LinearFit performs an ordinary least-squares fit of y against x. It
+// returns a NaN fit when fewer than two points are given or x is constant.
+func LinearFit(x, y []float64) Fit {
+	if len(x) != len(y) || len(x) < 2 {
+		return Fit{Slope: math.NaN(), Intercept: math.NaN(), R2: math.NaN()}
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{Slope: math.NaN(), Intercept: math.NaN(), R2: math.NaN()}
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		ssRes := syy - slope*sxy
+		r2 = 1 - ssRes/syy
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// LogLogFit fits log(y) = Slope*log(x) + Intercept, i.e. estimates the
+// exponent of a power law y ~ x^Slope. Non-positive points are skipped; if
+// fewer than two remain the fit is NaN.
+func LogLogFit(x, y []float64) Fit {
+	lx := make([]float64, 0, len(x))
+	ly := make([]float64, 0, len(y))
+	for i := range x {
+		if i < len(y) && x[i] > 0 && y[i] > 0 {
+			lx = append(lx, math.Log(x[i]))
+			ly = append(ly, math.Log(y[i]))
+		}
+	}
+	return LinearFit(lx, ly)
+}
+
+// SemiLogFit fits y = Slope*log(x) + Intercept, the shape of logarithmic
+// growth laws such as the O(log n / log(1+np)) flooding bound.
+func SemiLogFit(x, y []float64) Fit {
+	lx := make([]float64, 0, len(x))
+	fy := make([]float64, 0, len(y))
+	for i := range x {
+		if i < len(y) && x[i] > 0 {
+			lx = append(lx, math.Log(x[i]))
+			fy = append(fy, y[i])
+		}
+	}
+	return LinearFit(lx, fy)
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	f := LinearFit(x, y)
+	if !almostEq(f.Slope, 2, 1e-12) || !almostEq(f.Intercept, 1, 1e-12) || !almostEq(f.R2, 1, 1e-12) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	r := rng.New(31)
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 3*x[i] - 7 + r.NormFloat64()*5
+	}
+	f := LinearFit(x, y)
+	if math.Abs(f.Slope-3) > 0.05 {
+		t.Fatalf("slope = %v, want ~3", f.Slope)
+	}
+	if f.R2 < 0.99 {
+		t.Fatalf("R2 = %v too low for strong signal", f.R2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if f := LinearFit([]float64{1}, []float64{1}); !math.IsNaN(f.Slope) {
+		t.Fatal("single point fit should be NaN")
+	}
+	if f := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); !math.IsNaN(f.Slope) {
+		t.Fatal("constant-x fit should be NaN")
+	}
+	if f := LinearFit([]float64{1, 2}, []float64{1}); !math.IsNaN(f.Slope) {
+		t.Fatal("mismatched lengths should be NaN")
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	f := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if !almostEq(f.Slope, 0, 1e-12) || !almostEq(f.Intercept, 5, 1e-12) || f.R2 != 1 {
+		t.Fatalf("constant-y fit = %+v", f)
+	}
+}
+
+func TestLogLogFitPowerLaw(t *testing.T) {
+	// y = 4 x^2.5
+	x := []float64{1, 2, 4, 8, 16, 32}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 4 * math.Pow(x[i], 2.5)
+	}
+	f := LogLogFit(x, y)
+	if !almostEq(f.Slope, 2.5, 1e-9) {
+		t.Fatalf("power-law exponent = %v, want 2.5", f.Slope)
+	}
+	if !almostEq(math.Exp(f.Intercept), 4, 1e-9) {
+		t.Fatalf("power-law constant = %v, want 4", math.Exp(f.Intercept))
+	}
+}
+
+func TestLogLogFitSkipsNonPositive(t *testing.T) {
+	x := []float64{0, -1, 1, 2, 4}
+	y := []float64{5, 5, 1, 2, 4} // y = x on the valid points
+	f := LogLogFit(x, y)
+	if !almostEq(f.Slope, 1, 1e-9) {
+		t.Fatalf("slope = %v, want 1", f.Slope)
+	}
+}
+
+func TestSemiLogFit(t *testing.T) {
+	// y = 3 ln x + 2
+	x := []float64{1, math.E, math.E * math.E, math.Pow(math.E, 3)}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 3*math.Log(x[i]) + 2
+	}
+	f := SemiLogFit(x, y)
+	if !almostEq(f.Slope, 3, 1e-9) || !almostEq(f.Intercept, 2, 1e-9) {
+		t.Fatalf("semilog fit = %+v", f)
+	}
+}
+
+func TestFitString(t *testing.T) {
+	s := Fit{Slope: 1, Intercept: 2, R2: 0.5}.String()
+	if s == "" {
+		t.Fatal("empty fit string")
+	}
+}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("unexpected summary: %+v", s)
+	}
+	if !almostEq(s.Var, 2.5, 1e-12) {
+		t.Fatalf("variance = %v, want 2.5", s.Var)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || !math.IsNaN(s.Mean) || !math.IsNaN(s.Median) {
+		t.Fatalf("empty summary should be NaN-marked: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Median != 7 || s.Var != 0 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("single summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{2, 4, 6})
+	if s.Mean != 4 || s.Median != 4 {
+		t.Fatalf("ints summary wrong: %+v", s)
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	r := rng.New(5)
+	f := func(seed uint16) bool {
+		n := int(seed%100) + 2
+		xs := make([]float64, n)
+		var o Online
+		for i := range xs {
+			xs[i] = r.NormFloat64()*3 + 1
+			o.Add(xs[i])
+		}
+		s := Summarize(xs)
+		return almostEq(o.Mean(), s.Mean, 1e-9) &&
+			almostEq(o.Var(), s.Var, 1e-9*math.Max(1, s.Var)) &&
+			o.Min() == s.Min && o.Max() == s.Max && o.N() == s.N
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineEmpty(t *testing.T) {
+	var o Online
+	if !math.IsNaN(o.Mean()) || !math.IsNaN(o.Min()) || o.Var() != 0 {
+		t.Fatal("empty Online should be NaN mean/min and zero var")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileInvalid(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+	if !math.IsNaN(Quantile([]float64{1}, -0.1)) {
+		t.Fatal("q < 0 should be NaN")
+	}
+	if !math.IsNaN(Quantile([]float64{1}, 1.1)) {
+		t.Fatal("q > 1 should be NaN")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	r := rng.New(9)
+	f := func(n uint8) bool {
+		m := int(n%40) + 2
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianInts(t *testing.T) {
+	if MedianInts([]int{1, 2, 3, 100}) != 2.5 {
+		t.Fatal("MedianInts wrong")
+	}
+}
+
+func TestIQR(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := IQR(xs); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("IQR = %v, want 2", got)
+	}
+}
+
+func TestMeanCI95CoversTruth(t *testing.T) {
+	// ~95% of intervals from a known distribution should contain the mean.
+	r := rng.New(12)
+	covered := 0
+	const reps = 400
+	for rep := 0; rep < reps; rep++ {
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = r.NormFloat64() + 10
+		}
+		if MeanCI95(xs).Contains(10) {
+			covered++
+		}
+	}
+	frac := float64(covered) / reps
+	if frac < 0.90 || frac > 0.99 {
+		t.Fatalf("CI coverage %v, want ≈0.95", frac)
+	}
+}
+
+func TestMeanCI95Degenerate(t *testing.T) {
+	ci := MeanCI95([]float64{3})
+	if ci.Point != 3 || ci.Lo != 3 || ci.Hi != 3 {
+		t.Fatalf("degenerate CI wrong: %+v", ci)
+	}
+}
+
+func TestProportionCI95(t *testing.T) {
+	ci := ProportionCI95(50, 100)
+	if !ci.Contains(0.5) {
+		t.Fatalf("CI for 50/100 should contain 0.5: %+v", ci)
+	}
+	zero := ProportionCI95(0, 100)
+	if zero.Lo != 0 || zero.Hi <= 0 || zero.Hi > 0.1 {
+		t.Fatalf("CI for 0/100 unreasonable: %+v", zero)
+	}
+	full := ProportionCI95(100, 100)
+	if full.Hi != 1 || full.Lo >= 1 || full.Lo < 0.9 {
+		t.Fatalf("CI for 100/100 unreasonable: %+v", full)
+	}
+	if !math.IsNaN(ProportionCI95(0, 0).Point) {
+		t.Fatal("CI with n=0 should be NaN")
+	}
+}
+
+func TestCIWidth(t *testing.T) {
+	ci := CI{Point: 1, Lo: 0.5, Hi: 1.5}
+	if ci.Width() != 1 {
+		t.Fatal("Width wrong")
+	}
+}

@@ -1,0 +1,59 @@
+package stats
+
+import "math"
+
+// TV returns the total-variation distance between two discrete probability
+// distributions given as equal-length vectors: TV(p, q) = ½ Σ|p_i - q_i|.
+// It returns NaN if the lengths differ. Vectors need not be exactly
+// normalized; the caller is responsible for semantic sanity.
+func TV(p, q []float64) float64 {
+	if len(p) != len(q) {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i := range p {
+		sum += math.Abs(p[i] - q[i])
+	}
+	return sum / 2
+}
+
+// Normalize scales a non-negative vector to sum to 1 in place and returns
+// it. A zero vector is returned unchanged.
+func Normalize(p []float64) []float64 {
+	total := 0.0
+	for _, x := range p {
+		total += x
+	}
+	if total == 0 {
+		return p
+	}
+	for i := range p {
+		p[i] /= total
+	}
+	return p
+}
+
+// CountsToDist converts integer counts to a normalized distribution.
+func CountsToDist(counts []int64) []float64 {
+	p := make([]float64, len(counts))
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return p
+	}
+	for i, c := range counts {
+		p[i] = float64(c) / float64(total)
+	}
+	return p
+}
+
+// Uniform returns the uniform distribution on n outcomes.
+func Uniform(n int) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	return p
+}
