@@ -1,13 +1,14 @@
 // Command floodsim runs a single flooding simulation over a chosen dynamic
 // graph model and prints the timeline, phase split, and flooding time.
 //
-// Usage examples:
+// Models are selected by spec — "name:key=value,..." — against the model
+// registry; run with -models for the full list. Examples:
 //
-//	floodsim -model edgemeg -n 512 -p 0.004 -q 0.096
-//	floodsim -model waypoint -n 200 -L 25 -r 1.5 -v 1
-//	floodsim -model walk -n 100 -m 16 -r 1 -stay 0.2
-//	floodsim -model lpaths -n 50 -m 10 -hop 1
-//	floodsim -model edgemeg -n 256 -p 0.01 -q 0.1 -push 2
+//	floodsim -model edgemeg:n=512,p=0.004,q=0.096
+//	floodsim -model waypoint:n=200,L=25,r=1.5,vmin=1
+//	floodsim -model walk:n=100,m=16,r=1,stay=0.2
+//	floodsim -model paths:n=50,m=10,family=l,hop=1
+//	floodsim -model edgemeg:n=256,p=0.01,q=0.1 -push 2
 package main
 
 import (
@@ -15,44 +16,36 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/dyngraph"
-	"repro/internal/edgemeg"
 	"repro/internal/flood"
-	"repro/internal/graph"
-	"repro/internal/mobility"
-	"repro/internal/randompath"
+	"repro/internal/model"
+	_ "repro/internal/model/all"
 	"repro/internal/rng"
 )
 
 func main() {
-	model := flag.String("model", "edgemeg", "model: edgemeg | waypoint | walk | lpaths")
-	n := flag.Int("n", 256, "number of nodes")
+	modelSpec := flag.String("model", "edgemeg", "model spec: name[:key=value,...] (see -models)")
+	listModels := flag.Bool("models", false, "list registered models and parameters, then exit")
 	seed := flag.Uint64("seed", 1, "random seed")
 	source := flag.Int("source", 0, "flooding source node")
 	maxSteps := flag.Int("max-steps", 1<<20, "step cap")
 	push := flag.Int("push", 0, "if > 0, run the randomized k-push protocol instead of flooding")
 	timeline := flag.Bool("timeline", false, "print the full |I_t| series")
-
-	// Edge-MEG parameters.
-	p := flag.Float64("p", 0.004, "edge birth rate (edgemeg)")
-	q := flag.Float64("q", 0.096, "edge death rate (edgemeg)")
-
-	// Geometric parameters.
-	l := flag.Float64("L", 25, "square side (waypoint)")
-	r := flag.Float64("r", 1.5, "transmission radius (waypoint, walk)")
-	v := flag.Float64("v", 1, "node speed (waypoint)")
-
-	// Grid parameters.
-	m := flag.Int("m", 16, "grid side (walk, lpaths)")
-	stay := flag.Float64("stay", 0.2, "laziness of the grid walk")
-	hop := flag.Int("hop", 1, "hop-radius connection (lpaths)")
 	flag.Parse()
 
-	d, err := build(*model, *n, *seed, *p, *q, *l, *r, *v, *m, *stay, *hop)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "floodsim:", err)
-		os.Exit(1)
+	if *listModels {
+		fmt.Print(model.Usage())
+		return
 	}
+
+	spec, err := model.Parse(*modelSpec)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := model.Build(spec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	n := d.N()
 
 	opts := flood.Opts{MaxSteps: *maxSteps, KeepTimeline: true}
 	var res flood.Result
@@ -64,7 +57,7 @@ func main() {
 
 	if !res.Completed {
 		fmt.Printf("flooding did NOT complete within %d steps (informed %d/%d)\n",
-			*maxSteps, res.Timeline[len(res.Timeline)-1], *n)
+			*maxSteps, res.Informed, n)
 		os.Exit(2)
 	}
 	fmt.Printf("flooding time: %d steps\n", res.Time)
@@ -80,35 +73,7 @@ func main() {
 	}
 }
 
-// build constructs the requested dynamic graph.
-func build(model string, n int, seed uint64, p, q, l, r, v float64, m int, stay float64, hop int) (dyngraph.Dynamic, error) {
-	rg := rng.New(seed)
-	switch model {
-	case "edgemeg":
-		params := edgemeg.Params{N: n, P: p, Q: q}
-		if err := params.Validate(); err != nil {
-			return nil, err
-		}
-		return edgemeg.NewSparse(params, edgemeg.InitStationary, rg), nil
-	case "waypoint":
-		params := mobility.WaypointParams{N: n, L: l, R: r, VMin: v, VMax: v}
-		if err := params.Validate(); err != nil {
-			return nil, err
-		}
-		return mobility.NewWaypoint(params, mobility.InitSteadyState, rg), nil
-	case "walk":
-		w, err := mobility.NewWalk(mobility.WalkParams{N: n, M: m, R: r, Stay: stay}, rg)
-		if err != nil {
-			return nil, err
-		}
-		return w, nil
-	case "lpaths":
-		rp, err := randompath.New(graph.Grid(m, m), randompath.GridLPaths(m))
-		if err != nil {
-			return nil, err
-		}
-		return rp.NewSimHopRadius(n, hop, rg)
-	default:
-		return nil, fmt.Errorf("unknown model %q", model)
-	}
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "floodsim:", err)
+	os.Exit(1)
 }

@@ -1,12 +1,14 @@
-// Command mixing computes stationary distributions and mixing times for the
-// Markov chains underlying the paper's models, and prints TV-decay curves.
+// Command mixing analyzes the Markov chain underlying a registered
+// dynamic-graph model: exact stationary distribution, single-start mixing
+// time, and TV-decay curves. Any model spec whose built model exposes its
+// chain (model.ChainAnalyzer) works — no per-model cases here.
 //
 // Usage examples:
 //
-//	mixing -chain twostate -p 0.02 -q 0.08
-//	mixing -chain waypoint -m 6
-//	mixing -chain walk -m 12 -stay 0.5
-//	mixing -chain walk -m 12 -k 3      # walk on the k-augmented torus
+//	mixing -model edgemeg:n=2,p=0.02,q=0.08   # the per-edge birth/death chain
+//	mixing -model dwaypoint:m=6               # discretized waypoint, m⁴ states
+//	mixing -model walk:m=12,stay=0.5
+//	mixing -model walk:m=12,rho=3 -curve 50
 package main
 
 import (
@@ -14,80 +16,66 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/graph"
 	"repro/internal/markov"
-	"repro/internal/mobility"
+	"repro/internal/model"
+	_ "repro/internal/model/all"
 )
 
 func main() {
-	chain := flag.String("chain", "twostate", "chain: twostate | waypoint | walk")
-	p := flag.Float64("p", 0.02, "birth rate (twostate)")
-	q := flag.Float64("q", 0.08, "death rate (twostate)")
-	m := flag.Int("m", 8, "grid side (waypoint, walk)")
-	k := flag.Int("k", 1, "torus augmentation distance (walk)")
-	stay := flag.Float64("stay", 0.5, "laziness (walk)")
+	modelSpec := flag.String("model", "edgemeg:n=2,p=0.02,q=0.08", "model spec: name[:key=value,...] (see -models)")
+	listModels := flag.Bool("models", false, "list registered models and parameters, then exit")
+	seed := flag.Uint64("seed", 1, "seed for model construction")
 	eps := flag.Float64("eps", markov.DefaultMixingEps, "TV threshold")
+	start := flag.Int("start", 0, "start state for the mixing-time bound")
 	curve := flag.Int("curve", 0, "if > 0, print the TV decay for this many steps")
 	flag.Parse()
 
-	switch *chain {
-	case "twostate":
-		ts := markov.TwoState{P: *p, Q: *q}
-		if err := ts.Validate(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("stationary on-probability alpha = %.6f\n", ts.StationaryOn())
-		fmt.Printf("second eigenvalue = %.6f\n", ts.SecondEigenvalue())
-		fmt.Printf("mixing time (eps=%g) = %d   [Θ(1/(p+q)) = %.1f]\n",
-			*eps, ts.MixingTime(*eps), 1/(*p+*q))
-		for t := 1; t <= *curve; t++ {
-			fmt.Printf("t=%d TV=%.6f\n", t, ts.TVAt(t))
-		}
+	if *listModels {
+		fmt.Print(model.Usage())
+		return
+	}
 
-	case "waypoint":
-		pos, tmix, err := mobility.DiscreteWaypointMixing(*m, *eps, 1<<22)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("states = %d (m⁴), mixing time (eps=%g) = %d   [Θ(m) per unit speed]\n",
-			(*m)*(*m)*(*m)*(*m), *eps, tmix)
-		fmt.Printf("positional distribution (center bias): center=%.5f corner=%.5f uniform=%.5f\n",
-			pos[(*m/2)*(*m)+*m/2], pos[0], 1/float64((*m)*(*m)))
-		if *curve > 0 {
-			chn, err := mobility.DiscreteWaypoint(*m)
-			if err != nil {
-				fatal(err)
-			}
-			pi, err := chn.StationaryPower(1e-10, 200000)
-			if err != nil {
-				fatal(err)
-			}
-			for t, tv := range chn.TVFromStart(0, pi, *curve) {
-				fmt.Printf("t=%d TV=%.6f\n", t+1, tv)
-			}
-		}
+	spec, err := model.Parse(*modelSpec)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := model.Build(spec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	ca, ok := d.(model.ChainAnalyzer)
+	if !ok {
+		fatal(fmt.Errorf("model %q does not expose its chain (model.ChainAnalyzer); chain-free models have no mixing structure to analyze", spec.Name))
+	}
+	chain, pi := ca.MixingChain()
+	if *start < 0 || *start >= chain.N() {
+		fatal(fmt.Errorf("-start %d out of range: the chain has states 0..%d", *start, chain.N()-1))
+	}
+	if *curve < 0 {
+		fatal(fmt.Errorf("-curve must be >= 0, got %d", *curve))
+	}
 
-	case "walk":
-		var g *graph.Graph
-		if *k > 1 {
-			g = graph.KAugmentedTorus(*m, *m, *k)
-		} else {
-			g = graph.Grid(*m, *m)
+	piMin, piMax := pi[0], pi[0]
+	for _, p := range pi {
+		if p < piMin {
+			piMin = p
 		}
-		ch := markov.LazyRandomWalkChain(g, *stay)
-		pi := markov.WalkStationary(g)
-		tmix, err := ch.MixingTimeFromStart(0, pi, *eps, 1<<24)
-		if err != nil {
-			fatal(err)
+		if p > piMax {
+			piMax = p
 		}
-		fmt.Printf("points = %d, avg degree = %.1f, mixing time (eps=%g) = %d\n",
-			g.N(), g.AverageDegree(), *eps, tmix)
-		for t, tv := range ch.TVFromStart(0, pi, *curve) {
-			fmt.Printf("t=%d TV=%.6f\n", t+1, tv)
-		}
+	}
+	fmt.Printf("model %s: chain has %d states (%d transitions)\n", spec, chain.N(), chain.NNZ())
+	fmt.Printf("stationary law: min=%.6g max=%.6g uniform=%.6g (max/min = %.3g)\n",
+		piMin, piMax, 1/float64(chain.N()), piMax/piMin)
 
-	default:
-		fatal(fmt.Errorf("unknown chain %q", *chain))
+	tmix, err := chain.MixingTimeFromStart(*start, pi, *eps, 1<<24)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mixing time from state %d (eps=%g) = %d\n", *start, *eps, tmix)
+
+	for t, tv := range chain.TVFromStart(*start, pi, *curve) {
+		fmt.Printf("t=%d TV=%.6f\n", t+1, tv)
 	}
 }
 

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	tracecap -record trace.bin -model edgemeg -n 200 -p 0.01 -q 0.09 -steps 500
+//	tracecap -record trace.bin -model edgemeg:n=200,p=0.01,q=0.09 -steps 500
+//	tracecap -record trace.bin -model waypoint:n=200,L=25,r=1.5
 //	tracecap -analyze trace.bin          # density, interval connectivity
 //	tracecap -flood trace.bin -source 0  # replay flooding over the trace
 package main
@@ -15,10 +16,9 @@ import (
 	"os"
 
 	"repro/internal/dyngraph"
-	"repro/internal/edgemeg"
 	"repro/internal/flood"
-	"repro/internal/mobility"
-	"repro/internal/rng"
+	"repro/internal/model"
+	_ "repro/internal/model/all"
 	"repro/internal/stats"
 )
 
@@ -26,22 +26,19 @@ func main() {
 	record := flag.String("record", "", "record a trace to this file")
 	analyze := flag.String("analyze", "", "analyze a recorded trace file")
 	floodFile := flag.String("flood", "", "replay flooding over a recorded trace file")
+	listModels := flag.Bool("models", false, "list registered models and parameters, then exit")
 
-	model := flag.String("model", "edgemeg", "model to record: edgemeg | waypoint")
-	n := flag.Int("n", 200, "nodes")
+	modelSpec := flag.String("model", "edgemeg:n=200,p=0.01,q=0.09", "model spec to record: name[:key=value,...] (see -models)")
 	steps := flag.Int("steps", 500, "snapshots to record")
 	seed := flag.Uint64("seed", 1, "seed")
-	p := flag.Float64("p", 0.01, "edge birth rate (edgemeg)")
-	q := flag.Float64("q", 0.09, "edge death rate (edgemeg)")
-	l := flag.Float64("L", 25, "square side (waypoint)")
-	r := flag.Float64("r", 1.5, "radius (waypoint)")
-	v := flag.Float64("v", 1, "speed (waypoint)")
 	source := flag.Int("source", 0, "flooding source")
 	flag.Parse()
 
 	switch {
+	case *listModels:
+		fmt.Print(model.Usage())
 	case *record != "":
-		if err := doRecord(*record, *model, *n, *steps, *seed, *p, *q, *l, *r, *v); err != nil {
+		if err := doRecord(*record, *modelSpec, *steps, *seed); err != nil {
 			fatal(err)
 		}
 	case *analyze != "":
@@ -63,23 +60,14 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func doRecord(path, model string, n, steps int, seed uint64, p, q, l, r, v float64) error {
-	var d dyngraph.Dynamic
-	switch model {
-	case "edgemeg":
-		params := edgemeg.Params{N: n, P: p, Q: q}
-		if err := params.Validate(); err != nil {
-			return err
-		}
-		d = edgemeg.NewSparse(params, edgemeg.InitStationary, rng.New(seed))
-	case "waypoint":
-		params := mobility.WaypointParams{N: n, L: l, R: r, VMin: v, VMax: v}
-		if err := params.Validate(); err != nil {
-			return err
-		}
-		d = mobility.NewWaypoint(params, mobility.InitSteadyState, rng.New(seed))
-	default:
-		return fmt.Errorf("unknown model %q", model)
+func doRecord(path, modelSpec string, steps int, seed uint64) error {
+	spec, err := model.Parse(modelSpec)
+	if err != nil {
+		return err
+	}
+	d, err := model.Build(spec, seed)
+	if err != nil {
+		return err
 	}
 	tr := dyngraph.Capture(d, steps-1)
 	f, err := os.Create(path)
@@ -132,7 +120,7 @@ func doFlood(path string, source int) error {
 	res := flood.Run(tr.Replay(), source, flood.Opts{MaxSteps: tr.Len() + 1, KeepTimeline: true})
 	if !res.Completed {
 		fmt.Printf("flooding did not complete within the trace (%d snapshots); informed %d/%d\n",
-			tr.Len(), res.Timeline[len(res.Timeline)-1], tr.N())
+			tr.Len(), res.Informed, tr.N())
 		return nil
 	}
 	fmt.Printf("flooding time over the trace: %d steps (half at %d)\n", res.Time, res.HalfTime)

@@ -5,7 +5,36 @@
 // paper instantiates it on — edge-MEGs, node-MEGs, the random waypoint and
 // random walk mobility models, and random paths over graphs.
 //
+// # Simulation API (v2)
+//
+// The core abstraction is dyngraph.Dynamic — N, Step, ForEachNeighbor —
+// with two optional batch extensions that hot paths consume when a model
+// offers them:
+//
+//   - dyngraph.Batcher exposes the whole current snapshot as a flat
+//     []Edge batch (AppendEdges). The flooding engine scans it linearly,
+//     with no per-edge callbacks; models whose state already is
+//     edge-shaped (sparse edge-MEG alive lists, geometry cell lists,
+//     recorded traces, static graphs) produce it natively.
+//   - dyngraph.NeighborLister exposes one node's neighbors as a slice
+//     (AppendNeighbors), for consumers that touch few nodes per step
+//     (random walkers, pull gossip, push subsampling).
+//
+// The package-level dyngraph.AppendEdges / dyngraph.AppendNeighbors fall
+// back to ForEachNeighbor adapters for models implementing neither, so
+// every consumer works with every model and merely runs faster on batch-
+// capable ones (see the BenchmarkFlood* benchmarks in bench_test.go).
+//
+// Models are constructed through the internal/model registry: a
+// model.Spec — a name plus typed parameters, parseable from CLI strings
+// ("edgemeg:n=512,p=0.004,q=0.096") and JSON — is built by
+// model.Build(spec, seed). Model packages self-register from init
+// functions; importing repro/internal/model/all links every built-in
+// model into a binary. Registering a new model is a one-file change in
+// the model's own package — no CLI, example, or experiment needs edits.
+//
 // The library lives under internal/ (see DESIGN.md for the module map);
 // cmd/ holds the CLIs, examples/ runnable scenarios, and bench_test.go one
-// benchmark per experiment of EXPERIMENTS.md.
+// benchmark per experiment of EXPERIMENTS.md plus the flooding hot-loop
+// benchmarks.
 package repro

@@ -16,7 +16,8 @@ import (
 	"fmt"
 
 	"repro/internal/flood"
-	"repro/internal/mobility"
+	"repro/internal/model"
+	_ "repro/internal/model/all"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -35,20 +36,17 @@ func main() {
 	fmt.Println()
 	fmt.Printf("%-18s %-14s %-16s %-12s\n", "infectious steps", "attack rate", "median duration", "extinct runs")
 
+	spec := model.New("waypoint").
+		WithInt("n", people).WithFloat("L", side).WithFloat("r", contact).WithFloat("vmin", speed)
 	for _, infectious := range []int{2, 5, 10, 20, 40} {
 		var attacked []float64
 		var durations []float64
 		extinct := 0
 		for trial := 0; trial < trials; trial++ {
-			params := mobility.WaypointParams{
-				N: people, L: side, R: contact, VMin: speed, VMax: speed,
-			}
-			city := mobility.NewWaypoint(params, mobility.InitSteadyState,
-				rng.New(rng.Seed(3, uint64(infectious), uint64(trial))))
+			city := model.MustBuild(spec, rng.Seed(3, uint64(infectious), uint64(trial)))
 			res := flood.Parsimonious(city, 0, infectious,
 				flood.Opts{MaxSteps: 1 << 16, KeepTimeline: true})
-			final := res.Timeline[len(res.Timeline)-1]
-			attacked = append(attacked, float64(final)/people)
+			attacked = append(attacked, float64(res.Informed)/people)
 			if res.Completed {
 				durations = append(durations, float64(res.Time))
 			} else {

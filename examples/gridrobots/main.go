@@ -16,6 +16,8 @@ import (
 	"repro/internal/dyngraph"
 	"repro/internal/flood"
 	"repro/internal/graph"
+	"repro/internal/model"
+	_ "repro/internal/model/all"
 	"repro/internal/randompath"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -33,30 +35,35 @@ func main() {
 	fmt.Println()
 
 	families := []struct {
-		name  string
-		paths []randompath.Path
+		name   string
+		family string
 	}{
-		{"random wandering (walk)", randompath.EdgePaths(grid)},
-		{"task routes (L-paths)", randompath.GridLPaths(aisles)},
+		{"random wandering (walk)", "edges"},
+		{"task routes (L-paths)", "l"},
 	}
 	for fi, fam := range families {
-		model, err := randompath.New(grid, fam.paths)
-		if err != nil {
-			panic(err)
-		}
+		spec := model.New("paths").
+			WithInt("n", robots).WithInt("m", aisles).With("family", fam.family).WithInt("hop", 1)
 		factory := func(trial int) (dyngraph.Dynamic, int) {
-			sim, err := model.NewSimHopRadius(robots, 1, rng.New(rng.Seed(11, uint64(fi), uint64(trial))))
-			if err != nil {
-				panic(err)
-			}
-			return sim, 0
+			return model.MustBuild(spec, rng.Seed(11, uint64(fi), uint64(trial))), 0
 		}
 		results := flood.Trials(factory, trials, flood.TrialsOpts{
 			Opts: flood.Opts{MaxSteps: 1 << 18},
 		})
 		times, incomplete := flood.TimesOf(results)
+
+		// δ-regularity is a property of the path family, computed on the
+		// family directly rather than on a built simulation.
+		paths, err := randompath.FamilyPaths(fam.family, aisles, grid)
+		if err != nil {
+			panic(err)
+		}
+		rp, err := randompath.New(grid, paths)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%-26s median update time %4.0f steps  (δ-regularity %.2f, incomplete %d)\n",
-			fam.name, stats.Median(times), model.DeltaRegularity(), incomplete)
+			fam.name, stats.Median(times), rp.DeltaRegularity(), incomplete)
 	}
 
 	fmt.Println()

@@ -17,7 +17,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dyngraph"
 	"repro/internal/flood"
-	"repro/internal/mobility"
+	"repro/internal/model"
+	_ "repro/internal/model/all"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -35,10 +36,10 @@ func main() {
 		"radio km", "median steps", "transport lower", "RWP upper bound", "snapshots")
 
 	for _, radio := range []float64{0.8, 1.2, 2.0, 3.0} {
-		params := mobility.WaypointParams{N: n, L: side, R: radio, VMin: speed, VMax: speed}
+		spec := model.New("waypoint").
+			WithInt("n", n).WithFloat("L", side).WithFloat("r", radio).WithFloat("vmin", speed)
 		factory := func(trial int) (dyngraph.Dynamic, int) {
-			r := rng.New(rng.Seed(2026, uint64(radio*1000), uint64(trial)))
-			return mobility.NewWaypoint(params, mobility.InitSteadyState, r), 0
+			return model.MustBuild(spec, rng.Seed(2026, uint64(radio*1000), uint64(trial))), 0
 		}
 		results := flood.Trials(factory, trials, flood.TrialsOpts{
 			Opts: flood.Opts{MaxSteps: 1 << 18},
@@ -47,8 +48,7 @@ func main() {
 		med := stats.Median(times)
 
 		// How connected is a typical snapshot?
-		probe := mobility.NewWaypoint(params, mobility.InitSteadyState,
-			rng.New(rng.Seed(2026, uint64(radio*1000), 999)))
+		probe := model.MustBuild(spec, rng.Seed(2026, uint64(radio*1000), 999))
 		snap := dyngraph.Snapshot(probe)
 		_, comps := snap.Components()
 

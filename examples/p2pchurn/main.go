@@ -15,6 +15,8 @@ import (
 	"repro/internal/dyngraph"
 	"repro/internal/edgemeg"
 	"repro/internal/flood"
+	"repro/internal/model"
+	_ "repro/internal/model/all"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -33,9 +35,10 @@ func main() {
 		n, params.ExpectedDegree(), 1/params.Q)
 	fmt.Println()
 
+	spec := model.New("edgemeg").
+		WithInt("n", n).WithFloat("p", params.P).WithFloat("q", params.Q)
 	base := func(trial int) dyngraph.Dynamic {
-		r := rng.New(rng.Seed(7, uint64(trial)))
-		return edgemeg.NewSparse(params, edgemeg.InitStationary, r)
+		return model.MustBuild(spec, rng.Seed(7, uint64(trial)))
 	}
 
 	// Full flooding reference.

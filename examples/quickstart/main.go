@@ -8,9 +8,11 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/dyngraph"
 	"repro/internal/edgemeg"
 	"repro/internal/flood"
-	"repro/internal/rng"
+	"repro/internal/model"
+	_ "repro/internal/model/all"
 )
 
 func main() {
@@ -26,9 +28,11 @@ func main() {
 		n, params.ExpectedDegree(), params.MixingTime(0.25))
 
 	// Build the dynamic graph in its stationary regime and flood from 0.
-	g := edgemeg.NewSparse(params, edgemeg.InitStationary, rng.New(42))
+	spec := model.New("edgemeg").
+		WithInt("n", n).WithFloat("p", params.P).WithFloat("q", params.Q)
+	g := model.MustBuild(spec, 42)
 	fmt.Printf("snapshot at t=0: %d edges (a connected graph would need ≥ %d)\n",
-		g.EdgeCount(), n-1)
+		dyngraph.EdgeCount(g), n-1)
 
 	res := flood.Run(g, 0, flood.Opts{MaxSteps: 100000, KeepTimeline: true})
 	if !res.Completed {

@@ -8,7 +8,6 @@ import (
 	"repro/internal/dyngraph"
 	"repro/internal/edgemeg"
 	"repro/internal/markov"
-	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
@@ -42,9 +41,9 @@ func runE1(cfg Config, w io.Writer) error {
 		q := chainSpeed - p
 		params := edgemeg.Params{N: n, P: p, Q: q}
 		tmix := params.MixingTime(markov.DefaultMixingEps)
+		spec := edgemegSpec(n, p, q)
 		factory := func(trial int) (dyngraph.Dynamic, int) {
-			r := rng.New(rng.Seed(cfg.Seed, 1, uint64(n), uint64(trial)))
-			return edgemeg.NewSparse(params, edgemeg.InitStationary, r), 0
+			return buildModel(spec, cfg.Seed, 1, uint64(n), uint64(trial)), 0
 		}
 		med, inc, sum := medianFlood(factory, trials, 1<<16, cfg.Workers)
 		bound := core.Theorem1Bound(float64(tmix), alpha, 1, n)

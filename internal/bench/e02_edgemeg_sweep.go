@@ -6,8 +6,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dyngraph"
-	"repro/internal/edgemeg"
-	"repro/internal/rng"
 )
 
 func init() {
@@ -38,10 +36,9 @@ func runE2(cfg Config, w io.Writer) error {
 
 	tab := NewTable(w, "p", "np", "regime(q>=np)", "median-flood", "ours", "prior[10]", "ours/prior", "incomplete")
 	for _, p := range ps {
-		params := edgemeg.Params{N: n, P: p, Q: q}
+		spec := edgemegSpec(n, p, q)
 		factory := func(trial int) (dyngraph.Dynamic, int) {
-			r := rng.New(rng.Seed(cfg.Seed, 2, uint64(p*1e9), uint64(trial)))
-			return edgemeg.NewSparse(params, edgemeg.InitStationary, r), 0
+			return buildModel(spec, cfg.Seed, 2, uint64(p*1e9), uint64(trial)), 0
 		}
 		med, inc, _ := medianFlood(factory, trials, 1<<17, cfg.Workers)
 		ours := core.EdgeMEGBound(p, q, n)
@@ -72,10 +69,9 @@ func runE3(cfg Config, w io.Writer) error {
 	var prior, measured []float64
 	for _, n := range ns {
 		p := 2.0 / float64(n) // np = 2 at every n
-		params := edgemeg.Params{N: n, P: p, Q: q}
+		spec := edgemegSpec(n, p, q)
 		factory := func(trial int) (dyngraph.Dynamic, int) {
-			r := rng.New(rng.Seed(cfg.Seed, 3, uint64(n), uint64(trial)))
-			return edgemeg.NewSparse(params, edgemeg.InitStationary, r), 0
+			return buildModel(spec, cfg.Seed, 3, uint64(n), uint64(trial)), 0
 		}
 		med, inc, _ := medianFlood(factory, trials, 1<<16, cfg.Workers)
 		pb := core.PriorEdgeMEGBound(n, p)

@@ -8,7 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dyngraph"
 	"repro/internal/mobility"
-	"repro/internal/rng"
+	"repro/internal/model"
 	"repro/internal/stats"
 )
 
@@ -46,10 +46,9 @@ func runE4(cfg Config, w io.Writer) error {
 	var xs, ys []float64
 	for _, n := range ns {
 		l := 2 * math.Sqrt(float64(n))
-		params := mobility.WaypointParams{N: n, L: l, R: radius, VMin: 1, VMax: 1}
+		spec := waypointSpec(n, l, radius, 1)
 		factory := func(trial int) (dyngraph.Dynamic, int) {
-			r := rng.New(rng.Seed(cfg.Seed, 4, uint64(n), uint64(trial)))
-			return mobility.NewWaypoint(params, mobility.InitSteadyState, r), 0
+			return buildModel(spec, cfg.Seed, 4, uint64(n), uint64(trial)), 0
 		}
 		med, inc, _ := medianFlood(factory, trials, 1<<17, cfg.Workers)
 		lower := core.TransportLowerBound(l, radius, 1)
@@ -71,10 +70,9 @@ func runE4(cfg Config, w io.Writer) error {
 	tab = NewTable(w, "v", "median-flood", "flood × (r+v)", "incomplete")
 	var fv []float64
 	for _, v := range vs {
-		params := mobility.WaypointParams{N: 100, L: 20, R: radius, VMin: v, VMax: v}
+		spec := waypointSpec(100, 20, radius, v)
 		factory := func(trial int) (dyngraph.Dynamic, int) {
-			r := rng.New(rng.Seed(cfg.Seed, 5, uint64(v*1000), uint64(trial)))
-			return mobility.NewWaypoint(params, mobility.InitSteadyState, r), 0
+			return buildModel(spec, cfg.Seed, 5, uint64(v*1000), uint64(trial)), 0
 		}
 		med, inc, _ := medianFlood(factory, trials, 1<<17, cfg.Workers)
 		tab.Row(f2(v), med, f1(med*(radius+v)), inc)
@@ -98,20 +96,21 @@ func runE5(cfg Config, w io.Writer) error {
 	if cfg.Quick {
 		steps = 1500
 	}
-	params := mobility.WaypointParams{N: n, L: l, R: 1.2, VMin: 1, VMax: 1}
-	wp := mobility.NewWaypoint(params, mobility.InitSteadyState, rng.New(rng.Seed(cfg.Seed, 6)))
+	const radius = 1.2
+	wp := buildModel(waypointSpec(n, l, radius, 1), cfg.Seed, 6).(mobility.Positioned)
 	h := mobility.PositionalDensity(wp, l, bins, steps, every)
-	rep := mobility.MeasureUniformity(h, l, params.R)
+	rep := mobility.MeasureUniformity(h, l, radius)
 	tvAnalytic := mobility.DensityTVToAnalytic(h, l, func(x, y float64) float64 {
 		return mobility.WaypointDensity(x, y, l)
 	})
 
 	// Contrast: the random-direction model has a uniform stationary law.
-	dir := mobility.NewDirection(mobility.DirectionParams{N: n, L: l, R: 1.2, Speed: 1, Turn: 0.1},
-		rng.New(rng.Seed(cfg.Seed, 7)))
-	dir.WarmUp(200)
+	dirSpec := model.New("direction").
+		WithInt("n", n).WithFloat("L", l).WithFloat("r", radius).
+		WithFloat("speed", 1).WithFloat("turn", 0.1).WithInt("warmup", 200)
+	dir := buildModel(dirSpec, cfg.Seed, 7).(mobility.Positioned)
 	hd := mobility.PositionalDensity(dir, l, bins, steps, every)
-	repD := mobility.MeasureUniformity(hd, l, params.R)
+	repD := mobility.MeasureUniformity(hd, l, radius)
 
 	tab := NewTable(w, "model", "delta (sup f · vol)", "lambda", "TV-to-uniform", "TV-to-analytic-RWP")
 	tab.Row("random waypoint", f2(rep.Delta), f2(rep.Lambda), f3(rep.TVToUniform), f3(tvAnalytic))

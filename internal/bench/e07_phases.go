@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/edgemeg"
 	"repro/internal/flood"
-	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
@@ -33,8 +32,10 @@ func runE7(cfg Config, w io.Writer) error {
 	speed := 0.1
 	params := edgemeg.Params{N: n, P: alpha * speed, Q: speed - alpha*speed}
 
+	spec := edgemegSpec(n, params.P, params.Q)
+
 	// One representative timeline.
-	d := edgemeg.NewSparse(params, edgemeg.InitStationary, rng.New(rng.Seed(cfg.Seed, 8)))
+	d := buildModel(spec, cfg.Seed, 8)
 	res := flood.Run(d, 0, flood.Opts{MaxSteps: 1 << 17, KeepTimeline: true})
 	if !res.Completed {
 		return fmt.Errorf("representative run did not complete")
@@ -55,8 +56,7 @@ func runE7(cfg Config, w io.Writer) error {
 	// Phase statistics across trials.
 	var spread, sat []float64
 	for trial := 0; trial < trials; trial++ {
-		d := edgemeg.NewSparse(params, edgemeg.InitStationary,
-			rng.New(rng.Seed(cfg.Seed, 9, uint64(trial))))
+		d := buildModel(spec, cfg.Seed, 9, uint64(trial))
 		r := flood.Run(d, 0, flood.Opts{MaxSteps: 1 << 17})
 		if ps, ok := flood.Phases(r); ok {
 			spread = append(spread, float64(ps.Spreading))

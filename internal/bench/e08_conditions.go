@@ -11,7 +11,6 @@ import (
 	"repro/internal/markov"
 	"repro/internal/nodemeg"
 	"repro/internal/randompath"
-	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
@@ -32,9 +31,9 @@ func runE8(cfg Config, w io.Writer) error {
 
 	// (a) Empirical (α, β) of a stationary sparse edge-MEG.
 	params := edgemeg.Params{N: 80, P: 0.01, Q: 0.09} // alpha = 0.1
+	spec := edgemegSpec(params.N, params.P, params.Q).WithBool("dense", true)
 	rep, err := core.EstimateConditions(func(trial int) dyngraph.Dynamic {
-		return edgemeg.NewDense(params, edgemeg.InitStationary,
-			rng.New(rng.Seed(cfg.Seed, 10, uint64(trial))))
+		return buildModel(spec, cfg.Seed, 10, uint64(trial))
 	}, core.EstimateOpts{
 		M: params.MixingTime(markov.DefaultMixingEps), Epochs: epochs, Trials: trialsN,
 		Pairs: 40, Triples: 25, SetSize: 20, Seed: cfg.Seed,

@@ -7,8 +7,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dyngraph"
 	"repro/internal/graph"
+	"repro/internal/model"
 	"repro/internal/randompath"
-	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
@@ -42,21 +42,18 @@ func runE9(cfg Config, w io.Writer) error {
 	var ds, floods []float64
 	for _, m := range ms {
 		h := graph.Grid(m, m)
-		model, err := randompath.New(h, randompath.GridLPaths(m))
+		rp, err := randompath.New(h, randompath.GridLPaths(m))
 		if err != nil {
 			return err
 		}
 		diam := h.Diameter()
 		nodes := m * m / 2
+		spec := model.New("paths").WithInt("n", nodes).WithInt("m", m).With("family", "l").WithInt("hop", 1)
 		factory := func(trial int) (dyngraph.Dynamic, int) {
-			sim, err := model.NewSimHopRadius(nodes, 1, rng.New(rng.Seed(cfg.Seed, 11, uint64(m), uint64(trial))))
-			if err != nil {
-				panic(err)
-			}
-			return sim, 0
+			return buildModel(spec, cfg.Seed, 11, uint64(m), uint64(trial)), 0
 		}
 		med, inc, _ := medianFlood(factory, trials, 1<<17, cfg.Workers)
-		tab.Row(m, m*m, nodes, diam, f2(model.DeltaRegularity()), med, f2(med/float64(diam)), inc)
+		tab.Row(m, m*m, nodes, diam, f2(rp.DeltaRegularity()), med, f2(med/float64(diam)), inc)
 		ds = append(ds, float64(diam))
 		floods = append(floods, med)
 	}
@@ -77,32 +74,32 @@ func runE10(cfg Config, w io.Writer) error {
 		trials = 6
 	}
 	h := graph.Grid(m, m)
-	type fam struct {
-		name  string
-		paths []randompath.Path
-	}
-	fams := []fam{
-		{"edge paths (walk)", randompath.EdgePaths(h)},
-		{"L-paths (balanced)", randompath.GridLPaths(m)},
-		{"star paths (congested)", randompath.StarPaths(m)},
+	fams := []struct {
+		name   string
+		family string
+	}{
+		{"edge paths (walk)", "edges"},
+		{"L-paths (balanced)", "l"},
+		{"star paths (congested)", "star"},
 	}
 	tab := NewTable(w, "family", "paths", "states", "delta", "Cor5 bound (Tmix=D)", "median-flood", "incomplete")
 	for fi, f := range fams {
-		model, err := randompath.New(h, f.paths)
+		paths, err := randompath.FamilyPaths(f.family, m, h)
 		if err != nil {
 			return err
 		}
-		delta := model.DeltaRegularity()
+		rp, err := randompath.New(h, paths)
+		if err != nil {
+			return err
+		}
+		delta := rp.DeltaRegularity()
 		bound := core.Corollary5Bound(float64(h.Diameter()), h.N(), nodes, delta)
+		spec := model.New("paths").WithInt("n", nodes).WithInt("m", m).With("family", f.family).WithInt("hop", 1)
 		factory := func(trial int) (dyngraph.Dynamic, int) {
-			sim, err := model.NewSimHopRadius(nodes, 1, rng.New(rng.Seed(cfg.Seed, 12, uint64(fi), uint64(trial))))
-			if err != nil {
-				panic(err)
-			}
-			return sim, 0
+			return buildModel(spec, cfg.Seed, 12, uint64(fi), uint64(trial)), 0
 		}
 		med, inc, _ := medianFlood(factory, trials, 1<<18, cfg.Workers)
-		tab.Row(f.name, len(f.paths), model.NumStates(), f2(delta), g3(bound), med, inc)
+		tab.Row(f.name, len(paths), rp.NumStates(), f2(delta), g3(bound), med, inc)
 	}
 	if err := tab.Flush(); err != nil {
 		return err

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dyngraph"
-	"repro/internal/edgemeg"
 	"repro/internal/markov"
 	"repro/internal/nodemeg"
 	"repro/internal/rng"
@@ -39,11 +38,10 @@ func runE12(cfg Config, w io.Writer) error {
 	// Moderately dense edge-MEG so nodes have several neighbors to sample.
 	alpha := 8.0 / float64(n)
 	speed := 0.2
-	params := edgemeg.Params{N: n, P: alpha * speed, Q: speed - alpha*speed}
+	spec := edgemegSpec(n, alpha*speed, speed-alpha*speed)
 
 	full := func(trial int) (dyngraph.Dynamic, int) {
-		r := rng.New(rng.Seed(cfg.Seed, 15, uint64(trial)))
-		return edgemeg.NewSparse(params, edgemeg.InitStationary, r), 0
+		return buildModel(spec, cfg.Seed, 15, uint64(trial)), 0
 	}
 	fullMed, _, _ := medianFlood(full, trials, 1<<16, cfg.Workers)
 
@@ -51,8 +49,7 @@ func runE12(cfg Config, w io.Writer) error {
 	for _, k := range []int{1, 2, 4, 8} {
 		k := k
 		factory := func(trial int) (dyngraph.Dynamic, int) {
-			r := rng.New(rng.Seed(cfg.Seed, 15, uint64(trial)))
-			inner := edgemeg.NewSparse(params, edgemeg.InitStationary, r)
+			inner := buildModel(spec, cfg.Seed, 15, uint64(trial))
 			return dyngraph.NewSubsample(inner, k, rng.New(rng.Seed(cfg.Seed, 16, uint64(k), uint64(trial)))), 0
 		}
 		med, inc, _ := medianFlood(factory, trials, 1<<16, cfg.Workers)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dynwalk"
 	"repro/internal/edgemeg"
 	"repro/internal/flood"
+	"repro/internal/model"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -46,10 +47,10 @@ func runE14(cfg Config, w io.Writer) error {
 	speed := 0.1 // per-edge mixing ≈ 14
 	params := edgemeg.Params{N: n, P: alpha * speed, Q: speed * (1 - alpha)}
 	tmix := params.MixingTime(0.25)
+	spec := edgemegSpec(n, params.P, params.Q)
 
 	fullMed, _, _ := medianFlood(func(trial int) (dyngraph.Dynamic, int) {
-		return edgemeg.NewSparse(params, edgemeg.InitStationary,
-			rng.New(rng.Seed(cfg.Seed, 20, uint64(trial)))), 0
+		return buildModel(spec, cfg.Seed, 20, uint64(trial)), 0
 	}, trials, 1<<16, cfg.Workers)
 
 	tab := NewTable(w, "active window", "window/Tmix", "completed", "median (completed)", "vs flooding")
@@ -61,8 +62,7 @@ func runE14(cfg Config, w io.Writer) error {
 		var times []float64
 		completed := 0
 		for trial := 0; trial < trials; trial++ {
-			d := edgemeg.NewSparse(params, edgemeg.InitStationary,
-				rng.New(rng.Seed(cfg.Seed, 20, uint64(trial))))
+			d := buildModel(spec, cfg.Seed, 20, uint64(trial))
 			res := flood.Parsimonious(d, 0, active, flood.Opts{MaxSteps: 1 << 16})
 			if res.Completed {
 				completed++
@@ -99,16 +99,15 @@ func runE15(cfg Config, w io.Writer) error {
 		var visited []float64
 		completed := 0
 		for trial := 0; trial < trials; trial++ {
-			r := rng.New(rng.Seed(cfg.Seed, 21, uint64(speed*1e6), uint64(trial)))
 			var d dyngraph.Dynamic
 			if speed == 0 {
 				// Frozen graph: one stationary snapshot forever.
-				probe := edgemeg.NewSparse(edgemeg.Params{N: n, P: alpha * 0.1, Q: 0.1 * (1 - alpha)},
-					edgemeg.InitStationary, r)
+				probe := buildModel(edgemegSpec(n, alpha*0.1, 0.1*(1-alpha)),
+					cfg.Seed, 21, uint64(speed*1e6), uint64(trial))
 				d = dyngraph.NewStatic(dyngraph.Snapshot(probe))
 			} else {
-				d = edgemeg.NewSparse(edgemeg.Params{N: n, P: alpha * speed, Q: speed * (1 - alpha)},
-					edgemeg.InitStationary, r)
+				d = buildModel(edgemegSpec(n, alpha*speed, speed*(1-alpha)),
+					cfg.Seed, 21, uint64(speed*1e6), uint64(trial))
 			}
 			res := dynwalk.CoverTime(d, 0, 1<<18, rng.New(rng.Seed(cfg.Seed, 22, uint64(speed*1e6), uint64(trial))))
 			if res.Steps >= 0 {
@@ -155,12 +154,11 @@ func runE16(cfg Config, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	fourSpec := model.New("edgemeg4").WithInt("n", n).
+		WithFloat("wake", fp.WakeUp).WithFloat("rebound", fp.Rebound).WithFloat("calm", fp.Calm).
+		WithFloat("drop", fp.Drop).WithFloat("settle", fp.Settle).WithFloat("detach", fp.Detach)
 	fourMed, fourInc, _ := medianFlood(func(trial int) (dyngraph.Dynamic, int) {
-		g, err := edgemeg.NewFourState(fp, rng.New(rng.Seed(cfg.Seed, 23, uint64(trial))))
-		if err != nil {
-			panic(err)
-		}
-		return g, 0
+		return buildModel(fourSpec, cfg.Seed, 23, uint64(trial)), 0
 	}, trials, 1<<17, cfg.Workers)
 
 	// Two-state family at the same alpha, sweeping the chain speed: the
@@ -169,8 +167,8 @@ func runE16(cfg Config, w io.Writer) error {
 	for _, speed := range []float64{0.3, 0.14, 0.05} {
 		params := edgemeg.Params{N: n, P: alpha * speed, Q: speed * (1 - alpha)}
 		med, inc, _ := medianFlood(func(trial int) (dyngraph.Dynamic, int) {
-			return edgemeg.NewSparse(params, edgemeg.InitStationary,
-				rng.New(rng.Seed(cfg.Seed, 24, uint64(speed*1e6), uint64(trial)))), 0
+			return buildModel(edgemegSpec(n, params.P, params.Q),
+				cfg.Seed, 24, uint64(speed*1e6), uint64(trial)), 0
 		}, trials, 1<<17, cfg.Workers)
 		tab.Row(fmt.Sprintf("two-state p+q=%.2f", speed), g3(alpha), params.MixingTime(0.25), f1(med), inc)
 	}
@@ -182,11 +180,7 @@ func runE16(cfg Config, w io.Writer) error {
 	// T-interval connectivity of a four-state trace: sparse MEG snapshots
 	// are disconnected, so even T=1 generally fails — outside the [21]
 	// worst-case machinery, while Theorem 1 still applies.
-	g, err := edgemeg.NewFourState(fp, rng.New(rng.Seed(cfg.Seed, 25)))
-	if err != nil {
-		return err
-	}
-	tr := dyngraph.Capture(g, 20)
+	tr := dyngraph.Capture(buildModel(fourSpec, cfg.Seed, 25), 20)
 	fmt.Fprintf(w, "   T-interval connectivity of a 21-snapshot trace: max T = %d (sparse snapshots are disconnected)\n",
 		dyngraph.IntervalConnectivity(tr))
 	fmt.Fprintln(w, "   check: at equal density, flooding rises with the per-edge mixing time along the two-state sweep, and the bursty four-state model lands on the same flooding-vs-Tmix curve (within ~1.5×) — density alone does not determine the flooding time; Tmix does, as the Appendix A bound charges")

@@ -39,11 +39,11 @@ func runE17(cfg Config, w io.Writer) error {
 	tab := NewTable(w, "chain speed p+q", "per-edge Tmix", "median steps to 1/16 variance", "converged")
 	for _, speed := range []float64{0.02, 0.1, 0.4} {
 		params := edgemeg.Params{N: n, P: alpha * speed, Q: speed * (1 - alpha)}
+		spec := edgemegSpec(n, params.P, params.Q)
 		var steps []float64
 		converged := 0
 		for trial := 0; trial < trials; trial++ {
-			d := edgemeg.NewSparse(params, edgemeg.InitStationary,
-				rng.New(rng.Seed(cfg.Seed, 26, uint64(speed*1e6), uint64(trial))))
+			d := buildModel(spec, cfg.Seed, 26, uint64(speed*1e6), uint64(trial))
 			s := balance.New(d, balance.PointLoad(n, float64(n)))
 			start := s.Variance()
 			count := 0
@@ -74,10 +74,9 @@ func runE18(cfg Config, w io.Writer) error {
 	}
 	alpha := 8.0 / float64(n)
 	speed := 0.2
-	params := edgemeg.Params{N: n, P: alpha * speed, Q: speed * (1 - alpha)}
+	spec := edgemegSpec(n, alpha*speed, speed*(1-alpha))
 	mk := func(trial int) dyngraph.Dynamic {
-		return edgemeg.NewSparse(params, edgemeg.InitStationary,
-			rng.New(rng.Seed(cfg.Seed, 27, uint64(trial))))
+		return buildModel(spec, cfg.Seed, 27, uint64(trial))
 	}
 
 	type proto struct {

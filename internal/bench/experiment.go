@@ -9,7 +9,10 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/dyngraph"
 	"repro/internal/flood"
+	"repro/internal/model"
+	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
@@ -100,6 +103,25 @@ func RunAll(cfg Config, w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// buildModel constructs a registered model from its spec with the trial
+// seed derived from the given seed words. Experiment specs are static
+// program text, so spec errors are programming errors and panic.
+func buildModel(spec model.Spec, base uint64, tags ...uint64) dyngraph.Dynamic {
+	return model.MustBuild(spec, rng.Seed(base, tags...))
+}
+
+// edgemegSpec is the spec of a stationary two-state edge-MEG, the
+// workhorse model of the Appendix A experiments.
+func edgemegSpec(n int, p, q float64) model.Spec {
+	return model.New("edgemeg").WithInt("n", n).WithFloat("p", p).WithFloat("q", q)
+}
+
+// waypointSpec is the spec of a steady-state random waypoint model with
+// fixed speed v.
+func waypointSpec(n int, l, r, v float64) model.Spec {
+	return model.New("waypoint").WithInt("n", n).WithFloat("L", l).WithFloat("r", r).WithFloat("vmin", v)
 }
 
 // medianFlood runs trials floods and returns the median completed time,

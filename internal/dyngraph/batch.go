@@ -1,0 +1,64 @@
+package dyngraph
+
+// Batcher is an optional extension of Dynamic that exposes the current
+// snapshot as a flat edge batch. Implementations append every undirected
+// edge {u, v} exactly once, normalized to U < V, in an unspecified but
+// deterministic order; the result must be consistent with ForEachNeighbor.
+//
+// Batch access is the hot path of the flooding engine: a flat []Edge scan
+// replaces two closure invocations per edge with a contiguous read, and
+// models whose internal state already is edge-shaped (the sparse edge-MEG
+// alive list, recorded traces, static graphs, geometry cell lists) produce
+// it without materializing adjacency lists at all. Models that cannot
+// produce batches cheaply simply do not implement the interface; the
+// package-level AppendEdges falls back to ForEachNeighbor for them.
+type Batcher interface {
+	// AppendEdges appends the current snapshot's edges to dst and returns
+	// the extended slice. Implementations must not retain dst.
+	AppendEdges(dst []Edge) []Edge
+}
+
+// NeighborLister is an optional extension of Dynamic that exposes one
+// node's current neighbors as a slice batch, the per-node counterpart of
+// Batcher. It serves consumers that touch few nodes per step (random
+// walkers, push-gossip subsampling) where materializing the whole snapshot
+// would be wasteful.
+type NeighborLister interface {
+	// AppendNeighbors appends the current neighbors of node i to dst and
+	// returns the extended slice. Implementations must not retain dst, and
+	// must report neighbors in the same order as ForEachNeighbor.
+	AppendNeighbors(i int, dst []int32) []int32
+}
+
+// AppendEdges appends the current snapshot's edges of d to dst, using the
+// model's native Batcher implementation when available and an adapter over
+// ForEachNeighbor otherwise. The fallback assumes the model reports
+// symmetric adjacency (both directions of every edge) and keeps the i < j
+// half.
+func AppendEdges(d Dynamic, dst []Edge) []Edge {
+	if b, ok := d.(Batcher); ok {
+		return b.AppendEdges(dst)
+	}
+	n := d.N()
+	for i := 0; i < n; i++ {
+		d.ForEachNeighbor(i, func(j int) {
+			if i < j {
+				dst = append(dst, Edge{int32(i), int32(j)})
+			}
+		})
+	}
+	return dst
+}
+
+// AppendNeighbors appends the current neighbors of node i in d to dst,
+// using the model's native NeighborLister implementation when available
+// and an adapter over ForEachNeighbor otherwise.
+func AppendNeighbors(d Dynamic, i int, dst []int32) []int32 {
+	if l, ok := d.(NeighborLister); ok {
+		return l.AppendNeighbors(i, dst)
+	}
+	d.ForEachNeighbor(i, func(j int) {
+		dst = append(dst, int32(j))
+	})
+	return dst
+}

@@ -45,20 +45,42 @@ func (s *Static) ForEachNeighbor(i int, fn func(j int)) {
 	s.g.ForEachNeighbor(i, fn)
 }
 
+// AppendEdges implements Batcher.
+func (s *Static) AppendEdges(dst []Edge) []Edge {
+	n := s.g.N()
+	for i := 0; i < n; i++ {
+		for _, j := range s.g.Neighbors(i) {
+			if int32(i) < j {
+				dst = append(dst, Edge{int32(i), j})
+			}
+		}
+	}
+	return dst
+}
+
+// AppendNeighbors implements NeighborLister.
+func (s *Static) AppendNeighbors(i int, dst []int32) []int32 {
+	return append(dst, s.g.Neighbors(i)...)
+}
+
+// Graph returns the wrapped static graph.
+func (s *Static) Graph() *graph.Graph { return s.g }
+
 // Snapshot materializes the current snapshot of d as a static graph. It
 // costs O(n + m) and is used by observers and stationarity estimators.
 func Snapshot(d Dynamic) *graph.Graph {
 	b := graph.NewBuilder(d.N())
-	for i := 0; i < d.N(); i++ {
-		d.ForEachNeighbor(i, func(j int) {
-			b.AddEdge(i, j)
-		})
+	for _, e := range AppendEdges(d, nil) {
+		b.AddEdge(int(e.U), int(e.V))
 	}
 	return b.Build()
 }
 
 // EdgeCount returns the number of edges in the current snapshot.
 func EdgeCount(d Dynamic) int {
+	if b, ok := d.(Batcher); ok {
+		return len(b.AppendEdges(nil))
+	}
 	total := 0
 	for i := 0; i < d.N(); i++ {
 		d.ForEachNeighbor(i, func(j int) { total++ })

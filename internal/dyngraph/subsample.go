@@ -51,26 +51,40 @@ func (s *Subsample) Step() {
 	s.epoch++
 }
 
+// fill samples node i's neighbor subset for the current epoch (at most
+// once per epoch; repeated calls in the same step are cache hits).
+func (s *Subsample) fill(i int) {
+	if s.cacheEpoch[i] == s.epoch {
+		return
+	}
+	s.scratch = AppendNeighbors(s.inner, i, s.scratch[:0])
+	chosen := s.cache[i][:0]
+	if len(s.scratch) <= s.k {
+		chosen = append(chosen, s.scratch...)
+	} else {
+		for _, idx := range s.r.SampleDistinct(len(s.scratch), s.k) {
+			chosen = append(chosen, s.scratch[idx])
+		}
+	}
+	s.cache[i] = chosen
+	s.cacheEpoch[i] = s.epoch
+}
+
 // ForEachNeighbor implements Dynamic, yielding the sampled subset of i's
 // current neighbors.
 func (s *Subsample) ForEachNeighbor(i int, fn func(j int)) {
-	if s.cacheEpoch[i] != s.epoch {
-		s.scratch = s.scratch[:0]
-		s.inner.ForEachNeighbor(i, func(j int) {
-			s.scratch = append(s.scratch, int32(j))
-		})
-		chosen := s.cache[i][:0]
-		if len(s.scratch) <= s.k {
-			chosen = append(chosen, s.scratch...)
-		} else {
-			for _, idx := range s.r.SampleDistinct(len(s.scratch), s.k) {
-				chosen = append(chosen, s.scratch[idx])
-			}
-		}
-		s.cache[i] = chosen
-		s.cacheEpoch[i] = s.epoch
-	}
+	s.fill(i)
 	for _, j := range s.cache[i] {
 		fn(int(j))
 	}
+}
+
+// AppendNeighbors implements NeighborLister. Subsample deliberately does
+// NOT implement Batcher: its virtual graph is directed (i keeping j does
+// not imply j keeps i), and the sampling is lazy per queried node — batch
+// consumers would both break push-gossip semantics and change the random
+// stream. Per-node batch access preserves both.
+func (s *Subsample) AppendNeighbors(i int, dst []int32) []int32 {
+	s.fill(i)
+	return append(dst, s.cache[i]...)
 }

@@ -34,15 +34,7 @@ func (tr *Trace) Record(d Dynamic) {
 	if d.N() != tr.n {
 		panic("dyngraph: Record node count mismatch")
 	}
-	var edges []Edge
-	for i := 0; i < tr.n; i++ {
-		d.ForEachNeighbor(i, func(j int) {
-			if i < j {
-				edges = append(edges, Edge{int32(i), int32(j)})
-			}
-		})
-	}
-	tr.steps = append(tr.steps, edges)
+	tr.steps = append(tr.steps, AppendEdges(d, nil))
 }
 
 // Capture records steps+1 snapshots of d: the current one and each snapshot
@@ -89,17 +81,22 @@ func (r *Replay) build() {
 	for i := range r.adj {
 		r.adj[i] = r.adj[i][:0]
 	}
+	for _, e := range r.cur() {
+		r.adj[e.U] = append(r.adj[e.U], e.V)
+		r.adj[e.V] = append(r.adj[e.V], e.U)
+	}
+}
+
+// cur returns the recorded edges of the current (clamped) snapshot.
+func (r *Replay) cur() []Edge {
 	idx := r.t
 	if idx >= len(r.trace.steps) {
 		idx = len(r.trace.steps) - 1
 	}
 	if idx < 0 {
-		return
+		return nil
 	}
-	for _, e := range r.trace.steps[idx] {
-		r.adj[e.U] = append(r.adj[e.U], e.V)
-		r.adj[e.V] = append(r.adj[e.V], e.U)
-	}
+	return r.trace.steps[idx]
 }
 
 // N implements Dynamic.
@@ -116,6 +113,17 @@ func (r *Replay) ForEachNeighbor(i int, fn func(j int)) {
 	for _, j := range r.adj[i] {
 		fn(int(j))
 	}
+}
+
+// AppendEdges implements Batcher: recorded snapshots are already flat edge
+// batches, so replay serves them with a single copy.
+func (r *Replay) AppendEdges(dst []Edge) []Edge {
+	return append(dst, r.cur()...)
+}
+
+// AppendNeighbors implements NeighborLister.
+func (r *Replay) AppendNeighbors(i int, dst []int32) []int32 {
+	return append(dst, r.adj[i]...)
 }
 
 // traceMagic identifies the binary trace format.

@@ -36,11 +36,10 @@ func (w *Walker) Pos() int { return w.pos }
 
 // Step moves the token to a uniform current neighbor (staying put if the
 // node is isolated in this snapshot), then advances the dynamic graph.
+// The neighbor set is read through the per-node batch view — a walker
+// touches one node per step, so whole-snapshot batching would be wasteful.
 func (w *Walker) Step() {
-	w.scratch = w.scratch[:0]
-	w.d.ForEachNeighbor(w.pos, func(j int) {
-		w.scratch = append(w.scratch, int32(j))
-	})
+	w.scratch = dyngraph.AppendNeighbors(w.d, w.pos, w.scratch[:0])
 	if len(w.scratch) > 0 {
 		w.pos = int(w.scratch[w.r.Intn(len(w.scratch))])
 	}

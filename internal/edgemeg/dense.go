@@ -1,6 +1,9 @@
 package edgemeg
 
 import (
+	"math/bits"
+
+	"repro/internal/dyngraph"
 	"repro/internal/rng"
 )
 
@@ -93,6 +96,33 @@ func (d *Dense) ForEachNeighbor(i int, fn func(j int)) {
 			fn(j)
 		}
 	}
+}
+
+// AppendEdges implements dyngraph.Batcher by scanning the bitset one word
+// at a time and decoding only the set bits.
+func (d *Dense) AppendEdges(dst []dyngraph.Edge) []dyngraph.Edge {
+	n := d.params.N
+	for w, word := range d.bits {
+		base := int64(w) << 6
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &= word - 1
+			u, v := pairFromRank(base+int64(bit), n)
+			dst = append(dst, dyngraph.Edge{U: int32(u), V: int32(v)})
+		}
+	}
+	return dst
+}
+
+// AppendNeighbors implements dyngraph.NeighborLister.
+func (d *Dense) AppendNeighbors(i int, dst []int32) []int32 {
+	n := d.params.N
+	for j := 0; j < n; j++ {
+		if j != i && d.get(pairRank(i, j, n)) {
+			dst = append(dst, int32(j))
+		}
+	}
+	return dst
 }
 
 // HasEdge reports whether {i, j} is currently on.

@@ -3,6 +3,7 @@ package edgemeg
 import (
 	"fmt"
 
+	"repro/internal/dyngraph"
 	"repro/internal/markov"
 	"repro/internal/rng"
 )
@@ -111,6 +112,30 @@ func (g *General) ForEachNeighbor(i int, fn func(j int)) {
 	for _, j := range g.adj[i] {
 		fn(int(j))
 	}
+}
+
+// AppendEdges implements dyngraph.Batcher by scanning the per-pair state
+// vector once in rank order, tracking the pair coordinates incrementally
+// instead of inverting each rank.
+func (g *General) AppendEdges(dst []dyngraph.Edge) []dyngraph.Edge {
+	rank := int64(0)
+	for u := 0; u < g.n-1; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if g.chi[g.states[rank]] {
+				dst = append(dst, dyngraph.Edge{U: int32(u), V: int32(v)})
+			}
+			rank++
+		}
+	}
+	return dst
+}
+
+// AppendNeighbors implements dyngraph.NeighborLister.
+func (g *General) AppendNeighbors(i int, dst []int32) []int32 {
+	if g.dirty {
+		g.rebuildAdj()
+	}
+	return append(dst, g.adj[i]...)
 }
 
 // HasEdge reports whether {i, j} currently exists.

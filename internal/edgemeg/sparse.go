@@ -1,6 +1,7 @@
 package edgemeg
 
 import (
+	"repro/internal/dyngraph"
 	"repro/internal/rng"
 )
 
@@ -171,6 +172,27 @@ func (s *Sparse) ForEachNeighbor(i int, fn func(j int)) {
 	for _, j := range s.adj[i] {
 		fn(int(j))
 	}
+}
+
+// AppendEdges implements dyngraph.Batcher: the alive-edge list IS the
+// snapshot, so the batch view decodes each rank once and never touches the
+// per-node adjacency lists (which batch consumers then never force us to
+// rebuild).
+func (s *Sparse) AppendEdges(dst []dyngraph.Edge) []dyngraph.Edge {
+	n := s.params.N
+	for _, rank := range s.edges {
+		u, v := pairFromRank(rank, n)
+		dst = append(dst, dyngraph.Edge{U: int32(u), V: int32(v)})
+	}
+	return dst
+}
+
+// AppendNeighbors implements dyngraph.NeighborLister.
+func (s *Sparse) AppendNeighbors(i int, dst []int32) []int32 {
+	if s.dirty {
+		s.rebuildAdj()
+	}
+	return append(dst, s.adj[i]...)
 }
 
 // HasEdge reports whether {i, j} is currently alive.

@@ -14,6 +14,7 @@ package edgemeg
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/markov"
 )
@@ -91,18 +92,33 @@ func pairRank(u, v, n int) int64 {
 	return int64(u)*int64(n) - int64(u)*int64(u+1)/2 + int64(v-u-1)
 }
 
-// pairFromRank inverts pairRank. It walks rows; the sparse simulator calls
-// it only for sampled births, so the O(n) worst case is irrelevant in
-// practice (rows shrink geometrically and callers use random ranks).
+// rowStart returns the rank of pair (u, u+1), the first pair of row u.
+func rowStart(u, n int) int64 {
+	return int64(u)*int64(n) - int64(u)*int64(u+1)/2
+}
+
+// pairFromRank inverts pairRank in O(1): a closed-form estimate of the row
+// from the quadratic rank formula, corrected by at most a couple of steps
+// for floating-point error. Batch snapshot enumeration calls it once per
+// alive edge, so constant time matters.
 func pairFromRank(rank int64, n int) (int, int) {
-	u := 0
-	remaining := rank
-	for {
-		rowLen := int64(n - 1 - u)
-		if remaining < rowLen {
-			return u, u + 1 + int(remaining)
-		}
-		remaining -= rowLen
+	nf := float64(n) - 0.5
+	disc := nf*nf - 2*float64(rank)
+	if disc < 0 {
+		disc = 0
+	}
+	u := int(nf - math.Sqrt(disc))
+	if u < 0 {
+		u = 0
+	}
+	if u > n-2 {
+		u = n - 2
+	}
+	for u > 0 && rowStart(u, n) > rank {
+		u--
+	}
+	for u < n-2 && rowStart(u+1, n) <= rank {
 		u++
 	}
+	return u, u + 1 + int(rank-rowStart(u, n))
 }

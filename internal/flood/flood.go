@@ -24,6 +24,10 @@ type Result struct {
 	// HalfTime is the first t with |I_t| >= n/2 (the spreading phase
 	// boundary of Lemma 13), or -1 if never reached.
 	HalfTime int
+	// Informed is the final informed-set size |I_t| when the run ended
+	// (== n iff Completed). It is always populated, unlike Timeline,
+	// which requires KeepTimeline.
+	Informed int
 	// Timeline records |I_t| for t = 0, 1, ..., up to completion or cutoff.
 	Timeline []int
 	// Completed reports whether every node was informed within MaxSteps.
@@ -69,6 +73,14 @@ const DefaultMaxSteps = 1 << 20
 
 // Run floods d from source and returns the result. It panics if source is
 // out of range (a programming error in the caller).
+//
+// The engine picks the cheapest snapshot access the model offers. Models
+// implementing dyngraph.Batcher are flooded by a linear scan of the flat
+// edge batch — one contiguous read per snapshot, no per-edge callbacks and
+// no adjacency materialization. All other models are flooded by rescanning
+// the informed set against per-node neighbor batches. Both paths compute
+// the identical deterministic process I_0 = {s}, I_{t+1} = I_t ∪ Γ_t(I_t),
+// so Results agree exactly for a given model state.
 func Run(d dyngraph.Dynamic, source int, opts Opts) Result {
 	n := d.N()
 	if source < 0 || source >= n {
@@ -81,51 +93,112 @@ func Run(d dyngraph.Dynamic, source int, opts Opts) Result {
 
 	informed := make([]bool, n)
 	informed[source] = true
-	// members holds the informed set; scanned fully each round.
-	members := make([]int32, 1, n)
-	members[0] = int32(source)
 
-	res := Result{Time: -1, HalfTime: -1}
+	res := Result{Time: -1, HalfTime: -1, Informed: 1}
 	if opts.KeepTimeline {
 		res.Timeline = append(res.Timeline, 1)
 	}
 	if 2*1 >= n {
 		res.HalfTime = 0
 	}
-	if len(members) == n {
+	if n == 1 {
 		res.Time = 0
 		res.Completed = true
 		return res
 	}
 
+	if b, ok := d.(dyngraph.Batcher); ok {
+		runEdgeScan(b, d, informed, source, maxSteps, opts, &res)
+	} else {
+		runMemberScan(d, informed, source, maxSteps, opts, &res)
+	}
+	return res
+}
+
+// runEdgeScan floods over the batch snapshot view: every step scans the
+// flat edge list once, collecting edges that cross the informed-set
+// boundary. Nodes reached this step are marked pending, not informed, so
+// the scan only propagates from I_t (chained same-step propagation would
+// be wrong in a dynamic graph).
+func runEdgeScan(b dyngraph.Batcher, d dyngraph.Dynamic, informed []bool, source, maxSteps int, opts Opts, res *Result) {
+	n := len(informed)
+	size := 1
+	pending := make([]bool, n)
 	newly := make([]int32, 0, n)
+	var edges []dyngraph.Edge
+	for t := 0; t < maxSteps; t++ {
+		edges = b.AppendEdges(edges[:0])
+		newly = newly[:0]
+		for _, e := range edges {
+			if informed[e.U] {
+				if !informed[e.V] && !pending[e.V] {
+					pending[e.V] = true
+					newly = append(newly, e.V)
+				}
+			} else if informed[e.V] && !pending[e.U] {
+				pending[e.U] = true
+				newly = append(newly, e.U)
+			}
+		}
+		for _, v := range newly {
+			informed[v] = true
+			pending[v] = false
+		}
+		size += len(newly)
+		if record(res, opts, n, size, t) {
+			return
+		}
+		d.Step()
+	}
+}
+
+// runMemberScan floods by rescanning every informed node's current
+// neighbors — the fallback for models without batch snapshot access, and
+// the only correct option for directed virtual graphs (push subsampling),
+// whose uninformed nodes' neighbor sets must never be evaluated.
+func runMemberScan(d dyngraph.Dynamic, informed []bool, source, maxSteps int, opts Opts, res *Result) {
+	n := len(informed)
+	// members holds the informed set; scanned fully each round.
+	members := make([]int32, 1, n)
+	members[0] = int32(source)
+	newly := make([]int32, 0, n)
+	var nbrs []int32
 	for t := 0; t < maxSteps; t++ {
 		// Scan snapshot E_t for edges leaving the informed set.
 		newly = newly[:0]
 		for _, i := range members {
-			d.ForEachNeighbor(int(i), func(j int) {
+			nbrs = dyngraph.AppendNeighbors(d, int(i), nbrs[:0])
+			for _, j := range nbrs {
 				if !informed[j] {
 					informed[j] = true
-					newly = append(newly, int32(j))
+					newly = append(newly, j)
 				}
-			})
+			}
 		}
 		members = append(members, newly...)
-		size := len(members)
-		if opts.KeepTimeline {
-			res.Timeline = append(res.Timeline, size)
-		}
-		if res.HalfTime < 0 && 2*size >= n {
-			res.HalfTime = t + 1
-		}
-		if size == n {
-			res.Time = t + 1
-			res.Completed = true
-			return res
+		if record(res, opts, n, len(members), t) {
+			return
 		}
 		d.Step()
 	}
-	return res
+}
+
+// record updates the result after step t produced informed-set size size,
+// reporting whether the run completed.
+func record(res *Result, opts Opts, n, size, t int) bool {
+	res.Informed = size
+	if opts.KeepTimeline {
+		res.Timeline = append(res.Timeline, size)
+	}
+	if res.HalfTime < 0 && 2*size >= n {
+		res.HalfTime = t + 1
+	}
+	if size == n {
+		res.Time = t + 1
+		res.Completed = true
+		return true
+	}
+	return false
 }
 
 // RandomizedPush floods d with the §5 randomized protocol: each informed

@@ -39,7 +39,7 @@ func Parsimonious(d dyngraph.Dynamic, source, active int, opts Opts) Result {
 	expiry[source] = int32(active - 1)
 
 	size := 1
-	res := Result{Time: -1, HalfTime: -1}
+	res := Result{Time: -1, HalfTime: -1, Informed: 1}
 	if opts.KeepTimeline {
 		res.Timeline = append(res.Timeline, 1)
 	}
@@ -53,16 +53,18 @@ func Parsimonious(d dyngraph.Dynamic, source, active int, opts Opts) Result {
 	}
 
 	newly := make([]int32, 0, n)
+	var nbrs []int32
 	for t := 0; t < maxSteps; t++ {
 		newly = newly[:0]
 		// Only active nodes transmit on snapshot E_t.
 		for _, i := range activeList {
-			d.ForEachNeighbor(int(i), func(j int) {
+			nbrs = dyngraph.AppendNeighbors(d, int(i), nbrs[:0])
+			for _, j := range nbrs {
 				if !informed[j] {
 					informed[j] = true
-					newly = append(newly, int32(j))
+					newly = append(newly, j)
 				}
-			})
+			}
 		}
 		// Expire nodes whose window ended at step t, then add the newly
 		// informed with fresh windows.
@@ -78,6 +80,7 @@ func Parsimonious(d dyngraph.Dynamic, source, active int, opts Opts) Result {
 			activeList = append(activeList, j)
 		}
 		size += len(newly)
+		res.Informed = size
 		if opts.KeepTimeline {
 			res.Timeline = append(res.Timeline, size)
 		}

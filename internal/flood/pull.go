@@ -31,7 +31,7 @@ func Pull(d dyngraph.Dynamic, source int, r *rng.RNG, opts Opts) Result {
 	informed[source] = true
 	size := 1
 
-	res := Result{Time: -1, HalfTime: -1}
+	res := Result{Time: -1, HalfTime: -1, Informed: 1}
 	if opts.KeepTimeline {
 		res.Timeline = append(res.Timeline, 1)
 	}
@@ -52,10 +52,7 @@ func Pull(d dyngraph.Dynamic, source int, r *rng.RNG, opts Opts) Result {
 			if informed[i] {
 				continue
 			}
-			nbrs = nbrs[:0]
-			d.ForEachNeighbor(i, func(j int) {
-				nbrs = append(nbrs, int32(j))
-			})
+			nbrs = dyngraph.AppendNeighbors(d, i, nbrs[:0])
 			if len(nbrs) == 0 {
 				continue
 			}
@@ -67,6 +64,7 @@ func Pull(d dyngraph.Dynamic, source int, r *rng.RNG, opts Opts) Result {
 			informed[i] = true
 		}
 		size += len(newly)
+		res.Informed = size
 		if opts.KeepTimeline {
 			res.Timeline = append(res.Timeline, size)
 		}

@@ -110,6 +110,77 @@ func (c *CellList) ForEachWithin(i int, fn func(j int)) {
 	}
 }
 
+// AppendPairsWithin appends every unordered pair {i, j} of indexed points
+// within the query radius to dst, normalized to i < j, each pair exactly
+// once. It scans each cell against itself and a half stencil of its
+// neighbors, so every candidate pair is distance-checked once — half the
+// work of querying ForEachWithin from every point.
+func (c *CellList) AppendPairsWithin(dst [][2]int32) [][2]int32 {
+	r2 := c.r * c.r
+	// Half stencil: E, SW, S, SE. Together with the same-cell pass this
+	// covers each unordered cell pair once.
+	stencil := [4][2]int{{0, 1}, {1, -1}, {1, 0}, {1, 1}}
+	for row := 0; row < c.rows; row++ {
+		for col := 0; col < c.cols; col++ {
+			for i := c.heads[row*c.cols+col]; i >= 0; i = c.next[i] {
+				pi := c.pts[i]
+				for j := c.next[i]; j >= 0; j = c.next[j] {
+					if Dist2(pi, c.pts[j]) <= r2 {
+						dst = append(dst, orderPair(i, j))
+					}
+				}
+				for _, off := range stencil {
+					nr, nc := row+off[0], col+off[1]
+					if nr >= c.rows || nc < 0 || nc >= c.cols {
+						continue
+					}
+					for j := c.heads[nr*c.cols+nc]; j >= 0; j = c.next[j] {
+						if Dist2(pi, c.pts[j]) <= r2 {
+							dst = append(dst, orderPair(i, j))
+						}
+					}
+				}
+			}
+		}
+	}
+	return dst
+}
+
+func orderPair(i, j int32) [2]int32 {
+	if i < j {
+		return [2]int32{i, j}
+	}
+	return [2]int32{j, i}
+}
+
+// AppendWithin appends every indexed point j != i within the query radius
+// of point i to dst, in ForEachWithin order.
+func (c *CellList) AppendWithin(i int, dst []int32) []int32 {
+	p := c.pts[i]
+	id := int(c.cell[i])
+	row := id / c.cols
+	col := id % c.cols
+	r2 := c.r * c.r
+	for dr := -1; dr <= 1; dr++ {
+		nr := row + dr
+		if nr < 0 || nr >= c.rows {
+			continue
+		}
+		for dc := -1; dc <= 1; dc++ {
+			nc := col + dc
+			if nc < 0 || nc >= c.cols {
+				continue
+			}
+			for j := c.heads[nr*c.cols+nc]; j >= 0; j = c.next[j] {
+				if int(j) != i && Dist2(p, c.pts[j]) <= r2 {
+					dst = append(dst, j)
+				}
+			}
+		}
+	}
+	return dst
+}
+
 // CountWithin returns the number of indexed points within the radius of
 // point i, excluding i itself.
 func (c *CellList) CountWithin(i int) int {

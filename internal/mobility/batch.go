@@ -1,0 +1,38 @@
+package mobility
+
+import (
+	"repro/internal/dyngraph"
+	"repro/internal/geometry"
+)
+
+// appendCellEdges converts the cell list's pair enumeration into dyngraph
+// edges, reusing the model's pair scratch buffer across steps. The cell
+// list checks each candidate pair once, so producing the whole snapshot
+// costs half of what per-node radius queries from every node would.
+func appendCellEdges(cells *geometry.CellList, scratch *[][2]int32, dst []dyngraph.Edge) []dyngraph.Edge {
+	*scratch = cells.AppendPairsWithin((*scratch)[:0])
+	for _, p := range *scratch {
+		dst = append(dst, dyngraph.Edge{U: p[0], V: p[1]})
+	}
+	return dst
+}
+
+// AppendEdges implements dyngraph.Batcher via the cell list.
+func (w *Waypoint) AppendEdges(dst []dyngraph.Edge) []dyngraph.Edge {
+	return appendCellEdges(w.cells, &w.pairs, dst)
+}
+
+// AppendNeighbors implements dyngraph.NeighborLister.
+func (w *Waypoint) AppendNeighbors(i int, dst []int32) []int32 {
+	return w.cells.AppendWithin(i, dst)
+}
+
+// AppendEdges implements dyngraph.Batcher via the cell list.
+func (d *Direction) AppendEdges(dst []dyngraph.Edge) []dyngraph.Edge {
+	return appendCellEdges(d.cells, &d.pairs, dst)
+}
+
+// AppendNeighbors implements dyngraph.NeighborLister.
+func (d *Direction) AppendNeighbors(i int, dst []int32) []int32 {
+	return d.cells.AppendWithin(i, dst)
+}

@@ -43,6 +43,7 @@ type Direction struct {
 	pos     []geometry.Point
 	heading []float64
 	cells   *geometry.CellList
+	pairs   [][2]int32 // scratch for batch edge enumeration
 }
 
 // NewDirection builds the simulation with uniform positions and headings

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/markov"
+	"repro/internal/nodemeg"
+	"repro/internal/rng"
 )
 
 // DiscreteWaypoint builds the exact discretized random waypoint chain of
@@ -74,6 +76,65 @@ func PositionalFromStateDist(stateDist []float64, m int) []float64 {
 	}
 	return pos
 }
+
+// samePosition connects two (cur, dest) waypoint states exactly when
+// their current grid points coincide.
+type samePosition struct {
+	points int
+	states [][]int32 // per point: all states currently at that point
+}
+
+func newSamePosition(points int) samePosition {
+	c := samePosition{points: points, states: make([][]int32, points)}
+	for p := 0; p < points; p++ {
+		row := make([]int32, points)
+		for d := 0; d < points; d++ {
+			row[d] = int32(p*points + d)
+		}
+		c.states[p] = row
+	}
+	return c
+}
+
+// NumStates implements nodemeg.ConnectionMap.
+func (c samePosition) NumStates() int { return c.points * c.points }
+
+// Connected implements nodemeg.ConnectionMap.
+func (c samePosition) Connected(u, v int) bool { return u/c.points == v/c.points }
+
+// NeighborStates implements nodemeg.NeighborEnumerator.
+func (c samePosition) NeighborStates(s int) []int32 { return c.states[s/c.points] }
+
+// DiscreteWaypointSim simulates n nodes independently following the
+// discretized waypoint chain on an m×m grid, connected when co-located —
+// the exact node-MEG realization of the Section 4.1 discretization,
+// started from the chain's stationary law.
+type DiscreteWaypointSim struct {
+	*nodemeg.Sim
+	m     int
+	chain *markov.Sparse
+	pi    []float64
+}
+
+// NewDiscreteWaypointSim builds the simulation.
+func NewDiscreteWaypointSim(n, m int, r *rng.RNG) (*DiscreteWaypointSim, error) {
+	chain, err := DiscreteWaypoint(m)
+	if err != nil {
+		return nil, err
+	}
+	pi, err := chain.StationaryPower(1e-10, 200000)
+	if err != nil {
+		return nil, fmt.Errorf("mobility: discrete waypoint stationary: %w", err)
+	}
+	sim, err := nodemeg.NewSim(n, markov.NewSparseSampler(chain), newSamePosition(m*m), pi, r)
+	if err != nil {
+		return nil, fmt.Errorf("mobility: building discrete waypoint sim: %w", err)
+	}
+	return &DiscreteWaypointSim{Sim: sim, m: m, chain: chain, pi: pi}, nil
+}
+
+// MixingChain implements model.ChainAnalyzer.
+func (s *DiscreteWaypointSim) MixingChain() (*markov.Sparse, []float64) { return s.chain, s.pi }
 
 // DiscreteWaypointMixing computes the exact stationary distribution of the
 // discretized waypoint chain and its single-start mixing time from a corner

@@ -71,6 +71,7 @@ type Waypoint struct {
 	dest   []geometry.Point
 	speed  []float64
 	cells  *geometry.CellList
+	pairs  [][2]int32 // scratch for batch edge enumeration
 }
 
 // NewWaypoint builds a waypoint simulation. It panics on invalid parameters

@@ -1,0 +1,16 @@
+// Package all links every built-in model registration into a binary.
+// Import it for side effects from CLIs and examples:
+//
+//	import _ "repro/internal/model/all"
+//
+// Model packages self-register with the model registry from init
+// functions, so any import of the package registers its models; this
+// package exists only so binaries need not know which packages those are.
+// (The "static" baseline registers inside package model itself.)
+package all
+
+import (
+	_ "repro/internal/edgemeg"
+	_ "repro/internal/mobility"
+	_ "repro/internal/randompath"
+)

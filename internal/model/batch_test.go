@@ -1,0 +1,103 @@
+package model_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dyngraph"
+	"repro/internal/model"
+	_ "repro/internal/model/all"
+)
+
+// callbackOnly strips a model down to the plain Dynamic interface so the
+// generic fallbacks in dyngraph.AppendEdges/AppendNeighbors take over.
+type callbackOnly struct{ d dyngraph.Dynamic }
+
+func (c callbackOnly) N() int                                { return c.d.N() }
+func (c callbackOnly) Step()                                 { c.d.Step() }
+func (c callbackOnly) ForEachNeighbor(i int, fn func(j int)) { c.d.ForEachNeighbor(i, fn) }
+
+// fastSpecs gives every registered model a small configuration so the
+// cross-model equivalence tests stay quick. A registered model missing
+// here is still tested, with its default parameters.
+var fastSpecs = map[string]model.Spec{
+	"edgemeg":   model.New("edgemeg").WithInt("n", 64).WithFloat("p", 0.05).WithFloat("q", 0.3),
+	"edgemeg4":  model.New("edgemeg4").WithInt("n", 48),
+	"waypoint":  model.New("waypoint").WithInt("n", 80).WithFloat("L", 10).WithFloat("r", 1.5),
+	"direction": model.New("direction").WithInt("n", 80).WithFloat("L", 10).WithFloat("r", 1.5),
+	"walk":      model.New("walk").WithInt("n", 40).WithInt("m", 8),
+	"dwaypoint": model.New("dwaypoint").WithInt("n", 20).WithInt("m", 4),
+	"paths":     model.New("paths").WithInt("n", 20).WithInt("m", 6),
+	"static":    model.New("static").With("topology", "gnp").WithInt("n", 60).WithFloat("p", 0.1),
+}
+
+func specFor(name string) model.Spec {
+	if spec, ok := fastSpecs[name]; ok {
+		return spec
+	}
+	return model.New(name)
+}
+
+func edgeSet(d dyngraph.Dynamic) []dyngraph.Edge {
+	edges := dyngraph.AppendEdges(d, nil)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	return edges
+}
+
+// TestBatchMatchesCallback checks, for every registered model, that the
+// batch snapshot view and the ForEachNeighbor callback view describe the
+// same edge set — per whole snapshot (Batcher vs fallback vs Snapshot) and
+// per node (NeighborLister vs fallback) — across several steps.
+func TestBatchMatchesCallback(t *testing.T) {
+	for _, name := range model.Names() {
+		t.Run(name, func(t *testing.T) {
+			spec := specFor(name)
+			d := model.MustBuild(spec, 11)
+			for step := 0; step < 4; step++ {
+				native := edgeSet(d)
+				fallback := edgeSet(callbackOnly{d})
+				if !reflect.DeepEqual(native, fallback) {
+					t.Fatalf("step %d: batch edges (%d) != callback edges (%d)",
+						step, len(native), len(fallback))
+				}
+				for i, e := range native {
+					if e.U >= e.V {
+						t.Fatalf("step %d: edge %d = (%d,%d) not normalized U < V", step, i, e.U, e.V)
+					}
+					if i > 0 && native[i-1] == e {
+						t.Fatalf("step %d: duplicate edge (%d,%d)", step, e.U, e.V)
+					}
+				}
+				snap := dyngraph.Snapshot(d)
+				if snap.M() != len(native) {
+					t.Fatalf("step %d: Snapshot has %d edges, batch %d", step, snap.M(), len(native))
+				}
+				for _, e := range native {
+					if !snap.HasEdge(int(e.U), int(e.V)) {
+						t.Fatalf("step %d: edge (%d,%d) missing from Snapshot", step, e.U, e.V)
+					}
+				}
+				for i := 0; i < d.N(); i++ {
+					nat := append([]int32(nil), dyngraph.AppendNeighbors(d, i, nil)...)
+					fb := dyngraph.AppendNeighbors(callbackOnly{d}, i, nil)
+					sortInt32(nat)
+					sortInt32(fb)
+					if !reflect.DeepEqual(nat, fb) {
+						t.Fatalf("step %d node %d: lister %v != callback %v", step, i, nat, fb)
+					}
+				}
+				d.Step()
+			}
+		})
+	}
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

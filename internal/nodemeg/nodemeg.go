@@ -12,6 +12,7 @@ package nodemeg
 import (
 	"fmt"
 
+	"repro/internal/dyngraph"
 	"repro/internal/rng"
 )
 
@@ -133,6 +134,55 @@ func (s *Sim) ForEachNeighbor(i int, fn func(j int)) {
 			fn(j)
 		}
 	}
+}
+
+// AppendEdges implements dyngraph.Batcher. With a NeighborEnumerator the
+// scan visits each node's compatible state buckets and keeps the j > i
+// half, so every unordered pair is distance-checked once; without one it
+// falls back to the O(n²) pair scan the callback path would also pay.
+func (s *Sim) AppendEdges(dst []dyngraph.Edge) []dyngraph.Edge {
+	if s.enum != nil {
+		for i, ui := range s.states {
+			for _, v := range s.enum.NeighborStates(int(ui)) {
+				for _, j := range s.buckets[v] {
+					if int(j) > i {
+						dst = append(dst, dyngraph.Edge{U: int32(i), V: j})
+					}
+				}
+			}
+		}
+		return dst
+	}
+	for i := 0; i < s.n; i++ {
+		ui := int(s.states[i])
+		for j := i + 1; j < s.n; j++ {
+			if s.conn.Connected(ui, int(s.states[j])) {
+				dst = append(dst, dyngraph.Edge{U: int32(i), V: int32(j)})
+			}
+		}
+	}
+	return dst
+}
+
+// AppendNeighbors implements dyngraph.NeighborLister.
+func (s *Sim) AppendNeighbors(i int, dst []int32) []int32 {
+	ui := s.states[i]
+	if s.enum != nil {
+		for _, v := range s.enum.NeighborStates(int(ui)) {
+			for _, j := range s.buckets[v] {
+				if int(j) != i {
+					dst = append(dst, j)
+				}
+			}
+		}
+		return dst
+	}
+	for j, uj := range s.states {
+		if j != i && s.conn.Connected(int(ui), int(uj)) {
+			dst = append(dst, int32(j))
+		}
+	}
+	return dst
 }
 
 // State returns node i's current chain state.
