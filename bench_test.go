@@ -26,6 +26,7 @@ import (
 	"repro/internal/flood"
 	"repro/internal/model"
 	_ "repro/internal/model/all"
+	"repro/internal/protocol"
 )
 
 func runExperiment(b *testing.B, id string) {
@@ -95,6 +96,33 @@ func BenchmarkFloodWaypointBatch(b *testing.B)   { benchFlood(b, floodBenchSpecs
 func BenchmarkFloodWaypointCallback(b *testing.B) {
 	benchFlood(b, floodBenchSpecs["Waypoint"], false)
 }
+
+// BenchmarkPull / BenchmarkParsimonious / BenchmarkPushPull: the
+// protocol-engine hot loops (per-node neighbor batches via
+// dyngraph.NeighborLister) over a moderately dense stationary edge-MEG,
+// exercised through spec-built protocols so the registry path is what is
+// measured, exactly as production callers run it.
+var protoBenchModel = model.New("edgemeg").WithInt("n", 512).
+	WithFloat("p", 0.004).WithFloat("q", 0.096) // stationary degree ≈ 20
+
+func benchProtocol(b *testing.B, ptext string) {
+	b.Helper()
+	pspec, err := protocol.Parse(ptext)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		d := model.MustBuild(protoBenchModel, 1)
+		p := protocol.MustBuild(pspec, 2)
+		if res := p.Run(d, 0, flood.Opts{MaxSteps: 1 << 17}); !res.Completed {
+			b.Fatalf("%s did not complete", ptext)
+		}
+	}
+}
+
+func BenchmarkPull(b *testing.B)         { benchProtocol(b, "pull") }
+func BenchmarkParsimonious(b *testing.B) { benchProtocol(b, "parsimonious:active=32") }
+func BenchmarkPushPull(b *testing.B)     { benchProtocol(b, "pushpull:k=1") }
 
 // TestFloodBatchMatchesCallback verifies the acceptance criterion of the
 // hot-loop redesign: flooding over the batch view and over the callback

@@ -1,14 +1,19 @@
-// Command floodsim runs a single flooding simulation over a chosen dynamic
-// graph model and prints the timeline, phase split, and flooding time.
+// Command floodsim runs a single spreading simulation — a chosen protocol
+// over a chosen dynamic graph model — and prints the timeline, phase
+// split, and completion time.
 //
-// Models are selected by spec — "name:key=value,..." — against the model
-// registry; run with -models for the full list. Examples:
+// Models and protocols are both selected by spec — "name:key=value,..." —
+// against their registries; run with -models or -protocols for the full
+// lists. Examples:
 //
 //	floodsim -model edgemeg:n=512,p=0.004,q=0.096
-//	floodsim -model waypoint:n=200,L=25,r=1.5,vmin=1
-//	floodsim -model walk:n=100,m=16,r=1,stay=0.2
-//	floodsim -model paths:n=50,m=10,family=l,hop=1
-//	floodsim -model edgemeg:n=256,p=0.01,q=0.1 -push 2
+//	floodsim -model waypoint:n=200,L=25,r=1.5,vmin=1 -protocol push:k=2
+//	floodsim -model walk:n=100,m=16,r=1,stay=0.2 -protocol pull
+//	floodsim -model edgemeg:n=128,p=0.02,q=0.2 -protocol pushpull:k=1
+//	floodsim -model paths:n=50,m=10,family=l,hop=1 -protocol parsimonious:active=16
+//
+// The -push k flag of the v2 CLI is deprecated: it is an alias for
+// -protocol push:k=K and will be removed.
 package main
 
 import (
@@ -19,16 +24,19 @@ import (
 	"repro/internal/flood"
 	"repro/internal/model"
 	_ "repro/internal/model/all"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 )
 
 func main() {
 	modelSpec := flag.String("model", "edgemeg", "model spec: name[:key=value,...] (see -models)")
+	protoSpec := flag.String("protocol", "flood", "protocol spec: name[:key=value,...] (see -protocols)")
 	listModels := flag.Bool("models", false, "list registered models and parameters, then exit")
+	listProtocols := flag.Bool("protocols", false, "list registered protocols and parameters, then exit")
 	seed := flag.Uint64("seed", 1, "random seed")
-	source := flag.Int("source", 0, "flooding source node")
+	source := flag.Int("source", 0, "initially informed source node")
 	maxSteps := flag.Int("max-steps", 1<<20, "step cap")
-	push := flag.Int("push", 0, "if > 0, run the randomized k-push protocol instead of flooding")
+	push := flag.Int("push", 0, "deprecated alias for -protocol push:k=K")
 	timeline := flag.Bool("timeline", false, "print the full |I_t| series")
 	flag.Parse()
 
@@ -36,31 +44,52 @@ func main() {
 		fmt.Print(model.Usage())
 		return
 	}
+	if *listProtocols {
+		fmt.Print(protocol.Usage())
+		return
+	}
 
-	spec, err := model.Parse(*modelSpec)
+	ptext := *protoSpec
+	if *push > 0 {
+		protocolSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "protocol" {
+				protocolSet = true
+			}
+		})
+		if protocolSet {
+			fatal(fmt.Errorf("-push conflicts with an explicit -protocol; drop the deprecated -push flag"))
+		}
+		ptext = fmt.Sprintf("push:k=%d", *push)
+		fmt.Fprintf(os.Stderr, "floodsim: -push is deprecated; use -protocol %s\n", ptext)
+	}
+
+	mspec, err := model.Parse(*modelSpec)
 	if err != nil {
 		fatal(err)
 	}
-	d, err := model.Build(spec, *seed)
+	d, err := model.Build(mspec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	pspec, err := protocol.Parse(ptext)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := protocol.Build(pspec, rng.Seed(*seed, 0xF00D))
 	if err != nil {
 		fatal(err)
 	}
 	n := d.N()
 
-	opts := flood.Opts{MaxSteps: *maxSteps, KeepTimeline: true}
-	var res flood.Result
-	if *push > 0 {
-		res = flood.RandomizedPush(d, *source, *push, rng.New(rng.Seed(*seed, 0xF00D)), opts)
-	} else {
-		res = flood.Run(d, *source, opts)
-	}
+	res := p.Run(d, *source, flood.Opts{MaxSteps: *maxSteps, KeepTimeline: true})
 
 	if !res.Completed {
-		fmt.Printf("flooding did NOT complete within %d steps (informed %d/%d)\n",
-			*maxSteps, res.Informed, n)
+		fmt.Printf("%s did NOT complete within %d steps (informed %d/%d)\n",
+			pspec.Name, *maxSteps, res.Informed, n)
 		os.Exit(2)
 	}
-	fmt.Printf("flooding time: %d steps\n", res.Time)
+	fmt.Printf("%s completion time: %d steps\n", pspec.Name, res.Time)
 	if ps, ok := flood.Phases(res); ok {
 		fmt.Printf("spreading phase (to n/2): %d steps\n", ps.Spreading)
 		fmt.Printf("saturation phase (to n):  %d steps\n", ps.Saturation)

@@ -5,7 +5,7 @@
 // paper instantiates it on — edge-MEGs, node-MEGs, the random waypoint and
 // random walk mobility models, and random paths over graphs.
 //
-// # Simulation API (v2)
+// # Simulation API (v3)
 //
 // The core abstraction is dyngraph.Dynamic — N, Step, ForEachNeighbor —
 // with two optional batch extensions that hot paths consume when a model
@@ -18,23 +18,45 @@
 //     recorded traces, static graphs) produce it natively.
 //   - dyngraph.NeighborLister exposes one node's neighbors as a slice
 //     (AppendNeighbors), for consumers that touch few nodes per step
-//     (random walkers, pull gossip, push subsampling).
+//     (random walkers, pull gossip, push subsampling). The per-node
+//     protocol engines hoist the interface check out of their hot loops.
 //
 // The package-level dyngraph.AppendEdges / dyngraph.AppendNeighbors fall
 // back to ForEachNeighbor adapters for models implementing neither, so
 // every consumer works with every model and merely runs faster on batch-
-// capable ones (see the BenchmarkFlood* benchmarks in bench_test.go).
+// capable ones (see the BenchmarkFlood*/BenchmarkPull* benchmarks in
+// bench_test.go).
 //
-// Models are constructed through the internal/model registry: a
-// model.Spec — a name plus typed parameters, parseable from CLI strings
-// ("edgemeg:n=512,p=0.004,q=0.096") and JSON — is built by
-// model.Build(spec, seed). Model packages self-register from init
-// functions; importing repro/internal/model/all links every built-in
-// model into a binary. Registering a new model is a one-file change in
-// the model's own package — no CLI, example, or experiment needs edits.
+// Construction is spec-driven on both axes of an experiment, through two
+// registries sharing the generic internal/spec machinery (name + typed
+// parameters, CLI-string and JSON round-trips):
+//
+//   - internal/model builds dynamic graphs: model.Build(spec, seed) with
+//     specs like "edgemeg:n=512,p=0.004,q=0.096". Model packages
+//     self-register from init functions; importing repro/internal/model/all
+//     links every built-in model into a binary.
+//   - internal/protocol builds spreading protocols: protocol.Build(spec,
+//     seed) with specs like "flood", "push:k=2", "pull", "pushpull:k=1",
+//     "parsimonious:active=8". A built Protocol holds its parameters and
+//     (for randomized protocols) a private RNG stream, and runs any model
+//     via Run(d, source, opts), returning a flood.Result. All protocol
+//     engines live in internal/flood and share one bookkeeping core, so a
+//     Result field added once is tracked by every protocol.
+//
+// Registering a new model or protocol is a one-file change in its own
+// package — no CLI, example, or experiment needs edits.
+//
+// internal/study is the experiment engine over both registries: a
+// study.Study crosses one model spec with one protocol spec and runs
+// Trials independent executions on a bounded worker pool, deriving
+// per-trial model and protocol RNG streams from a master seed via
+// rng.Seed — equal Studies yield identical Cells (per-trial Results plus a
+// stats.Summary) for any Workers value. study.Grid sweeps whole
+// model×protocol grids, and Cell.WriteJSONL emits per-trial JSON lines for
+// downstream tooling.
 //
 // The library lives under internal/ (see DESIGN.md for the module map);
 // cmd/ holds the CLIs, examples/ runnable scenarios, and bench_test.go one
-// benchmark per experiment of EXPERIMENTS.md plus the flooding hot-loop
-// benchmarks.
+// benchmark per experiment of EXPERIMENTS.md plus the flooding and
+// protocol-engine hot-loop benchmarks.
 package repro

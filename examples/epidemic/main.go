@@ -18,6 +18,7 @@ import (
 	"repro/internal/flood"
 	"repro/internal/model"
 	_ "repro/internal/model/all"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -39,12 +40,15 @@ func main() {
 	spec := model.New("waypoint").
 		WithInt("n", people).WithFloat("L", side).WithFloat("r", contact).WithFloat("vmin", speed)
 	for _, infectious := range []int{2, 5, 10, 20, 40} {
+		// SIR transmission is the parsimonious protocol with the infectious
+		// period as the activity window — one spec parameter.
+		sir := protocol.New("parsimonious").WithInt("active", infectious)
 		var attacked []float64
 		var durations []float64
 		extinct := 0
 		for trial := 0; trial < trials; trial++ {
 			city := model.MustBuild(spec, rng.Seed(3, uint64(infectious), uint64(trial)))
-			res := flood.Parsimonious(city, 0, infectious,
+			res := protocol.MustBuild(sir, 0).Run(city, 0,
 				flood.Opts{MaxSteps: 1 << 16, KeepTimeline: true})
 			attacked = append(attacked, float64(res.Informed)/people)
 			if res.Completed {

@@ -13,14 +13,13 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/dyngraph"
-	"repro/internal/flood"
 	"repro/internal/graph"
 	"repro/internal/model"
 	_ "repro/internal/model/all"
+	"repro/internal/protocol"
 	"repro/internal/randompath"
 	"repro/internal/rng"
-	"repro/internal/stats"
+	"repro/internal/study"
 )
 
 func main() {
@@ -42,15 +41,14 @@ func main() {
 		{"task routes (L-paths)", "l"},
 	}
 	for fi, fam := range families {
-		spec := model.New("paths").
-			WithInt("n", robots).WithInt("m", aisles).With("family", fam.family).WithInt("hop", 1)
-		factory := func(trial int) (dyngraph.Dynamic, int) {
-			return model.MustBuild(spec, rng.Seed(11, uint64(fi), uint64(trial))), 0
-		}
-		results := flood.Trials(factory, trials, flood.TrialsOpts{
-			Opts: flood.Opts{MaxSteps: 1 << 18},
+		cell := study.MustRun(study.Study{
+			Model: model.New("paths").
+				WithInt("n", robots).WithInt("m", aisles).With("family", fam.family).WithInt("hop", 1),
+			Protocol: protocol.New("flood"),
+			Trials:   trials,
+			Seed:     rng.Seed(11, uint64(fi)),
+			MaxSteps: 1 << 18,
 		})
-		times, incomplete := flood.TimesOf(results)
 
 		// δ-regularity is a property of the path family, computed on the
 		// family directly rather than on a built simulation.
@@ -63,7 +61,7 @@ func main() {
 			panic(err)
 		}
 		fmt.Printf("%-26s median update time %4.0f steps  (δ-regularity %.2f, incomplete %d)\n",
-			fam.name, stats.Median(times), rp.DeltaRegularity(), incomplete)
+			fam.name, cell.Times.Median, rp.DeltaRegularity(), cell.Incomplete)
 	}
 
 	fmt.Println()

@@ -16,11 +16,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dyngraph"
-	"repro/internal/flood"
 	"repro/internal/model"
 	_ "repro/internal/model/all"
+	"repro/internal/protocol"
 	"repro/internal/rng"
-	"repro/internal/stats"
+	"repro/internal/study"
 )
 
 func main() {
@@ -38,14 +38,15 @@ func main() {
 	for _, radio := range []float64{0.8, 1.2, 2.0, 3.0} {
 		spec := model.New("waypoint").
 			WithInt("n", n).WithFloat("L", side).WithFloat("r", radio).WithFloat("vmin", speed)
-		factory := func(trial int) (dyngraph.Dynamic, int) {
-			return model.MustBuild(spec, rng.Seed(2026, uint64(radio*1000), uint64(trial))), 0
-		}
-		results := flood.Trials(factory, trials, flood.TrialsOpts{
-			Opts: flood.Opts{MaxSteps: 1 << 18},
+		// One study cell per radio range: the engine derives per-trial
+		// seeds, runs the pool, and summarizes completion times.
+		cell := study.MustRun(study.Study{
+			Model:    spec,
+			Protocol: protocol.New("flood"),
+			Trials:   trials,
+			Seed:     rng.Seed(2026, uint64(radio*1000)),
+			MaxSteps: 1 << 18,
 		})
-		times, incomplete := flood.TimesOf(results)
-		med := stats.Median(times)
 
 		// How connected is a typical snapshot?
 		probe := model.MustBuild(spec, rng.Seed(2026, uint64(radio*1000), 999))
@@ -53,10 +54,10 @@ func main() {
 		_, comps := snap.Components()
 
 		fmt.Printf("%-10.1f %-14.0f %-16.1f %-16.0f %d components (inc %d)\n",
-			radio, med,
+			radio, cell.Times.Median,
 			core.TransportLowerBound(side, radio, speed),
 			core.RWPBound(side, speed, radio, n),
-			comps, incomplete)
+			comps, cell.Incomplete)
 	}
 
 	fmt.Println()

@@ -4,7 +4,8 @@
 // seeder pushes a file announcement that spreads peer-to-peer. The example
 // compares full flooding against the bandwidth-capped randomized push
 // protocol of Section 5 (each informed peer contacts at most k current
-// neighbors per round) and shows the graceful latency/bandwidth trade-off.
+// neighbors per round) and shows the graceful latency/bandwidth trade-off —
+// one study grid over protocol specs.
 //
 //	go run ./examples/p2pchurn
 package main
@@ -12,13 +13,12 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/dyngraph"
 	"repro/internal/edgemeg"
-	"repro/internal/flood"
 	"repro/internal/model"
 	_ "repro/internal/model/all"
-	"repro/internal/rng"
-	"repro/internal/stats"
+	"repro/internal/protocol"
+	"repro/internal/spec"
+	"repro/internal/study"
 )
 
 func main() {
@@ -35,45 +35,43 @@ func main() {
 		n, params.ExpectedDegree(), 1/params.Q)
 	fmt.Println()
 
-	spec := model.New("edgemeg").
-		WithInt("n", n).WithFloat("p", params.P).WithFloat("q", params.Q)
-	base := func(trial int) dyngraph.Dynamic {
-		return model.MustBuild(spec, rng.Seed(7, uint64(trial)))
+	// The whole comparison is one grid: one overlay model crossed with the
+	// flooding baseline and the capped push variants.
+	base := study.Study{
+		Trials:   trials,
+		Seed:     7,
+		MaxSteps: 1 << 17,
+	}
+	models := []spec.Spec{
+		model.New("edgemeg").WithInt("n", n).WithFloat("p", params.P).WithFloat("q", params.Q),
+	}
+	pushKs := []int{1, 2, 4}
+	protocols := []spec.Spec{protocol.New("flood")}
+	for _, k := range pushKs {
+		protocols = append(protocols, protocol.New("push").WithInt("k", k))
+	}
+	cells, err := study.Grid(base, models, protocols)
+	if err != nil {
+		panic(err)
 	}
 
-	// Full flooding reference.
-	fullTimes := runMany(func(trial int) (dyngraph.Dynamic, int) {
-		return base(trial), 0
-	}, trials)
-	fullMed := stats.Median(fullTimes)
+	if cells[0].Incomplete > 0 {
+		fmt.Printf("  (%d incomplete runs dropped)\n", cells[0].Incomplete)
+	}
+	fullMed := cells[0].Times.Median
 	fmt.Printf("%-22s median %3.0f rounds, est. messages/peer/round: unbounded\n",
 		"flooding (reference)", fullMed)
-
-	// Bandwidth-capped push.
-	for _, k := range []int{1, 2, 4} {
-		k := k
-		times := runMany(func(trial int) (dyngraph.Dynamic, int) {
-			inner := base(trial)
-			return dyngraph.NewSubsample(inner, k, rng.New(rng.Seed(8, uint64(k), uint64(trial)))), 0
-		}, trials)
-		med := stats.Median(times)
+	for i, cell := range cells[1:] {
+		if cell.Incomplete > 0 {
+			fmt.Printf("  (%d incomplete runs dropped)\n", cell.Incomplete)
+		}
+		med := cell.Times.Median
 		fmt.Printf("%-22s median %3.0f rounds (%.2fx flooding), messages/peer/round ≤ %d\n",
-			fmt.Sprintf("push k=%d", k), med, med/fullMed, k)
+			fmt.Sprintf("push k=%d", pushKs[i]), med, med/fullMed, pushKs[i])
 	}
 
 	fmt.Println()
 	fmt.Println("reading: the randomized protocol is flooding on a virtual subsampled MEG")
 	fmt.Println("(Section 5); capping fan-out to a few messages/round costs only a small")
 	fmt.Println("constant factor in latency, shrinking toward 1x as the cap grows.")
-}
-
-func runMany(factory flood.Factory, trials int) []float64 {
-	results := flood.Trials(factory, trials, flood.TrialsOpts{
-		Opts: flood.Opts{MaxSteps: 1 << 17},
-	})
-	times, incomplete := flood.TimesOf(results)
-	if incomplete > 0 {
-		fmt.Printf("  (%d incomplete runs dropped)\n", incomplete)
-	}
-	return times
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/flood"
 	"repro/internal/model"
 	_ "repro/internal/model/all"
+	"repro/internal/protocol"
 )
 
 func main() {
@@ -34,7 +35,10 @@ func main() {
 	fmt.Printf("snapshot at t=0: %d edges (a connected graph would need ≥ %d)\n",
 		dyngraph.EdgeCount(g), n-1)
 
-	res := flood.Run(g, 0, flood.Opts{MaxSteps: 100000, KeepTimeline: true})
+	// Protocols, like models, are selected by spec; "flood" is the paper's
+	// §2 flooding process.
+	res := protocol.MustBuild(protocol.New("flood"), 0).
+		Run(g, 0, flood.Opts{MaxSteps: 100000, KeepTimeline: true})
 	if !res.Completed {
 		fmt.Println("flooding did not complete — raise MaxSteps")
 		return

@@ -5,11 +5,13 @@ import (
 	"io"
 
 	"repro/internal/core"
-	"repro/internal/dyngraph"
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/protocol"
 	"repro/internal/randompath"
+	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/study"
 )
 
 func init() {
@@ -48,11 +50,18 @@ func runE9(cfg Config, w io.Writer) error {
 		}
 		diam := h.Diameter()
 		nodes := m * m / 2
-		spec := model.New("paths").WithInt("n", nodes).WithInt("m", m).With("family", "l").WithInt("hop", 1)
-		factory := func(trial int) (dyngraph.Dynamic, int) {
-			return buildModel(spec, cfg.Seed, 11, uint64(m), uint64(trial)), 0
+		cell, err := study.Run(study.Study{
+			Model:    model.New("paths").WithInt("n", nodes).WithInt("m", m).With("family", "l").WithInt("hop", 1),
+			Protocol: protocol.New("flood"),
+			Trials:   trials,
+			Seed:     rng.Seed(cfg.Seed, 11, uint64(m)),
+			Workers:  cfg.Workers,
+			MaxSteps: 1 << 17,
+		})
+		if err != nil {
+			return err
 		}
-		med, inc, _ := medianFlood(factory, trials, 1<<17, cfg.Workers)
+		med, inc := cellStats(cell)
 		tab.Row(m, m*m, nodes, diam, f2(rp.DeltaRegularity()), med, f2(med/float64(diam)), inc)
 		ds = append(ds, float64(diam))
 		floods = append(floods, med)
@@ -94,11 +103,18 @@ func runE10(cfg Config, w io.Writer) error {
 		}
 		delta := rp.DeltaRegularity()
 		bound := core.Corollary5Bound(float64(h.Diameter()), h.N(), nodes, delta)
-		spec := model.New("paths").WithInt("n", nodes).WithInt("m", m).With("family", f.family).WithInt("hop", 1)
-		factory := func(trial int) (dyngraph.Dynamic, int) {
-			return buildModel(spec, cfg.Seed, 12, uint64(fi), uint64(trial)), 0
+		cell, err := study.Run(study.Study{
+			Model:    model.New("paths").WithInt("n", nodes).WithInt("m", m).With("family", f.family).WithInt("hop", 1),
+			Protocol: protocol.New("flood"),
+			Trials:   trials,
+			Seed:     rng.Seed(cfg.Seed, 12, uint64(fi)),
+			Workers:  cfg.Workers,
+			MaxSteps: 1 << 18,
+		})
+		if err != nil {
+			return err
 		}
-		med, inc, _ := medianFlood(factory, trials, 1<<18, cfg.Workers)
+		med, inc := cellStats(cell)
 		tab.Row(f.name, len(paths), rp.NumStates(), f2(delta), g3(bound), med, inc)
 	}
 	if err := tab.Flush(); err != nil {

@@ -8,8 +8,10 @@ import (
 	"repro/internal/dyngraph"
 	"repro/internal/markov"
 	"repro/internal/nodemeg"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/study"
 )
 
 func init() {
@@ -38,21 +40,31 @@ func runE12(cfg Config, w io.Writer) error {
 	// Moderately dense edge-MEG so nodes have several neighbors to sample.
 	alpha := 8.0 / float64(n)
 	speed := 0.2
-	spec := edgemegSpec(n, alpha*speed, speed-alpha*speed)
-
-	full := func(trial int) (dyngraph.Dynamic, int) {
-		return buildModel(spec, cfg.Seed, 15, uint64(trial)), 0
+	base := study.Study{
+		Model:    edgemegSpec(n, alpha*speed, speed-alpha*speed),
+		Trials:   trials,
+		Seed:     rng.Seed(cfg.Seed, 15),
+		Workers:  cfg.Workers,
+		MaxSteps: 1 << 16,
 	}
-	fullMed, _, _ := medianFlood(full, trials, 1<<16, cfg.Workers)
+
+	full := base
+	full.Protocol = protocol.New("flood")
+	fullCell, err := study.Run(full)
+	if err != nil {
+		return err
+	}
+	fullMed := fullCell.Times.Median
 
 	tab := NewTable(w, "push limit k", "median-completion", "slowdown vs flooding")
 	for _, k := range []int{1, 2, 4, 8} {
-		k := k
-		factory := func(trial int) (dyngraph.Dynamic, int) {
-			inner := buildModel(spec, cfg.Seed, 15, uint64(trial))
-			return dyngraph.NewSubsample(inner, k, rng.New(rng.Seed(cfg.Seed, 16, uint64(k), uint64(trial)))), 0
+		s := base
+		s.Protocol = protocol.New("push").WithInt("k", k)
+		cell, err := study.Run(s)
+		if err != nil {
+			return err
 		}
-		med, inc, _ := medianFlood(factory, trials, 1<<16, cfg.Workers)
+		med, inc := cellStats(cell)
 		if inc > 0 {
 			tab.Row(k, fmt.Sprintf("%v (%d incomplete)", med, inc), "")
 			continue

@@ -7,10 +7,11 @@ import (
 	"repro/internal/dyngraph"
 	"repro/internal/dynwalk"
 	"repro/internal/edgemeg"
-	"repro/internal/flood"
 	"repro/internal/model"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/study"
 )
 
 func init() {
@@ -47,11 +48,21 @@ func runE14(cfg Config, w io.Writer) error {
 	speed := 0.1 // per-edge mixing ≈ 14
 	params := edgemeg.Params{N: n, P: alpha * speed, Q: speed * (1 - alpha)}
 	tmix := params.MixingTime(0.25)
-	spec := edgemegSpec(n, params.P, params.Q)
+	base := study.Study{
+		Model:    edgemegSpec(n, params.P, params.Q),
+		Trials:   trials,
+		Seed:     rng.Seed(cfg.Seed, 20),
+		Workers:  cfg.Workers,
+		MaxSteps: 1 << 16,
+	}
 
-	fullMed, _, _ := medianFlood(func(trial int) (dyngraph.Dynamic, int) {
-		return buildModel(spec, cfg.Seed, 20, uint64(trial)), 0
-	}, trials, 1<<16, cfg.Workers)
+	full := base
+	full.Protocol = protocol.New("flood")
+	fullCell, err := study.Run(full)
+	if err != nil {
+		return err
+	}
+	fullMed := fullCell.Times.Median
 
 	tab := NewTable(w, "active window", "window/Tmix", "completed", "median (completed)", "vs flooding")
 	for _, mult := range []float64{0.25, 0.5, 1, 2, 4} {
@@ -59,21 +70,17 @@ func runE14(cfg Config, w io.Writer) error {
 		if active < 1 {
 			active = 1
 		}
-		var times []float64
-		completed := 0
-		for trial := 0; trial < trials; trial++ {
-			d := buildModel(spec, cfg.Seed, 20, uint64(trial))
-			res := flood.Parsimonious(d, 0, active, flood.Opts{MaxSteps: 1 << 16})
-			if res.Completed {
-				completed++
-				times = append(times, float64(res.Time))
-			}
+		s := base
+		s.Protocol = protocol.New("parsimonious").WithInt("active", active)
+		cell, err := study.Run(s)
+		if err != nil {
+			return err
 		}
+		completed := trials - cell.Incomplete
 		medCell, ratio := "n/a", "n/a"
-		if len(times) > 0 {
-			med := stats.Median(times)
-			medCell = f1(med)
-			ratio = f2(med / fullMed)
+		if completed > 0 {
+			medCell = f1(cell.Times.Median)
+			ratio = f2(cell.Times.Median / fullMed)
 		}
 		tab.Row(active, f2(mult), fmt.Sprintf("%d/%d", completed, trials), medCell, ratio)
 	}

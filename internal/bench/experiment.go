@@ -12,8 +12,10 @@ import (
 	"repro/internal/dyngraph"
 	"repro/internal/flood"
 	"repro/internal/model"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/study"
 )
 
 // Config selects the scale of an experiment run.
@@ -124,13 +126,28 @@ func waypointSpec(n int, l, r, v float64) model.Spec {
 	return model.New("waypoint").WithInt("n", n).WithFloat("L", l).WithFloat("r", r).WithFloat("vmin", v)
 }
 
-// medianFlood runs trials floods and returns the median completed time,
-// the count of incomplete runs, and the full summary.
-func medianFlood(factory flood.Factory, trials, maxSteps, workers int) (median float64, incomplete int, sum stats.Summary) {
-	results := flood.Trials(factory, trials, flood.TrialsOpts{
+// modelFactory builds the (graph, source) pair for one trial of a
+// flooding grid; experiments that wrap or hand-build models use it with
+// medianFlood instead of a registered spec.
+type modelFactory func(trial int) (d dyngraph.Dynamic, source int)
+
+// medianFlood runs trials floods through the study engine and returns the
+// median completed time, the count of incomplete runs, and the full
+// summary. Flooding is deterministic, so the shared protocol.Flooding()
+// instance serves every trial.
+func medianFlood(factory modelFactory, trials, maxSteps, workers int) (median float64, incomplete int, sum stats.Summary) {
+	results := study.Trials(func(trial int) (dyngraph.Dynamic, protocol.Protocol, int) {
+		d, source := factory(trial)
+		return d, protocol.Flooding(), source
+	}, trials, study.TrialsOpts{
 		Opts:    flood.Opts{MaxSteps: maxSteps},
 		Workers: workers,
 	})
-	times, inc := flood.TimesOf(results)
+	times, inc := study.TimesOf(results)
 	return stats.Median(times), inc, stats.Summarize(times)
+}
+
+// cellStats extracts the (median, incomplete) table cells of a study cell.
+func cellStats(c study.Cell) (median float64, incomplete int) {
+	return c.Times.Median, c.Incomplete
 }

@@ -1,7 +1,13 @@
-// Package flood implements the flooding process of Section 2 of the paper
-// over any dynamic graph, plus the timeline instrumentation (spreading and
-// saturation phases, Lemmas 13–14) and the randomized push-gossip variant
-// sketched in the conclusions.
+// Package flood implements the spreading-process engines studied by the
+// paper over any dynamic graph: the flooding process of Section 2, the
+// randomized k-push protocol of Section 5, pull gossip, the combined
+// push–pull protocol, and the parsimonious flooding of Baumann–Crescenzi–
+// Fraigniaud [4] — all sharing one Result bookkeeping and phase-tracking
+// core (start/record), plus the timeline instrumentation of Lemmas 13–14.
+//
+// The engines here are the low-level deterministic processes; entry points
+// select and build them through the spec-driven registry of
+// internal/protocol and run trial grids through internal/study.
 //
 // Flooding semantics follow the paper exactly: I_0 = {s}, and a node j
 // becomes informed at time t+1 iff some edge of the snapshot E_t connects j
@@ -16,10 +22,10 @@ import (
 	"repro/internal/rng"
 )
 
-// Result reports one flooding execution.
+// Result reports one spreading-process execution.
 type Result struct {
-	// Time is the flooding time: the first t with I_t = [n], or -1 if the
-	// run hit MaxSteps before completing.
+	// Time is the completion time: the first t with I_t = [n], or -1 if the
+	// run hit MaxSteps (or died) before completing.
 	Time int
 	// HalfTime is the first t with |I_t| >= n/2 (the spreading phase
 	// boundary of Lemma 13), or -1 if never reached.
@@ -43,22 +49,44 @@ func (r Result) SaturationTime() int {
 	return r.Time - r.HalfTime
 }
 
-// TimeToFraction returns the first time at which at least frac·n nodes were
-// informed, or -1 if the run never reached it.
+// TimeToFraction returns the first time at which at least frac·n nodes
+// were informed, or -1 if that time is unknown. With a recorded Timeline
+// every fraction is answerable. Without one (KeepTimeline == false) the
+// run only tracked three exact events, and the method falls back on them:
+// t = 0 for fractions the source alone satisfies, HalfTime when frac·n is
+// exactly the half threshold ⌈n/2⌉, and Time for frac == 1 on completed
+// runs. Any other fraction — including ones the run did reach, at an
+// unrecorded time — returns -1; fractions beyond the final Informed count
+// return -1 always.
 func (r Result) TimeToFraction(n int, frac float64) int {
 	need := int(frac * float64(n))
 	if need < 1 {
 		need = 1
 	}
-	for t, size := range r.Timeline {
-		if size >= need {
-			return t
+	if len(r.Timeline) > 0 {
+		for t, size := range r.Timeline {
+			if size >= need {
+				return t
+			}
 		}
+		return -1
+	}
+	// Timeline-free fallback: answer from the always-tracked events when
+	// they pin the requested fraction exactly.
+	switch {
+	case need > r.Informed:
+		return -1 // never reached
+	case need <= 1:
+		return 0 // the source satisfies it from the start
+	case need == n && r.Completed:
+		return r.Time
+	case need == (n+1)/2 && r.HalfTime >= 0:
+		return r.HalfTime
 	}
 	return -1
 }
 
-// Opts configures a flooding run.
+// Opts configures a spreading run.
 type Opts struct {
 	// MaxSteps caps the run; a run that does not finish within the cap
 	// reports Completed == false. Zero means DefaultMaxSteps.
@@ -68,8 +96,78 @@ type Opts struct {
 	KeepTimeline bool
 }
 
+// maxSteps returns the effective step cap.
+func (o Opts) maxSteps() int {
+	if o.MaxSteps <= 0 {
+		return DefaultMaxSteps
+	}
+	return o.MaxSteps
+}
+
 // DefaultMaxSteps bounds runs whose caller did not choose a cap.
 const DefaultMaxSteps = 1 << 20
+
+// start validates the source, initializes the informed set and the Result
+// for a run over n nodes (the source is informed at t = 0), and reports
+// done == true for the trivial single-node network. It is the shared
+// entry bookkeeping of every engine in this package.
+func start(n, source int, opts Opts) (informed []bool, res Result, done bool) {
+	if source < 0 || source >= n {
+		panic("flood: source out of range")
+	}
+	informed = make([]bool, n)
+	informed[source] = true
+	res = Result{Time: -1, HalfTime: -1, Informed: 1}
+	if opts.KeepTimeline {
+		res.Timeline = append(res.Timeline, 1)
+	}
+	if 2 >= n {
+		res.HalfTime = 0
+	}
+	if n == 1 {
+		res.Time = 0
+		res.Completed = true
+		return informed, res, true
+	}
+	return informed, res, false
+}
+
+// record updates the result after step t produced informed-set size size,
+// reporting whether the run completed. It is the shared per-step
+// bookkeeping of every engine in this package: a field added to Result is
+// tracked by all protocols at once.
+func record(res *Result, opts Opts, n, size, t int) bool {
+	res.Informed = size
+	if opts.KeepTimeline {
+		res.Timeline = append(res.Timeline, size)
+	}
+	if res.HalfTime < 0 && 2*size >= n {
+		res.HalfTime = t + 1
+	}
+	if size == n {
+		res.Time = t + 1
+		res.Completed = true
+		return true
+	}
+	return false
+}
+
+// neighborSource returns the cheapest per-node neighbor accessor d offers:
+// the native dyngraph.NeighborLister batch when implemented, else an
+// adapter over ForEachNeighbor. Engines that touch nodes individually
+// (member-scan flooding, pull, parsimonious, push–pull) call this once per
+// run, hoisting the interface check out of their per-node hot loops.
+func neighborSource(d dyngraph.Dynamic) func(i int, dst []int32) []int32 {
+	if l, ok := d.(dyngraph.NeighborLister); ok {
+		return l.AppendNeighbors
+	}
+	return func(i int, dst []int32) []int32 {
+		d.ForEachNeighbor(i, func(j int) {
+			dst = append(dst, int32(j))
+		})
+		return dst
+	}
+}
 
 // Run floods d from source and returns the result. It panics if source is
 // out of range (a programming error in the caller).
@@ -83,34 +181,14 @@ const DefaultMaxSteps = 1 << 20
 // so Results agree exactly for a given model state.
 func Run(d dyngraph.Dynamic, source int, opts Opts) Result {
 	n := d.N()
-	if source < 0 || source >= n {
-		panic("flood: source out of range")
-	}
-	maxSteps := opts.MaxSteps
-	if maxSteps <= 0 {
-		maxSteps = DefaultMaxSteps
-	}
-
-	informed := make([]bool, n)
-	informed[source] = true
-
-	res := Result{Time: -1, HalfTime: -1, Informed: 1}
-	if opts.KeepTimeline {
-		res.Timeline = append(res.Timeline, 1)
-	}
-	if 2*1 >= n {
-		res.HalfTime = 0
-	}
-	if n == 1 {
-		res.Time = 0
-		res.Completed = true
+	informed, res, done := start(n, source, opts)
+	if done {
 		return res
 	}
-
 	if b, ok := d.(dyngraph.Batcher); ok {
-		runEdgeScan(b, d, informed, source, maxSteps, opts, &res)
+		runEdgeScan(b, d, informed, opts, &res)
 	} else {
-		runMemberScan(d, informed, source, maxSteps, opts, &res)
+		runMemberScan(d, informed, source, opts, &res)
 	}
 	return res
 }
@@ -120,12 +198,13 @@ func Run(d dyngraph.Dynamic, source int, opts Opts) Result {
 // boundary. Nodes reached this step are marked pending, not informed, so
 // the scan only propagates from I_t (chained same-step propagation would
 // be wrong in a dynamic graph).
-func runEdgeScan(b dyngraph.Batcher, d dyngraph.Dynamic, informed []bool, source, maxSteps int, opts Opts, res *Result) {
+func runEdgeScan(b dyngraph.Batcher, d dyngraph.Dynamic, informed []bool, opts Opts, res *Result) {
 	n := len(informed)
 	size := 1
 	pending := make([]bool, n)
 	newly := make([]int32, 0, n)
 	var edges []dyngraph.Edge
+	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
 		edges = b.AppendEdges(edges[:0])
 		newly = newly[:0]
@@ -156,18 +235,20 @@ func runEdgeScan(b dyngraph.Batcher, d dyngraph.Dynamic, informed []bool, source
 // neighbors — the fallback for models without batch snapshot access, and
 // the only correct option for directed virtual graphs (push subsampling),
 // whose uninformed nodes' neighbor sets must never be evaluated.
-func runMemberScan(d dyngraph.Dynamic, informed []bool, source, maxSteps int, opts Opts, res *Result) {
+func runMemberScan(d dyngraph.Dynamic, informed []bool, source int, opts Opts, res *Result) {
 	n := len(informed)
+	neighbors := neighborSource(d)
 	// members holds the informed set; scanned fully each round.
 	members := make([]int32, 1, n)
 	members[0] = int32(source)
 	newly := make([]int32, 0, n)
 	var nbrs []int32
+	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
 		// Scan snapshot E_t for edges leaving the informed set.
 		newly = newly[:0]
 		for _, i := range members {
-			nbrs = dyngraph.AppendNeighbors(d, int(i), nbrs[:0])
+			nbrs = neighbors(int(i), nbrs[:0])
 			for _, j := range nbrs {
 				if !informed[j] {
 					informed[j] = true
@@ -181,24 +262,6 @@ func runMemberScan(d dyngraph.Dynamic, informed []bool, source, maxSteps int, op
 		}
 		d.Step()
 	}
-}
-
-// record updates the result after step t produced informed-set size size,
-// reporting whether the run completed.
-func record(res *Result, opts Opts, n, size, t int) bool {
-	res.Informed = size
-	if opts.KeepTimeline {
-		res.Timeline = append(res.Timeline, size)
-	}
-	if res.HalfTime < 0 && 2*size >= n {
-		res.HalfTime = t + 1
-	}
-	if size == n {
-		res.Time = t + 1
-		res.Completed = true
-		return true
-	}
-	return false
 }
 
 // RandomizedPush floods d with the §5 randomized protocol: each informed

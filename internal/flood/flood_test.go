@@ -171,6 +171,39 @@ func TestTimeToFraction(t *testing.T) {
 	}
 }
 
+func TestTimeToFractionWithoutTimeline(t *testing.T) {
+	// A completed run executed without KeepTimeline still answers the
+	// fractions its tracked events pin down exactly.
+	n := 16
+	r := Result{Time: 9, HalfTime: 5, Informed: n, Completed: true}
+	if got := r.TimeToFraction(n, 1.0); got != 9 {
+		t.Fatalf("full fraction should fall back on Time: got %d", got)
+	}
+	if got := r.TimeToFraction(n, 0.5); got != 5 {
+		t.Fatalf("half fraction should fall back on HalfTime: got %d", got)
+	}
+	if got := r.TimeToFraction(n, 0.05); got != 0 {
+		t.Fatalf("source-only fraction should be 0: got %d", got)
+	}
+	// Reached fractions at unrecorded times are unknown: -1.
+	if got := r.TimeToFraction(n, 0.75); got != -1 {
+		t.Fatalf("unrecorded fraction should be -1: got %d", got)
+	}
+	// Fractions beyond the final informed count were never reached.
+	capped := Result{Time: -1, HalfTime: 3, Informed: 10}
+	if got := capped.TimeToFraction(n, 1.0); got != -1 {
+		t.Fatalf("incomplete run full fraction should be -1: got %d", got)
+	}
+	if got := capped.TimeToFraction(n, 0.5); got != 3 {
+		t.Fatalf("incomplete run half fraction should be HalfTime: got %d", got)
+	}
+	// An odd n pins the half threshold at ceil(n/2).
+	odd := Result{Time: 7, HalfTime: 4, Informed: 9, Completed: true}
+	if got := odd.TimeToFraction(9, 5.0/9.0); got != 4 {
+		t.Fatalf("ceil(n/2) fraction on odd n should be HalfTime: got %d", got)
+	}
+}
+
 func TestPhases(t *testing.T) {
 	r := Result{Time: 10, HalfTime: 7, Completed: true}
 	ps, ok := Phases(r)
@@ -206,55 +239,6 @@ func TestGrowthIsMonotone(t *testing.T) {
 	}
 	if GrowthIsMonotone([]int{1, 3, 2}) {
 		t.Fatal("non-monotone timeline accepted")
-	}
-}
-
-func TestTrialsDeterministicPerSeed(t *testing.T) {
-	factory := func(trial int) (dyngraph.Dynamic, int) {
-		g := graph.Gnp(40, 0.08, rng.New(rng.Seed(99, uint64(trial))))
-		return dyngraph.NewStatic(g), 0
-	}
-	a := Trials(factory, 8, TrialsOpts{Opts: Opts{MaxSteps: 200}, Workers: 4})
-	b := Trials(factory, 8, TrialsOpts{Opts: Opts{MaxSteps: 200}, Workers: 2})
-	for i := range a {
-		if a[i].Time != b[i].Time || a[i].Completed != b[i].Completed {
-			t.Fatalf("trial %d differs across worker counts: %+v vs %+v", i, a[i], b[i])
-		}
-	}
-}
-
-func TestTrialsEmptyAndSingle(t *testing.T) {
-	if Trials(nil, 0, TrialsOpts{}) != nil {
-		t.Fatal("zero trials should be nil")
-	}
-	factory := func(trial int) (dyngraph.Dynamic, int) {
-		return dyngraph.NewStatic(graph.Complete(5)), 0
-	}
-	rs := Trials(factory, 1, TrialsOpts{})
-	if len(rs) != 1 || rs[0].Time != 1 {
-		t.Fatalf("single trial: %+v", rs)
-	}
-}
-
-func TestTimesOfCountsIncomplete(t *testing.T) {
-	results := []Result{
-		{Time: 5, Completed: true},
-		{Time: -1, Completed: false},
-		{Time: 7, Completed: true},
-	}
-	times, inc := TimesOf(results)
-	if len(times) != 2 || inc != 1 {
-		t.Fatalf("TimesOf: %v, %d", times, inc)
-	}
-}
-
-func TestSummarizeTimes(t *testing.T) {
-	factory := func(trial int) (dyngraph.Dynamic, int) {
-		return dyngraph.NewStatic(graph.Path(5)), 0
-	}
-	s, inc := SummarizeTimes(factory, 4, TrialsOpts{})
-	if inc != 0 || s.Mean != 4 {
-		t.Fatalf("summary: %+v inc=%d", s, inc)
 	}
 }
 

@@ -16,49 +16,32 @@ import (
 // so too-small activity windows can strand nodes. The returned Result
 // reports Completed accordingly.
 func Parsimonious(d dyngraph.Dynamic, source, active int, opts Opts) Result {
-	n := d.N()
-	if source < 0 || source >= n {
-		panic("flood: source out of range")
-	}
 	if active <= 0 {
 		panic("flood: Parsimonious needs active > 0")
 	}
-	maxSteps := opts.MaxSteps
-	if maxSteps <= 0 {
-		maxSteps = DefaultMaxSteps
+	n := d.N()
+	informed, res, done := start(n, source, opts)
+	if done {
+		return res
 	}
+	neighbors := neighborSource(d)
 
-	informed := make([]bool, n)
-	informed[source] = true
 	// expiry[i] is the last step at which node i still transmits.
 	expiry := make([]int32, n)
-
 	// activeList holds nodes still within their transmission window.
 	activeList := make([]int32, 1, n)
 	activeList[0] = int32(source)
 	expiry[source] = int32(active - 1)
 
 	size := 1
-	res := Result{Time: -1, HalfTime: -1, Informed: 1}
-	if opts.KeepTimeline {
-		res.Timeline = append(res.Timeline, 1)
-	}
-	if 2*size >= n {
-		res.HalfTime = 0
-	}
-	if size == n {
-		res.Time = 0
-		res.Completed = true
-		return res
-	}
-
 	newly := make([]int32, 0, n)
 	var nbrs []int32
+	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
 		newly = newly[:0]
 		// Only active nodes transmit on snapshot E_t.
 		for _, i := range activeList {
-			nbrs = dyngraph.AppendNeighbors(d, int(i), nbrs[:0])
+			nbrs = neighbors(int(i), nbrs[:0])
 			for _, j := range nbrs {
 				if !informed[j] {
 					informed[j] = true
@@ -80,16 +63,7 @@ func Parsimonious(d dyngraph.Dynamic, source, active int, opts Opts) Result {
 			activeList = append(activeList, j)
 		}
 		size += len(newly)
-		res.Informed = size
-		if opts.KeepTimeline {
-			res.Timeline = append(res.Timeline, size)
-		}
-		if res.HalfTime < 0 && 2*size >= n {
-			res.HalfTime = t + 1
-		}
-		if size == n {
-			res.Time = t + 1
-			res.Completed = true
+		if record(&res, opts, n, size, t) {
 			return res
 		}
 		// All transmitters silent and nobody newly informed: the process

@@ -19,40 +19,23 @@ import (
 // step.
 func Pull(d dyngraph.Dynamic, source int, r *rng.RNG, opts Opts) Result {
 	n := d.N()
-	if source < 0 || source >= n {
-		panic("flood: source out of range")
-	}
-	maxSteps := opts.MaxSteps
-	if maxSteps <= 0 {
-		maxSteps = DefaultMaxSteps
-	}
-
-	informed := make([]bool, n)
-	informed[source] = true
-	size := 1
-
-	res := Result{Time: -1, HalfTime: -1, Informed: 1}
-	if opts.KeepTimeline {
-		res.Timeline = append(res.Timeline, 1)
-	}
-	if 2*size >= n {
-		res.HalfTime = 0
-	}
-	if size == n {
-		res.Time = 0
-		res.Completed = true
+	informed, res, done := start(n, source, opts)
+	if done {
 		return res
 	}
+	neighbors := neighborSource(d)
 
+	size := 1
 	var nbrs []int32
 	newly := make([]int32, 0, n)
+	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
 		newly = newly[:0]
 		for i := 0; i < n; i++ {
 			if informed[i] {
 				continue
 			}
-			nbrs = dyngraph.AppendNeighbors(d, i, nbrs[:0])
+			nbrs = neighbors(i, nbrs[:0])
 			if len(nbrs) == 0 {
 				continue
 			}
@@ -64,16 +47,7 @@ func Pull(d dyngraph.Dynamic, source int, r *rng.RNG, opts Opts) Result {
 			informed[i] = true
 		}
 		size += len(newly)
-		res.Informed = size
-		if opts.KeepTimeline {
-			res.Timeline = append(res.Timeline, size)
-		}
-		if res.HalfTime < 0 && 2*size >= n {
-			res.HalfTime = t + 1
-		}
-		if size == n {
-			res.Time = t + 1
-			res.Completed = true
+		if record(&res, opts, n, size, t) {
 			return res
 		}
 		d.Step()

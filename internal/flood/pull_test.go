@@ -69,40 +69,3 @@ func TestPullSingleNodeAndPanics(t *testing.T) {
 	}()
 	Pull(dyngraph.NewStatic(graph.Cycle(3)), 9, rng.New(1), Opts{})
 }
-
-func TestWorstSourcePathEndpoints(t *testing.T) {
-	// On a static path, flooding from an endpoint takes n-1 steps, from
-	// the middle ⌈(n-1)/2⌉: the endpoint must be the worst source.
-	n := 9
-	factory := func(trial, source int) dyngraph.Dynamic {
-		return dyngraph.NewStatic(graph.Path(n))
-	}
-	sources := []int{0, n / 2, n - 1}
-	medians, worst := WorstSource(factory, sources, 3, TrialsOpts{Opts: Opts{MaxSteps: 100}})
-	if medians[0] != float64(n-1) || medians[2] != float64(n-1) {
-		t.Fatalf("endpoint medians = %v", medians)
-	}
-	if medians[1] != float64(n/2) {
-		t.Fatalf("middle median = %v, want %d", medians[1], n/2)
-	}
-	if worst != 0 && worst != 2 {
-		t.Fatalf("worst source index = %d, want an endpoint", worst)
-	}
-}
-
-func TestWorstSourceAllFailing(t *testing.T) {
-	b := graph.NewBuilder(4)
-	b.AddEdge(0, 1)
-	factory := func(trial, source int) dyngraph.Dynamic {
-		return dyngraph.NewStatic(b.Build())
-	}
-	medians, worst := WorstSource(factory, []int{0, 2}, 2, TrialsOpts{Opts: Opts{MaxSteps: 20}})
-	if len(medians) != 2 {
-		t.Fatal("medians length wrong")
-	}
-	// Both sources fail on the disconnected graph; worst must point at a
-	// failing source.
-	if worst != 0 && worst != 1 {
-		t.Fatalf("worst = %d", worst)
-	}
-}

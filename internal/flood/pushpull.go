@@ -1,0 +1,86 @@
+package flood
+
+import (
+	"repro/internal/dyngraph"
+	"repro/internal/rng"
+)
+
+// PushPull runs the combined push–pull gossip protocol over a dynamic
+// graph: at every step each *informed* node transmits to at most k
+// uniformly random current neighbors (the §5 randomized push) while each
+// *uninformed* node queries one uniformly random current neighbor and
+// becomes informed if that neighbor is (pull). It is the classic
+// push–pull rumor spreading of Karp et al., run on dynamic snapshots —
+// the variant compared across dynamic-graph families by Clementi et al.
+// (2013) and Pourmiri–Mans (2020).
+//
+// The per-step cost profile sits between push and pull: early rounds are
+// driven by the cheap push half (few informed nodes transmitting), late
+// rounds by the pull half (few uninformed nodes querying an almost fully
+// informed population), so neither phase pays the other's weakness. Both
+// halves observe the informed set as of the start of the step
+// (synchronous sweep), and RNG consumption is in node order — informed
+// nodes draw their push targets, uninformed nodes their pull target — so
+// equal (graph realization, RNG stream) pairs replay exactly.
+func PushPull(d dyngraph.Dynamic, source, k int, r *rng.RNG, opts Opts) Result {
+	if k <= 0 {
+		panic("flood: PushPull needs k > 0")
+	}
+	n := d.N()
+	informed, res, done := start(n, source, opts)
+	if done {
+		return res
+	}
+	neighbors := neighborSource(d)
+
+	size := 1
+	// pending marks nodes informed during this step (committed after the
+	// sweep, so same-step chaining cannot happen).
+	pending := make([]bool, n)
+	newly := make([]int32, 0, n)
+	var nbrs []int32
+	maxSteps := opts.maxSteps()
+	for t := 0; t < maxSteps; t++ {
+		newly = newly[:0]
+		for i := 0; i < n; i++ {
+			nbrs = neighbors(i, nbrs[:0])
+			if len(nbrs) == 0 {
+				continue
+			}
+			if informed[i] {
+				// Push: contact at most k distinct random neighbors.
+				if len(nbrs) <= k {
+					for _, j := range nbrs {
+						if !informed[j] && !pending[j] {
+							pending[j] = true
+							newly = append(newly, j)
+						}
+					}
+				} else {
+					for _, idx := range r.SampleDistinct(len(nbrs), k) {
+						if j := nbrs[idx]; !informed[j] && !pending[j] {
+							pending[j] = true
+							newly = append(newly, j)
+						}
+					}
+				}
+			} else if !pending[i] {
+				// Pull: query one random neighbor's start-of-step state.
+				if informed[nbrs[r.Intn(len(nbrs))]] {
+					pending[i] = true
+					newly = append(newly, int32(i))
+				}
+			}
+		}
+		for _, j := range newly {
+			informed[j] = true
+			pending[j] = false
+		}
+		size += len(newly)
+		if record(&res, opts, n, size, t) {
+			return res
+		}
+		d.Step()
+	}
+	return res
+}

@@ -1,0 +1,97 @@
+package flood
+
+import (
+	"testing"
+
+	"repro/internal/dyngraph"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestPushPullCompleteGraphCompletes(t *testing.T) {
+	d := dyngraph.NewStatic(graph.Complete(64))
+	res := PushPull(d, 0, 1, rng.New(3), Opts{MaxSteps: 1000, KeepTimeline: true})
+	if !res.Completed {
+		t.Fatal("push–pull did not complete on K64")
+	}
+	if !GrowthIsMonotone(res.Timeline) {
+		t.Fatal("timeline not monotone")
+	}
+	if res.Informed != res.Timeline[len(res.Timeline)-1] {
+		t.Fatal("Informed disagrees with final timeline entry")
+	}
+}
+
+func TestPushPullNoFasterThanHopLimit(t *testing.T) {
+	// On a path with the source at one end, both push and pull move the
+	// information at most one hop per step: the synchronous sweep must not
+	// chain same-step transmissions.
+	n := 7
+	res := PushPull(dyngraph.NewStatic(graph.Path(n)), 0, 2, rng.New(5), Opts{MaxSteps: 10000})
+	if !res.Completed {
+		t.Fatal("push–pull on path did not complete")
+	}
+	if res.Time < n-1 {
+		t.Fatalf("push–pull time %d beats the hop limit %d — sweep not synchronous", res.Time, n-1)
+	}
+}
+
+func TestPushPullBeatsPullAlone(t *testing.T) {
+	// Push–pull does strictly more contact work per step than pull alone;
+	// on K_n it must not be slower for matched runs (fixed seeds).
+	pp := PushPull(dyngraph.NewStatic(graph.Complete(64)), 0, 1, rng.New(11), Opts{MaxSteps: 1000})
+	pull := Pull(dyngraph.NewStatic(graph.Complete(64)), 0, rng.New(11), Opts{MaxSteps: 1000})
+	if !pp.Completed || !pull.Completed {
+		t.Fatal("runs did not complete")
+	}
+	if pp.Time > pull.Time {
+		t.Fatalf("push–pull (%d) slower than pull alone (%d)", pp.Time, pull.Time)
+	}
+}
+
+func TestPushPullIsolatedNodesStall(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	res := PushPull(dyngraph.NewStatic(b.Build()), 0, 2, rng.New(9), Opts{MaxSteps: 200})
+	if res.Completed {
+		t.Fatal("push–pull completed despite isolated node")
+	}
+	if res.Informed != 2 {
+		t.Fatalf("informed = %d, want 2", res.Informed)
+	}
+}
+
+func TestPushPullSingleNodeAndPanics(t *testing.T) {
+	b := graph.NewBuilder(1)
+	res := PushPull(dyngraph.NewStatic(b.Build()), 0, 1, rng.New(1), Opts{})
+	if !res.Completed || res.Time != 0 {
+		t.Fatalf("single-node push–pull: %+v", res)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad source did not panic")
+			}
+		}()
+		PushPull(dyngraph.NewStatic(graph.Cycle(3)), 9, 1, rng.New(1), Opts{})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("k = 0 did not panic")
+			}
+		}()
+		PushPull(dyngraph.NewStatic(graph.Cycle(3)), 0, 0, rng.New(1), Opts{})
+	}()
+}
+
+func TestPushPullDeterministicPerSeed(t *testing.T) {
+	run := func() Result {
+		g := graph.Gnp(48, 0.08, rng.New(77))
+		return PushPull(dyngraph.NewStatic(g), 0, 2, rng.New(13), Opts{MaxSteps: 500, KeepTimeline: true})
+	}
+	a, b := run(), run()
+	if a.Time != b.Time || a.Informed != b.Informed || len(a.Timeline) != len(b.Timeline) {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}

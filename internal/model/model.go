@@ -9,54 +9,19 @@
 // edgemeg/register.go, mobility/register.go, randompath/register.go; the
 // static baseline registers here, since dyngraph cannot import this
 // package). A Spec is parseable from a CLI string ("edgemeg:n=512,p=0.004")
-// and from JSON, and round-trips through both.
+// and from JSON, and round-trips through both. The spec text/registry
+// machinery itself is the generic internal/spec package, shared with the
+// protocol registry (internal/protocol).
 package model
 
 import (
 	"fmt"
-	"sort"
-	"strconv"
-	"strings"
-	"sync"
 
 	"repro/internal/dyngraph"
 	"repro/internal/markov"
 	"repro/internal/rng"
+	"repro/internal/spec"
 )
-
-// Kind is the type of a model parameter.
-type Kind int
-
-const (
-	Int Kind = iota
-	Float
-	Bool
-	String
-)
-
-// String implements fmt.Stringer.
-func (k Kind) String() string {
-	switch k {
-	case Int:
-		return "int"
-	case Float:
-		return "float"
-	case Bool:
-		return "bool"
-	case String:
-		return "string"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
-	}
-}
-
-// Param declares one typed parameter of a model.
-type Param struct {
-	Name    string
-	Kind    Kind
-	Default string // textual default, parsed with the same rules as Spec values
-	Help    string
-}
 
 // Definition registers a buildable dynamic-graph model.
 type Definition struct {
@@ -72,6 +37,11 @@ type Definition struct {
 	Build func(args Args, r *rng.RNG) (dyngraph.Dynamic, error)
 }
 
+// Meta implements spec.Definition.
+func (d Definition) Meta() spec.Meta {
+	return spec.Meta{Name: d.Name, Help: d.Help, Params: d.Params}
+}
+
 // ChainAnalyzer is an optional interface of built models whose per-entity
 // dynamics is an explicit Markov chain (the per-edge birth/death chain of
 // an edge-MEG, the per-node movement chain of a node-MEG). It feeds the
@@ -81,166 +51,37 @@ type ChainAnalyzer interface {
 	MixingChain() (*markov.Sparse, []float64)
 }
 
-var (
-	mu       sync.RWMutex
-	registry = map[string]Definition{}
-)
+var registry = spec.NewRegistry[Definition]("model")
 
 // Register adds a model definition. It panics on duplicate names or
 // malformed definitions — registration runs from init functions, where
 // failing loudly at program start is the correct behavior.
 func Register(def Definition) {
-	if def.Name == "" || def.Build == nil {
-		panic("model: Register needs a name and a build function")
+	if def.Build == nil {
+		panic("model: Register needs a build function")
 	}
-	seen := map[string]bool{}
-	for _, p := range def.Params {
-		if seen[p.Name] {
-			panic(fmt.Sprintf("model: %s declares parameter %q twice", def.Name, p.Name))
-		}
-		seen[p.Name] = true
-		if _, err := parseValue(p.Kind, p.Default); err != nil {
-			panic(fmt.Sprintf("model: %s parameter %q has invalid default %q: %v", def.Name, p.Name, p.Default, err))
-		}
-	}
-	mu.Lock()
-	defer mu.Unlock()
-	if _, dup := registry[def.Name]; dup {
-		panic("model: duplicate registration of " + def.Name)
-	}
-	registry[def.Name] = def
+	registry.Register(def)
 }
 
 // Lookup returns the definition registered under name.
-func Lookup(name string) (Definition, bool) {
-	mu.RLock()
-	defer mu.RUnlock()
-	def, ok := registry[name]
-	return def, ok
-}
+func Lookup(name string) (Definition, bool) { return registry.Lookup(name) }
 
 // Names returns the registered model names, sorted.
-func Names() []string {
-	mu.RLock()
-	defer mu.RUnlock()
-	names := make([]string, 0, len(registry))
-	for name := range registry {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
+func Names() []string { return registry.Names() }
 
 // Usage returns a multi-line listing of every registered model and its
 // parameters, for CLI help output.
-func Usage() string {
-	var b strings.Builder
-	for _, name := range Names() {
-		def, _ := Lookup(name)
-		fmt.Fprintf(&b, "%s — %s\n", name, def.Help)
-		for _, p := range def.Params {
-			fmt.Fprintf(&b, "    %-10s %-6s default %-12s %s\n", p.Name, p.Kind, p.Default, p.Help)
-		}
-	}
-	return b.String()
-}
-
-// Args holds a model's resolved parameter values: every declared parameter
-// is present, with the spec value when provided and the default otherwise.
-// The typed getters panic on undeclared names — that is a bug in the model
-// definition, not a user error (user errors are caught by Build).
-type Args struct {
-	model  string
-	values map[string]value
-}
-
-type value struct {
-	kind Kind
-	i    int64
-	f    float64
-	b    bool
-	s    string
-}
-
-func (a Args) get(name string, kind Kind) value {
-	v, ok := a.values[name]
-	if !ok || v.kind != kind {
-		panic(fmt.Sprintf("model: %s reads undeclared %s parameter %q", a.model, kind, name))
-	}
-	return v
-}
-
-// Int returns the named integer parameter.
-func (a Args) Int(name string) int { return int(a.get(name, Int).i) }
-
-// Float returns the named float parameter.
-func (a Args) Float(name string) float64 { return a.get(name, Float).f }
-
-// Bool returns the named bool parameter.
-func (a Args) Bool(name string) bool { return a.get(name, Bool).b }
-
-// String returns the named string parameter.
-func (a Args) String(name string) string { return a.get(name, String).s }
-
-func parseValue(kind Kind, text string) (value, error) {
-	switch kind {
-	case Int:
-		i, err := strconv.ParseInt(text, 10, 64)
-		if err != nil {
-			return value{}, fmt.Errorf("want an integer, got %q", text)
-		}
-		return value{kind: Int, i: i}, nil
-	case Float:
-		f, err := strconv.ParseFloat(text, 64)
-		if err != nil {
-			return value{}, fmt.Errorf("want a number, got %q", text)
-		}
-		return value{kind: Float, f: f}, nil
-	case Bool:
-		b, err := strconv.ParseBool(text)
-		if err != nil {
-			return value{}, fmt.Errorf("want true/false, got %q", text)
-		}
-		return value{kind: Bool, b: b}, nil
-	case String:
-		return value{kind: String, s: text}, nil
-	default:
-		return value{}, fmt.Errorf("unknown parameter kind %v", kind)
-	}
-}
+func Usage() string { return registry.Usage() }
 
 // Resolve validates spec against the registered definition and returns the
 // fully-populated argument set.
-func Resolve(spec Spec) (Definition, Args, error) {
-	def, ok := Lookup(spec.Name)
-	if !ok {
-		return Definition{}, Args{}, fmt.Errorf("model: unknown model %q (registered: %s)", spec.Name, strings.Join(Names(), ", "))
-	}
-	args := Args{model: def.Name, values: make(map[string]value, len(def.Params))}
-	for _, p := range def.Params {
-		text, provided := spec.Params[p.Name]
-		if !provided {
-			text = p.Default
-		}
-		v, err := parseValue(p.Kind, text)
-		if err != nil {
-			return Definition{}, Args{}, fmt.Errorf("model: %s parameter %q: %v", def.Name, p.Name, err)
-		}
-		args.values[p.Name] = v
-	}
-	for name := range spec.Params {
-		if _, ok := args.values[name]; !ok {
-			return Definition{}, Args{}, fmt.Errorf("model: %s has no parameter %q", def.Name, name)
-		}
-	}
-	return def, args, nil
-}
+func Resolve(s Spec) (Definition, Args, error) { return registry.Resolve(s) }
 
 // Build constructs the dynamic graph described by spec, drawing all
 // randomness from a fresh rng seeded with seed. Equal (spec, seed) pairs
 // build identical processes.
-func Build(spec Spec, seed uint64) (dyngraph.Dynamic, error) {
-	def, args, err := Resolve(spec)
+func Build(s Spec, seed uint64) (dyngraph.Dynamic, error) {
+	def, args, err := Resolve(s)
 	if err != nil {
 		return nil, err
 	}
@@ -253,8 +94,8 @@ func Build(spec Spec, seed uint64) (dyngraph.Dynamic, error) {
 
 // MustBuild is Build for callers whose specs are static program text
 // (examples, experiments); it panics on error.
-func MustBuild(spec Spec, seed uint64) dyngraph.Dynamic {
-	d, err := Build(spec, seed)
+func MustBuild(s Spec, seed uint64) dyngraph.Dynamic {
+	d, err := Build(s, seed)
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,184 @@
+package protocol_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/flood"
+	"repro/internal/model"
+	_ "repro/internal/model/all"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// megSpec is the fixed edge-MEG every cross-protocol test runs on.
+var megSpec = model.New("edgemeg").WithInt("n", 128).WithFloat("p", 0.02).WithFloat("q", 0.2)
+
+const (
+	modelSeed = 7
+	protoSeed = 99
+)
+
+// allSpecs returns one representative spec per registered protocol, and
+// fails the test if a protocol has no entry — new registrations must be
+// added here.
+func allSpecs(t *testing.T) []protocol.Spec {
+	t.Helper()
+	specs := map[string]protocol.Spec{
+		"flood":        protocol.New("flood"),
+		"push":         protocol.New("push").WithInt("k", 2),
+		"pull":         protocol.New("pull"),
+		"pushpull":     protocol.New("pushpull").WithInt("k", 1),
+		"parsimonious": protocol.New("parsimonious").WithInt("active", 8),
+	}
+	names := protocol.Names()
+	out := make([]protocol.Spec, 0, len(names))
+	for _, name := range names {
+		s, ok := specs[name]
+		if !ok {
+			t.Fatalf("registered protocol %q has no test spec — add it to allSpecs", name)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestSpecRoundTripEveryProtocol(t *testing.T) {
+	for _, s := range allSpecs(t) {
+		text := s.String()
+		back, err := protocol.Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		if back.String() != text {
+			t.Errorf("round trip of %q: got %q", text, back.String())
+		}
+		if !reflect.DeepEqual(back.Params, s.Params) || back.Name != s.Name {
+			t.Errorf("round trip of %q changed the spec: %+v vs %+v", text, back, s)
+		}
+		if _, err := protocol.Build(back, protoSeed); err != nil {
+			t.Errorf("building re-parsed %q: %v", text, err)
+		}
+	}
+}
+
+func TestDefaultsBuildEveryProtocol(t *testing.T) {
+	for _, name := range protocol.Names() {
+		if _, err := protocol.Build(protocol.New(name), protoSeed); err != nil {
+			t.Errorf("default-parameter build of %q: %v", name, err)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	for _, s := range []protocol.Spec{
+		protocol.New("no-such-protocol"),
+		protocol.New("flood").With("bogus", "1"),
+		protocol.New("push").With("k", "0"),
+		protocol.New("push").With("k", "many"),
+		protocol.New("pushpull").WithInt("k", -1),
+		protocol.New("parsimonious").WithInt("active", 0),
+	} {
+		if _, err := protocol.Build(s, 1); err == nil {
+			t.Errorf("Build(%v) succeeded, want error", s)
+		}
+	}
+}
+
+// TestSpecBuiltMatchesDirectCall pins the acceptance criterion of the
+// registry redesign: a spec-built protocol reproduces the direct engine
+// call exactly — same model seed, same protocol seed, identical Result
+// including the timeline.
+func TestSpecBuiltMatchesDirectCall(t *testing.T) {
+	opts := flood.Opts{MaxSteps: 1 << 14, KeepTimeline: true}
+	direct := map[string]func() flood.Result{
+		"flood": func() flood.Result {
+			return flood.Run(model.MustBuild(megSpec, modelSeed), 0, opts)
+		},
+		"push:k=2": func() flood.Result {
+			return flood.RandomizedPush(model.MustBuild(megSpec, modelSeed), 0, 2, rng.New(protoSeed), opts)
+		},
+		"pull": func() flood.Result {
+			return flood.Pull(model.MustBuild(megSpec, modelSeed), 0, rng.New(protoSeed), opts)
+		},
+		"pushpull:k=1": func() flood.Result {
+			return flood.PushPull(model.MustBuild(megSpec, modelSeed), 0, 1, rng.New(protoSeed), opts)
+		},
+		"parsimonious:active=8": func() flood.Result {
+			return flood.Parsimonious(model.MustBuild(megSpec, modelSeed), 0, 8, opts)
+		},
+	}
+	for text, call := range direct {
+		s, err := protocol.Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := protocol.Build(s, protoSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.Run(model.MustBuild(megSpec, modelSeed), 0, opts)
+		want := call()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: spec-built result %+v != direct-call result %+v", text, got, want)
+		}
+	}
+}
+
+// TestCrossProtocolInvariants runs every registered protocol on the same
+// fixed-seed edge-MEG realization and checks the structural invariants
+// that hold across the family.
+func TestCrossProtocolInvariants(t *testing.T) {
+	opts := flood.Opts{MaxSteps: 1 << 14, KeepTimeline: true}
+	results := map[string]flood.Result{}
+	for _, s := range allSpecs(t) {
+		p := protocol.MustBuild(s, protoSeed)
+		res := p.Run(model.MustBuild(megSpec, modelSeed), 0, opts)
+		results[s.Name] = res
+
+		if !flood.GrowthIsMonotone(res.Timeline) {
+			t.Errorf("%s: timeline not non-decreasing: %v", s.Name, res.Timeline)
+		}
+		if last := res.Timeline[len(res.Timeline)-1]; res.Informed != last {
+			t.Errorf("%s: Informed = %d but Timeline ends at %d", s.Name, res.Informed, last)
+		}
+		if !res.Completed {
+			t.Errorf("%s: did not complete on the test MEG (informed %d)", s.Name, res.Informed)
+		}
+	}
+	// Flooding transmits on every edge every step: no protocol variant on
+	// the same graph realization can beat it, and parsimonious (a
+	// restriction of flooding) can only be slower or equal.
+	if results["flood"].Time > results["parsimonious"].Time {
+		t.Errorf("flooding (%d) slower than parsimonious (%d)",
+			results["flood"].Time, results["parsimonious"].Time)
+	}
+	// Push–pull does strictly more contact work per step than pull alone.
+	// Unlike flood-vs-parsimonious this is not pathwise dominance (the two
+	// consume different RNG sequences), so the check is pinned to this
+	// (model seed, protocol seed, MEG) tuple, where the expected gap is
+	// wide; re-pin the seeds if an engine's RNG consumption order changes.
+	if results["pushpull"].Time > results["pull"].Time {
+		t.Errorf("push–pull (%d) slower than pull (%d)",
+			results["pushpull"].Time, results["pull"].Time)
+	}
+}
+
+func TestFloodingHelperMatchesRegistry(t *testing.T) {
+	opts := flood.Opts{MaxSteps: 1 << 14, KeepTimeline: true}
+	a := protocol.Flooding().Run(model.MustBuild(megSpec, modelSeed), 0, opts)
+	b := protocol.MustBuild(protocol.New("flood"), 0).Run(model.MustBuild(megSpec, modelSeed), 0, opts)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Flooding() result differs from registry flood: %+v vs %+v", a, b)
+	}
+}
+
+func TestUsageListsEveryProtocol(t *testing.T) {
+	usage := protocol.Usage()
+	for _, name := range protocol.Names() {
+		if !strings.Contains(usage, name+" —") {
+			t.Errorf("Usage() missing protocol %q:\n%s", name, usage)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/dyngraph"
+	"repro/internal/flood"
+	"repro/internal/rng"
+	"repro/internal/spec"
+)
+
+// The built-in protocol family. Each implementation is a thin wrapper
+// binding resolved parameters (and, where the protocol is randomized, a
+// private RNG stream) to one engine of internal/flood.
+
+// floodProto is the deterministic flooding process of Section 2.
+type floodProto struct{}
+
+func (floodProto) Run(d dyngraph.Dynamic, source int, opts flood.Opts) flood.Result {
+	return flood.Run(d, source, opts)
+}
+
+// pushProto is the §5 randomized protocol: informed nodes contact at most
+// k random current neighbors per step.
+type pushProto struct {
+	k int
+	r *rng.RNG
+}
+
+func (p *pushProto) Run(d dyngraph.Dynamic, source int, opts flood.Opts) flood.Result {
+	return flood.RandomizedPush(d, source, p.k, p.r, opts)
+}
+
+// pullProto is pull gossip: uninformed nodes query one random current
+// neighbor per step.
+type pullProto struct {
+	r *rng.RNG
+}
+
+func (p *pullProto) Run(d dyngraph.Dynamic, source int, opts flood.Opts) flood.Result {
+	return flood.Pull(d, source, p.r, opts)
+}
+
+// pushPullProto combines k-push and pull in one synchronous sweep.
+type pushPullProto struct {
+	k int
+	r *rng.RNG
+}
+
+func (p *pushPullProto) Run(d dyngraph.Dynamic, source int, opts flood.Opts) flood.Result {
+	return flood.PushPull(d, source, p.k, p.r, opts)
+}
+
+// parsimoniousProto is the bounded-activity-window flooding of [4].
+type parsimoniousProto struct {
+	active int
+}
+
+func (p *parsimoniousProto) Run(d dyngraph.Dynamic, source int, opts flood.Opts) flood.Result {
+	return flood.Parsimonious(d, source, p.active, opts)
+}
+
+// kParam declares the shared fan-out parameter of the push variants.
+func kParam(help string) spec.Param {
+	return spec.Param{Name: "k", Kind: spec.Int, Default: "1", Help: help}
+}
+
+func positive(name string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("%s must be > 0, got %d", name, v)
+	}
+	return nil
+}
+
+func init() {
+	Register(Definition{
+		Name: "flood",
+		Help: "flooding (§2): every informed node transmits on every current edge; per-step cost O(|E_t|)",
+		Build: func(a spec.Args, r *rng.RNG) (Protocol, error) {
+			return floodProto{}, nil
+		},
+	})
+
+	Register(Definition{
+		Name:   "push",
+		Help:   "randomized k-push (§5): informed nodes contact ≤ k random neighbors; per-step cost O(Σ_informed deg)",
+		Params: []spec.Param{kParam("max contacts per informed node per step")},
+		Build: func(a spec.Args, r *rng.RNG) (Protocol, error) {
+			k := a.Int("k")
+			if err := positive("k", k); err != nil {
+				return nil, err
+			}
+			return &pushProto{k: k, r: r}, nil
+		},
+	})
+
+	Register(Definition{
+		Name: "pull",
+		Help: "pull gossip: uninformed nodes query one random neighbor; per-step cost O(Σ_uninformed deg)",
+		Build: func(a spec.Args, r *rng.RNG) (Protocol, error) {
+			return &pullProto{r: r}, nil
+		},
+	})
+
+	Register(Definition{
+		Name:   "pushpull",
+		Help:   "combined push–pull: informed nodes k-push while uninformed nodes pull; cost between push and pull",
+		Params: []spec.Param{kParam("max push contacts per informed node per step")},
+		Build: func(a spec.Args, r *rng.RNG) (Protocol, error) {
+			k := a.Int("k")
+			if err := positive("k", k); err != nil {
+				return nil, err
+			}
+			return &pushPullProto{k: k, r: r}, nil
+		},
+	})
+
+	Register(Definition{
+		Name: "parsimonious",
+		Help: "parsimonious flooding [4]: nodes transmit only for `active` steps after infection; per-step cost O(Σ_active deg)",
+		Params: []spec.Param{
+			{Name: "active", Kind: spec.Int, Default: "8", Help: "transmission window after becoming informed"},
+		},
+		Build: func(a spec.Args, r *rng.RNG) (Protocol, error) {
+			active := a.Int("active")
+			if err := positive("active", active); err != nil {
+				return nil, err
+			}
+			return &parsimoniousProto{active: active}, nil
+		},
+	})
+}

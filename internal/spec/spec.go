@@ -1,0 +1,180 @@
+// Package spec is the generic specification layer shared by every
+// registry-driven subsystem of the simulation API: a Spec names a
+// definition (a dynamic-graph model, a spreading protocol) and carries its
+// parameters in textual form, parseable from CLI strings
+// ("edgemeg:n=512,p=0.004", "push:k=2") and from JSON, round-tripping
+// through both. Registry pairs Specs with self-registered typed
+// definitions: declared parameters, defaults, validation, and CLI usage
+// listings come for free, so a domain package (internal/model,
+// internal/protocol) only supplies its definition type and build
+// functions.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Spec names a definition and its parameters in textual form. The zero
+// Params map means "all defaults". Specs round-trip through String/Parse
+// and through JSON, so experiment configurations are serializable.
+type Spec struct {
+	Name   string
+	Params map[string]string
+}
+
+// New returns a Spec for the named definition with default parameters.
+func New(name string) Spec { return Spec{Name: name} }
+
+// With returns a copy of s with the parameter set to the given raw text.
+func (s Spec) With(name, text string) Spec {
+	params := make(map[string]string, len(s.Params)+1)
+	for k, v := range s.Params {
+		params[k] = v
+	}
+	params[name] = text
+	return Spec{Name: s.Name, Params: params}
+}
+
+// WithInt returns a copy of s with an integer parameter set.
+func (s Spec) WithInt(name string, v int) Spec {
+	return s.With(name, strconv.Itoa(v))
+}
+
+// WithFloat returns a copy of s with a float parameter set. The value is
+// formatted with full precision, so the spec rebuilds the exact instance.
+func (s Spec) WithFloat(name string, v float64) Spec {
+	return s.With(name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// WithBool returns a copy of s with a bool parameter set.
+func (s Spec) WithBool(name string, v bool) Spec {
+	return s.With(name, strconv.FormatBool(v))
+}
+
+// String renders the spec in the canonical CLI form
+// "name:key=value,key=value" (or just "name"), with keys sorted.
+func (s Spec) String() string {
+	if len(s.Params) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for i, k := range keys {
+		if i == 0 {
+			b.WriteByte(':')
+		} else {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.Params[k])
+	}
+	return b.String()
+}
+
+// Parse reads a spec from its CLI form "name" or "name:key=value,...".
+// Whitespace around tokens is ignored.
+func Parse(text string) (Spec, error) {
+	name, rest, hasParams := strings.Cut(strings.TrimSpace(text), ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Spec{}, fmt.Errorf("spec: empty spec %q", text)
+	}
+	spec := Spec{Name: name}
+	if !hasParams {
+		return spec, nil
+	}
+	spec.Params = map[string]string{}
+	for _, kv := range strings.Split(rest, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if !ok || k == "" {
+			return Spec{}, fmt.Errorf("spec: malformed parameter %q in spec %q (want key=value)", kv, text)
+		}
+		if _, dup := spec.Params[k]; dup {
+			return Spec{}, fmt.Errorf("spec: parameter %q set twice in spec %q", k, text)
+		}
+		spec.Params[k] = v
+	}
+	return spec, nil
+}
+
+// specJSON is the wire form: {"name": "edgemeg", "params": {"n": 512}}.
+// Parameter values may be JSON strings, numbers, or booleans on input and
+// are emitted as strings (the canonical textual form) on output. The
+// legacy "model" key from the registry's model-only era is accepted as an
+// alias of "name" on input.
+type specJSON struct {
+	Name   string                     `json:"name,omitempty"`
+	Model  string                     `json:"model,omitempty"`
+	Params map[string]json.RawMessage `json:"params,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	out := specJSON{Name: s.Name}
+	if len(s.Params) > 0 {
+		out.Params = make(map[string]json.RawMessage, len(s.Params))
+		for k, v := range s.Params {
+			text, err := json.Marshal(v)
+			if err != nil {
+				return nil, err
+			}
+			out.Params[k] = text
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var in specJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	name := in.Name
+	if name == "" {
+		name = in.Model
+	}
+	if name == "" {
+		return fmt.Errorf("spec: spec JSON missing \"name\"")
+	}
+	spec := Spec{Name: name}
+	if len(in.Params) > 0 {
+		spec.Params = make(map[string]string, len(in.Params))
+		for k, raw := range in.Params {
+			var str string
+			if err := json.Unmarshal(raw, &str); err == nil {
+				spec.Params[k] = str
+				continue
+			}
+			var scalar any
+			if err := json.Unmarshal(raw, &scalar); err != nil {
+				return fmt.Errorf("spec: parameter %q: %w", k, err)
+			}
+			switch v := scalar.(type) {
+			case float64:
+				spec.Params[k] = strconv.FormatFloat(v, 'g', -1, 64)
+			case bool:
+				spec.Params[k] = strconv.FormatBool(v)
+			default:
+				return fmt.Errorf("spec: parameter %q must be a string, number, or bool", k)
+			}
+		}
+	}
+	*s = spec
+	return nil
+}

@@ -1,0 +1,168 @@
+package spec_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func TestParseString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want spec.Spec
+	}{
+		{"flood", spec.Spec{Name: "flood"}},
+		{"push:k=2", spec.New("push").With("k", "2")},
+		{" parsimonious : active = 8 ", spec.New("parsimonious").With("active", "8")},
+		{"edgemeg:n=512,p=0.004", spec.New("edgemeg").With("n", "512").With("p", "0.004")},
+	}
+	for _, c := range cases {
+		got, err := spec.Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got.Name != c.want.Name || !reflect.DeepEqual(got.Params, c.want.Params) {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		back, err := spec.Parse(got.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)): %v", c.in, err)
+		}
+		if back.Name != got.Name || !reflect.DeepEqual(back.Params, got.Params) {
+			t.Errorf("String round-trip of %q: got %+v", c.in, back)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "  ", "push:k", "push:=3", "push:k=1,k=2"} {
+		if _, err := spec.Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := spec.New("edgemeg").WithInt("n", 512).WithFloat("p", 0.004).WithBool("dense", true)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back spec.Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != s.Name || !reflect.DeepEqual(back.Params, s.Params) {
+		t.Errorf("JSON round-trip: got %+v, want %+v", back, s)
+	}
+}
+
+func TestJSONAcceptsLegacyModelKey(t *testing.T) {
+	var s spec.Spec
+	if err := json.Unmarshal([]byte(`{"model": "edgemeg", "params": {"n": 64}}`), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "edgemeg" || s.Params["n"] != "64" {
+		t.Fatalf("legacy key decode: %+v", s)
+	}
+	if err := json.Unmarshal([]byte(`{"params": {"n": 64}}`), &s); err == nil {
+		t.Fatal("missing name should error")
+	}
+}
+
+// testDef is a minimal registry entry for registry tests.
+type testDef struct {
+	meta  spec.Meta
+	value int
+}
+
+func (d testDef) Meta() spec.Meta { return d.meta }
+
+func newTestRegistry(t *testing.T) *spec.Registry[testDef] {
+	t.Helper()
+	r := spec.NewRegistry[testDef]("widget")
+	r.Register(testDef{meta: spec.Meta{
+		Name: "gizmo",
+		Help: "a test gizmo",
+		Params: []spec.Param{
+			{Name: "k", Kind: spec.Int, Default: "2", Help: "fan-out"},
+			{Name: "rate", Kind: spec.Float, Default: "0.5", Help: "a rate"},
+			{Name: "fast", Kind: spec.Bool, Default: "false", Help: "a switch"},
+			{Name: "mode", Kind: spec.String, Default: "auto", Help: "an enum"},
+		},
+	}, value: 7})
+	return r
+}
+
+func TestRegistryResolveDefaultsAndOverrides(t *testing.T) {
+	r := newTestRegistry(t)
+	def, args, err := r.Resolve(spec.New("gizmo").WithInt("k", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.value != 7 {
+		t.Fatalf("wrong definition returned: %+v", def)
+	}
+	if args.Int("k") != 5 || args.Float("rate") != 0.5 || args.Bool("fast") || args.String("mode") != "auto" {
+		t.Fatalf("resolved args wrong: k=%d rate=%v fast=%v mode=%q",
+			args.Int("k"), args.Float("rate"), args.Bool("fast"), args.String("mode"))
+	}
+}
+
+func TestRegistryResolveErrors(t *testing.T) {
+	r := newTestRegistry(t)
+	for _, s := range []spec.Spec{
+		spec.New("no-such-widget"),
+		spec.New("gizmo").With("bogus", "1"),
+		spec.New("gizmo").With("k", "many"),
+	} {
+		if _, _, err := r.Resolve(s); err == nil {
+			t.Errorf("Resolve(%v) succeeded, want error", s)
+		}
+	}
+}
+
+func TestRegistryNamesAndUsage(t *testing.T) {
+	r := newTestRegistry(t)
+	r.Register(testDef{meta: spec.Meta{Name: "aardvark", Help: "sorts first"}})
+	names := r.Names()
+	if !reflect.DeepEqual(names, []string{"aardvark", "gizmo"}) {
+		t.Fatalf("Names() = %v", names)
+	}
+	usage := r.Usage()
+	if !strings.Contains(usage, "gizmo — a test gizmo") || !strings.Contains(usage, "fan-out") {
+		t.Fatalf("Usage missing entries:\n%s", usage)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	r := newTestRegistry(t)
+	mustPanic("duplicate", func() { r.Register(testDef{meta: spec.Meta{Name: "gizmo"}}) })
+	mustPanic("empty name", func() { r.Register(testDef{}) })
+	mustPanic("bad default", func() {
+		r.Register(testDef{meta: spec.Meta{Name: "broken",
+			Params: []spec.Param{{Name: "k", Kind: spec.Int, Default: "zap"}}}})
+	})
+	mustPanic("dup param", func() {
+		r.Register(testDef{meta: spec.Meta{Name: "broken2",
+			Params: []spec.Param{{Name: "k", Kind: spec.Int, Default: "1"}, {Name: "k", Kind: spec.Int, Default: "2"}}}})
+	})
+	_, args, err := r.Resolve(spec.New("gizmo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic("undeclared arg", func() { args.Int("nope") })
+	mustPanic("wrong kind", func() { args.Int("rate") })
+}

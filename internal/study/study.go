@@ -1,0 +1,250 @@
+// Package study is the experiment engine of the simulation API: it runs
+// (model, protocol) pairs — both selected by spec strings against their
+// registries — for many independent trials on a bounded worker pool, and
+// reports per-cell statistics. It subsumes the old flood.Trials/Factory
+// runner: every grid-style experiment (bench experiments, examples, CLIs)
+// goes through this package, so trial seeding, parallelism, and result
+// summarization are implemented once.
+//
+// Reproducibility contract: a Study derives one model seed and one
+// protocol seed per trial from its master Seed via rng.Seed, builds a
+// fresh model and a fresh protocol instance for every trial, and returns
+// results in trial order — so equal Studies yield identical Cells for any
+// Workers value.
+package study
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/dyngraph"
+	"repro/internal/flood"
+	"repro/internal/model"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+// Stream tags separating the per-trial model and protocol RNG streams
+// derived from a Study's master seed.
+const (
+	modelStream uint64 = 0x4D4F44 // "MOD"
+	protoStream uint64 = 0x50524F // "PRO"
+)
+
+// Study describes one grid cell: a registered model spec crossed with a
+// registered protocol spec, run for Trials independent trials.
+type Study struct {
+	// Model and Protocol name registered definitions, with parameters.
+	Model    spec.Spec
+	Protocol spec.Spec
+	// Source is the initially informed node (the paper's s).
+	Source int
+	// Trials is the number of independent executions; each builds a fresh
+	// model and protocol from per-trial seeds.
+	Trials int
+	// Seed is the master seed; every trial's model and protocol streams
+	// derive from it via rng.Seed.
+	Seed uint64
+	// Workers bounds trial parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// MaxSteps caps each run (0 = flood.DefaultMaxSteps); KeepTimeline
+	// records the full |I_t| series per trial.
+	MaxSteps     int
+	KeepTimeline bool
+}
+
+// Cell is the outcome of one Study: per-trial results in trial order plus
+// the completed-time summary.
+type Cell struct {
+	// Model and Protocol are the canonical spec strings of the cell.
+	Model    string
+	Protocol string
+	// Results holds one entry per trial, in trial order.
+	Results []flood.Result
+	// Times summarizes the completion times of completed trials.
+	Times stats.Summary
+	// Incomplete counts trials that hit MaxSteps (or died) uninformed.
+	Incomplete int
+}
+
+// Run executes the study and returns its cell. Specs are validated before
+// any trial runs; an unknown name or bad parameter fails fast.
+func Run(s Study) (Cell, error) {
+	if _, _, err := model.Resolve(s.Model); err != nil {
+		return Cell{}, err
+	}
+	if _, _, err := protocol.Resolve(s.Protocol); err != nil {
+		return Cell{}, err
+	}
+	var results []flood.Result
+	if s.Trials > 0 {
+		// Model and protocol constructor errors (parameter validation
+		// beyond spec types) do not depend on the seed: run trial 0
+		// synchronously so they surface as errors, not worker panics; the
+		// pool then covers the remaining trials with MustBuild.
+		d0, err := model.Build(s.Model, rng.Seed(s.Seed, modelStream, 0))
+		if err != nil {
+			return Cell{}, err
+		}
+		if s.Source < 0 || s.Source >= d0.N() {
+			return Cell{}, fmt.Errorf("study: source %d out of range for %s (n = %d)", s.Source, s.Model, d0.N())
+		}
+		p0, err := protocol.Build(s.Protocol, rng.Seed(s.Seed, protoStream, 0))
+		if err != nil {
+			return Cell{}, err
+		}
+		opts := flood.Opts{MaxSteps: s.MaxSteps, KeepTimeline: s.KeepTimeline}
+		results = make([]flood.Result, 1, s.Trials)
+		results[0] = p0.Run(d0, s.Source, opts)
+		results = append(results, Trials(func(trial int) (dyngraph.Dynamic, protocol.Protocol, int) {
+			trial++ // trial 0 already ran; the pool covers 1..Trials-1
+			d := model.MustBuild(s.Model, rng.Seed(s.Seed, modelStream, uint64(trial)))
+			p := protocol.MustBuild(s.Protocol, rng.Seed(s.Seed, protoStream, uint64(trial)))
+			return d, p, s.Source
+		}, s.Trials-1, TrialsOpts{Opts: opts, Workers: s.Workers})...)
+	}
+	cell := Cell{
+		Model:    s.Model.String(),
+		Protocol: s.Protocol.String(),
+		Results:  results,
+	}
+	times, incomplete := TimesOf(results)
+	cell.Times = stats.Summarize(times)
+	cell.Incomplete = incomplete
+	return cell, nil
+}
+
+// MustRun is Run for studies whose specs are static program text; it
+// panics on error.
+func MustRun(s Study) Cell {
+	cell, err := Run(s)
+	if err != nil {
+		panic(err)
+	}
+	return cell
+}
+
+// Grid runs base once per (model, protocol) pair, in the given order
+// (models outer, protocols inner), and returns the cells. All cells share
+// base's trials/seed/workers/options, so a protocol comparison across
+// models is one call.
+func Grid(base Study, models, protocols []spec.Spec) ([]Cell, error) {
+	cells := make([]Cell, 0, len(models)*len(protocols))
+	for _, m := range models {
+		for _, p := range protocols {
+			s := base
+			s.Model, s.Protocol = m, p
+			cell, err := Run(s)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// Factory builds the per-trial ingredients of one execution: a fresh
+// dynamic graph, a fresh protocol instance, and the source node.
+// Implementations must derive both from the trial index (rng.Seed) so
+// trials are independent and the whole run is reproducible; randomized
+// protocols must not be shared across trials.
+type Factory func(trial int) (d dyngraph.Dynamic, p protocol.Protocol, source int)
+
+// TrialsOpts configures a factory-level trial run.
+type TrialsOpts struct {
+	Opts flood.Opts
+	// Workers bounds the number of concurrent trials; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Trials runs `trials` independent executions in a bounded worker pool and
+// returns per-trial results in trial order. It is the factory-level core
+// under Run, for experiments whose models are built by hand rather than
+// registered (custom chains, wrapped instances).
+func Trials(factory Factory, trials int, opts TrialsOpts) []flood.Result {
+	if trials <= 0 {
+		return nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	results := make([]flood.Result, trials)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range work {
+				d, p, source := factory(trial)
+				results[trial] = p.Run(d, source, opts.Opts)
+			}
+		}()
+	}
+	for trial := 0; trial < trials; trial++ {
+		work <- trial
+	}
+	close(work)
+	wg.Wait()
+	return results
+}
+
+// TimesOf extracts the completion times of completed runs and the count of
+// incomplete ones.
+func TimesOf(results []flood.Result) (times []float64, incomplete int) {
+	times = make([]float64, 0, len(results))
+	for _, r := range results {
+		if r.Completed {
+			times = append(times, float64(r.Time))
+		} else {
+			incomplete++
+		}
+	}
+	return times, incomplete
+}
+
+// trialJSON is the JSON-lines record of one trial.
+type trialJSON struct {
+	Model     string `json:"model"`
+	Protocol  string `json:"protocol"`
+	Trial     int    `json:"trial"`
+	Time      int    `json:"time"`
+	HalfTime  int    `json:"half_time"`
+	Informed  int    `json:"informed"`
+	Completed bool   `json:"completed"`
+	Timeline  []int  `json:"timeline,omitempty"`
+}
+
+// WriteJSONL emits one JSON object per trial, in trial order — the
+// machine-readable form of the cell for downstream tooling. Timelines are
+// included when the study recorded them.
+func (c Cell) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for trial, r := range c.Results {
+		rec := trialJSON{
+			Model:     c.Model,
+			Protocol:  c.Protocol,
+			Trial:     trial,
+			Time:      r.Time,
+			HalfTime:  r.HalfTime,
+			Informed:  r.Informed,
+			Completed: r.Completed,
+			Timeline:  r.Timeline,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("study: emitting trial %d: %w", trial, err)
+		}
+	}
+	return nil
+}

@@ -1,9 +1,10 @@
-package flood
+package study
 
 import (
 	"math"
 
 	"repro/internal/dyngraph"
+	"repro/internal/protocol"
 	"repro/internal/stats"
 )
 
@@ -13,22 +14,24 @@ import (
 // full definition for models where the source matters (e.g. border vs
 // center positions).
 
-// SourceFactory builds a fresh dynamic graph for the given (trial, source)
-// pair. Seeds must derive from both so that trials are independent and the
-// same graph law is used for every source.
-type SourceFactory func(trial, source int) dyngraph.Dynamic
+// SourceFactory builds a fresh dynamic graph and protocol for the given
+// (trial, source) pair. Seeds must derive from both so that trials are
+// independent and the same graph law is used for every source.
+type SourceFactory func(trial, source int) (dyngraph.Dynamic, protocol.Protocol)
 
-// WorstSource runs `trials` floods from every listed source and returns the
-// per-source median flooding times along with the index (into sources) of
-// the worst one. Incomplete runs are excluded from medians; a source whose
-// runs all fail yields NaN and is reported as worst.
+// WorstSource runs `trials` executions from every listed source and
+// returns the per-source median completion times along with the index
+// (into sources) of the worst one. Incomplete runs are excluded from
+// medians; a source whose runs all fail yields NaN and is reported as
+// worst.
 func WorstSource(factory SourceFactory, sources []int, trials int, opts TrialsOpts) (medians []float64, worst int) {
 	medians = make([]float64, len(sources))
 	worst = 0
 	for si, src := range sources {
 		src := src
-		results := Trials(func(trial int) (dyngraph.Dynamic, int) {
-			return factory(trial, src), src
+		results := Trials(func(trial int) (dyngraph.Dynamic, protocol.Protocol, int) {
+			d, p := factory(trial, src)
+			return d, p, src
 		}, trials, opts)
 		times, incomplete := TimesOf(results)
 		if incomplete == len(results) {
