@@ -12,8 +12,8 @@
 //	floodsim -model edgemeg:n=128,p=0.02,q=0.2 -protocol pushpull:k=1
 //	floodsim -model paths:n=50,m=10,family=l,hop=1 -protocol parsimonious:active=16
 //
-// The -push k flag of the v2 CLI is deprecated: it is an alias for
-// -protocol push:k=K and will be removed.
+// (The v2-era -push k flag, deprecated in v3 as an alias for
+// -protocol push:k=K, has been removed.)
 package main
 
 import (
@@ -36,7 +36,6 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	source := flag.Int("source", 0, "initially informed source node")
 	maxSteps := flag.Int("max-steps", 1<<20, "step cap")
-	push := flag.Int("push", 0, "deprecated alias for -protocol push:k=K")
 	timeline := flag.Bool("timeline", false, "print the full |I_t| series")
 	flag.Parse()
 
@@ -49,21 +48,6 @@ func main() {
 		return
 	}
 
-	ptext := *protoSpec
-	if *push > 0 {
-		protocolSet := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "protocol" {
-				protocolSet = true
-			}
-		})
-		if protocolSet {
-			fatal(fmt.Errorf("-push conflicts with an explicit -protocol; drop the deprecated -push flag"))
-		}
-		ptext = fmt.Sprintf("push:k=%d", *push)
-		fmt.Fprintf(os.Stderr, "floodsim: -push is deprecated; use -protocol %s\n", ptext)
-	}
-
 	mspec, err := model.Parse(*modelSpec)
 	if err != nil {
 		fatal(err)
@@ -72,7 +56,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pspec, err := protocol.Parse(ptext)
+	pspec, err := protocol.Parse(*protoSpec)
 	if err != nil {
 		fatal(err)
 	}

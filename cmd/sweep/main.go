@@ -1,0 +1,251 @@
+// Command sweep runs a declarative parameter-sweep campaign — a grid of
+// model specs × protocol specs, each cell a fixed-seed trial set — with
+// JSONL checkpointing, crash-safe resume, and CSV/markdown reporting. It
+// is the production front end of internal/study: the paper's tables are
+// sweeps of flooding time over (n, p, q) and protocol families, and this
+// binary runs such grids from a single JSON file with no Go code.
+//
+// A sweep file declares the grid; specs may be CLI strings or spec
+// objects:
+//
+//	{
+//	  "models":    ["edgemeg:n=256,p=0.00625,q=0.19375", "edgemeg:n=512,p=0.003125,q=0.196875"],
+//	  "protocols": ["flood", "push:k=3", "pushpull:k=1"],
+//	  "trials":    20,
+//	  "seed":      1,
+//	  "max_steps": 65536
+//	}
+//
+// Usage:
+//
+//	sweep -file grid.json -checkpoint grid.ckpt.jsonl -csv grid.csv
+//	sweep -models "edgemeg:n=128,p=0.02,q=0.2" -protocols "flood;pull" -trials 10
+//	sweep -file grid.json -checkpoint grid.ckpt.jsonl -report-only
+//
+// Every completed cell is appended to the checkpoint file before the next
+// cell starts. Rerunning the same command resumes: cells whose
+// (model, protocol, trials, seed) key is already checkpointed are skipped,
+// so a killed sweep loses at most the cell in flight, and the final
+// reports are byte-identical to an uninterrupted run (cell results depend
+// only on the sweep definition, never on workers or interruption). -fresh
+// discards an existing checkpoint instead.
+//
+// The markdown report prints to stdout unless -md redirects it; -csv
+// writes the machine-readable form; -report-only aggregates an existing
+// checkpoint without running anything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/model"
+	_ "repro/internal/model/all"
+	"repro/internal/protocol"
+	"repro/internal/spec"
+	"repro/internal/study"
+)
+
+func main() {
+	file := flag.String("file", "", "sweep definition file (JSON; see package doc)")
+	models := flag.String("models", "", "semicolon-separated model specs (overrides the file's models)")
+	protocols := flag.String("protocols", "", "semicolon-separated protocol specs (overrides the file's protocols)")
+	trials := flag.Int("trials", 0, "per-cell trial count (overrides the file)")
+	seed := flag.Uint64("seed", 0, "master seed (overrides the file)")
+	source := flag.Int("source", 0, "initially informed source node (overrides the file)")
+	maxSteps := flag.Int("max-steps", 0, "per-run step cap (overrides the file)")
+	workers := flag.Int("workers", 0, "trial parallelism, 0 = GOMAXPROCS (overrides the file; never affects results)")
+	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file: completed cells stream here and are skipped on rerun")
+	fresh := flag.Bool("fresh", false, "discard an existing checkpoint instead of resuming from it")
+	reportOnly := flag.Bool("report-only", false, "skip execution; aggregate the checkpoint into reports")
+	csvPath := flag.String("csv", "", "write the CSV report here ('-' for stdout)")
+	mdPath := flag.String("md", "-", "write the markdown report here ('-' for stdout, '' to suppress)")
+	listModels := flag.Bool("list-models", false, "list registered models and parameters, then exit")
+	listProtocols := flag.Bool("list-protocols", false, "list registered protocols and parameters, then exit")
+	flag.Parse()
+
+	if *listModels {
+		fmt.Print(model.Usage())
+		return
+	}
+	if *listProtocols {
+		fmt.Print(protocol.Usage())
+		return
+	}
+
+	var records []study.CellRecord
+	if *reportOnly {
+		if *checkpoint == "" {
+			fatal(fmt.Errorf("-report-only needs -checkpoint"))
+		}
+		f, err := os.Open(*checkpoint)
+		if err != nil {
+			fatal(err)
+		}
+		all, err := study.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		// Collapse superseded duplicates (a rerun appends a fresh record
+		// for an existing key; the later one wins) so the report carries
+		// one row per cell, exactly as a resumed run would produce.
+		for _, rec := range study.Index(all) {
+			records = append(records, rec)
+		}
+	} else {
+		records = run(*file, *models, *protocols, *trials, *seed, *source, *maxSteps, *workers, *checkpoint, *fresh)
+	}
+
+	rows := study.Report(records)
+	if err := writeReport(*mdPath, rows, study.WriteMarkdown); err != nil {
+		fatal(err)
+	}
+	if err := writeReport(*csvPath, rows, study.WriteCSV); err != nil {
+		fatal(err)
+	}
+}
+
+// run assembles the sweep from the file and flag overrides, wires the
+// checkpoint, and executes the missing cells.
+func run(file, models, protocols string, trials int, seed uint64, source, maxSteps, workers int, checkpoint string, fresh bool) []study.CellRecord {
+	var sw study.Sweep
+	if file != "" {
+		var err error
+		sw, err = study.ParseSweepFile(file)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	// A flag overrides the file exactly when the user passed it — tracked
+	// via flag.Visit, so legal zero values (-seed 0, -max-steps 0) are not
+	// mistaken for "unset".
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["models"] {
+		sw.Models = parseSpecs("models", models)
+	}
+	if set["protocols"] {
+		sw.Protocols = parseSpecs("protocols", protocols)
+	}
+	if set["trials"] {
+		sw.Trials = trials
+	}
+	if set["seed"] {
+		sw.Seed = seed
+	}
+	if set["source"] {
+		sw.Source = source
+	}
+	if set["max-steps"] {
+		sw.MaxSteps = maxSteps
+	}
+	if set["workers"] {
+		sw.Workers = workers
+	}
+	if err := sw.Validate(); err != nil {
+		fatal(err)
+	}
+
+	done := map[study.Key]study.CellRecord{}
+	var sink func(study.CellRecord) error
+	if checkpoint != "" {
+		if fresh {
+			if err := os.Remove(checkpoint); err != nil && !os.IsNotExist(err) {
+				fatal(err)
+			}
+		}
+		// OpenCheckpoint loads the completed cells and truncates a
+		// kill-severed partial final line, so appends start on a fresh
+		// line rather than gluing onto the fragment.
+		f, done2, err := study.OpenCheckpoint(checkpoint)
+		if err != nil {
+			fatal(err)
+		}
+		done = done2
+		defer f.Close()
+		sink = func(rec study.CellRecord) error {
+			if err := study.WriteCheckpoint(f, rec); err != nil {
+				return err
+			}
+			// A checkpoint's whole point is surviving a kill: push each
+			// cell to disk before its successor starts.
+			return f.Sync()
+		}
+	}
+
+	keys := sw.Keys()
+	resumed := 0
+	for _, key := range keys {
+		if _, ok := done[key]; ok {
+			resumed++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d cells (%d models × %d protocols), %d trials each; resumed %d from checkpoint\n",
+		len(keys), len(sw.Models), len(sw.Protocols), sw.Trials, resumed)
+
+	completed := resumed
+	progress := func(rec study.CellRecord) error {
+		completed++
+		fmt.Fprintf(os.Stderr, "sweep: [%d/%d] %s\n", completed, len(keys), rec.Key())
+		if sink != nil {
+			return sink(rec)
+		}
+		return nil
+	}
+
+	start := time.Now()
+	records, err := study.RunSweep(sw, done, progress)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d cells done (%d run, %d resumed) in %.1fs\n",
+		len(records), len(records)-resumed, resumed, time.Since(start).Seconds())
+	return records
+}
+
+func parseSpecs(field, text string) []spec.Spec {
+	var specs []spec.Spec
+	for _, part := range strings.Split(text, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		s, err := spec.Parse(part)
+		if err != nil {
+			fatal(fmt.Errorf("-%s: %w", field, err))
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+// writeReport renders rows to path with the given writer: "-" is stdout,
+// "" suppresses the report.
+func writeReport(path string, rows []study.Row, write func(w io.Writer, rows []study.Row) error) error {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return write(os.Stdout, rows)
+	default:
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f, rows); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

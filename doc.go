@@ -5,7 +5,7 @@
 // paper instantiates it on — edge-MEGs, node-MEGs, the random waypoint and
 // random walk mobility models, and random paths over graphs.
 //
-// # Simulation API (v3)
+// # Simulation API (v4)
 //
 // The core abstraction is dyngraph.Dynamic — N, Step, ForEachNeighbor —
 // with two optional batch extensions that hot paths consume when a model
@@ -55,8 +55,32 @@
 // model×protocol grids, and Cell.WriteJSONL emits per-trial JSON lines for
 // downstream tooling.
 //
+// The v4 layer on top of the study engine is the declarative sweep
+// runner, the production path for the paper's parameter-sweep campaigns:
+//
+//   - study.Sweep declares a whole grid — model specs × protocol specs ×
+//     a trial count under one master seed — parseable from a JSON file
+//     (study.ParseSweepFile) in which specs are CLI strings or spec
+//     objects. Cell results are a pure function of the Sweep value.
+//   - study.RunSweep executes the grid, skipping cells already present in
+//     a loaded checkpoint and streaming each newly completed cell's
+//     study.CellRecord — key (model, protocol, trials, seed) plus
+//     per-trial times/half-times/informed counts — to a sink before the
+//     next cell starts. study.ReadCheckpoint / study.LoadCheckpoint parse
+//     the JSONL back, dropping a trailing line truncated by a kill, so an
+//     interrupted sweep resumes losing at most the cell in flight.
+//   - study.Report aggregates records into canonically sorted rows
+//     (median/mean/p95 flooding time, median half time, mean informed
+//     fraction); study.WriteCSV and study.WriteMarkdown render them.
+//     Resumed and uninterrupted runs report byte-identically for any
+//     Workers values.
+//
+// cmd/sweep drives all of this from the command line; the E18 experiment
+// and examples/p2pchurn run their grids through the same path.
+//
 // The library lives under internal/ (see DESIGN.md for the module map);
 // cmd/ holds the CLIs, examples/ runnable scenarios, and bench_test.go one
 // benchmark per experiment of EXPERIMENTS.md plus the flooding and
-// protocol-engine hot-loop benchmarks.
+// protocol-engine hot-loop benchmarks. docs/PAPER_MAP.md maps the paper's
+// sections and theorems to packages and experiments.
 package repro

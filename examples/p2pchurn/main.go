@@ -4,14 +4,18 @@
 // seeder pushes a file announcement that spreads peer-to-peer. The example
 // compares full flooding against the bandwidth-capped randomized push
 // protocol of Section 5 (each informed peer contacts at most k current
-// neighbors per round) and shows the graceful latency/bandwidth trade-off —
-// one study grid over protocol specs.
+// neighbors per round) and shows the graceful latency/bandwidth trade-off.
+//
+// The comparison runs as one declarative study.Sweep — the same engine
+// cmd/sweep drives from JSON files, here built in code — and prints the
+// aggregated report table the sweep's report layer produces.
 //
 //	go run ./examples/p2pchurn
 package main
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/edgemeg"
 	"repro/internal/model"
@@ -35,39 +39,38 @@ func main() {
 		n, params.ExpectedDegree(), 1/params.Q)
 	fmt.Println()
 
-	// The whole comparison is one grid: one overlay model crossed with the
-	// flooding baseline and the capped push variants.
-	base := study.Study{
-		Trials:   trials,
-		Seed:     7,
-		MaxSteps: 1 << 17,
-	}
-	models := []spec.Spec{
-		model.New("edgemeg").WithInt("n", n).WithFloat("p", params.P).WithFloat("q", params.Q),
-	}
+	// The whole comparison is one declarative sweep: one overlay model
+	// crossed with the flooding baseline and the capped push variants.
 	pushKs := []int{1, 2, 4}
 	protocols := []spec.Spec{protocol.New("flood")}
 	for _, k := range pushKs {
 		protocols = append(protocols, protocol.New("push").WithInt("k", k))
 	}
-	cells, err := study.Grid(base, models, protocols)
+	sw := study.Sweep{
+		Models: []spec.Spec{
+			model.New("edgemeg").WithInt("n", n).WithFloat("p", params.P).WithFloat("q", params.Q),
+		},
+		Protocols: protocols,
+		Trials:    trials,
+		Seed:      7,
+		MaxSteps:  1 << 17,
+	}
+	records, err := study.RunSweep(sw, nil, nil)
 	if err != nil {
 		panic(err)
 	}
-
-	if cells[0].Incomplete > 0 {
-		fmt.Printf("  (%d incomplete runs dropped)\n", cells[0].Incomplete)
+	rows := study.Report(records)
+	if err := study.WriteMarkdown(os.Stdout, rows); err != nil {
+		panic(err)
 	}
-	fullMed := cells[0].Times.Median
-	fmt.Printf("%-22s median %3.0f rounds, est. messages/peer/round: unbounded\n",
-		"flooding (reference)", fullMed)
-	for i, cell := range cells[1:] {
-		if cell.Incomplete > 0 {
-			fmt.Printf("  (%d incomplete runs dropped)\n", cell.Incomplete)
-		}
-		med := cell.Times.Median
-		fmt.Printf("%-22s median %3.0f rounds (%.2fx flooding), messages/peer/round ≤ %d\n",
-			fmt.Sprintf("push k=%d", pushKs[i]), med, med/fullMed, pushKs[i])
+
+	// Grid order: flooding first, then push in ascending k.
+	fullMed := records[0].MedianTime()
+	fmt.Println()
+	for i, rec := range records[1:] {
+		med := rec.MedianTime()
+		fmt.Printf("push k=%d: %.2fx flooding latency at ≤ %d messages/peer/round\n",
+			pushKs[i], med/fullMed, pushKs[i])
 	}
 
 	fmt.Println()

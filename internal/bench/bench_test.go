@@ -5,6 +5,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"repro/internal/study"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -105,5 +107,45 @@ func TestDeterministicOutput(t *testing.T) {
 	}
 	if run() != run() {
 		t.Fatal("same seed produced different tables")
+	}
+}
+
+// TestE18SweepMatchesGrid pins the re-plumbing of E18 through the
+// declarative sweep path: for the exact campaign benchtab runs, the sweep
+// records carry the same per-trial numbers as the study.Grid call the
+// experiment used before.
+func TestE18SweepMatchesGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the E18 quick grid twice")
+	}
+	cfg := Config{Quick: true, Seed: 7}
+	sw := e18Sweep(cfg)
+	records, err := study.RunSweep(sw, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := study.Grid(study.Study{
+		Trials:   sw.Trials,
+		Seed:     sw.Seed,
+		Workers:  sw.Workers,
+		MaxSteps: sw.MaxSteps,
+	}, sw.Models, sw.Protocols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(cells) {
+		t.Fatalf("sweep ran %d cells, grid %d", len(records), len(cells))
+	}
+	for i, rec := range records {
+		cell := cells[i]
+		if rec.Model != cell.Model || rec.Protocol != cell.Protocol {
+			t.Fatalf("cell %d identity mismatch: %v vs %s × %s", i, rec.Key(), cell.Model, cell.Protocol)
+		}
+		for trial, res := range cell.Results {
+			if rec.Times[trial] != res.Time || rec.HalfTimes[trial] != res.HalfTime {
+				t.Fatalf("cell %d trial %d: sweep (%d, %d) vs grid (%d, %d)",
+					i, trial, rec.Times[trial], rec.HalfTimes[trial], res.Time, res.HalfTime)
+			}
+		}
 	}
 }

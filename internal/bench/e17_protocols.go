@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/balance"
 	"repro/internal/edgemeg"
-	"repro/internal/flood"
 	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/spec"
@@ -67,7 +66,10 @@ func runE17(cfg Config, w io.Writer) error {
 	return nil
 }
 
-func runE18(cfg Config, w io.Writer) error {
+// e18Sweep is the declarative form of E18's grid: one stationary MEG
+// crossed with the whole protocol family. It exists as a function so the
+// sweep-path equivalence test can rerun the exact campaign benchtab runs.
+func e18Sweep(cfg Config) study.Sweep {
 	n := 256
 	trials := 20
 	if cfg.Quick {
@@ -76,39 +78,47 @@ func runE18(cfg Config, w io.Writer) error {
 	}
 	alpha := 8.0 / float64(n)
 	speed := 0.2
-	base := study.Study{
+	return study.Sweep{
+		Models: []spec.Spec{edgemegSpec(n, alpha*speed, speed*(1-alpha))},
+		Protocols: []spec.Spec{
+			protocol.New("flood"),
+			protocol.New("push").WithInt("k", 1),
+			protocol.New("push").WithInt("k", 3),
+			protocol.New("pushpull").WithInt("k", 1),
+			protocol.New("pull"),
+		},
 		Trials:   trials,
 		Seed:     rng.Seed(cfg.Seed, 27),
 		Workers:  cfg.Workers,
 		MaxSteps: 1 << 16,
 	}
-	models := []spec.Spec{edgemegSpec(n, alpha*speed, speed*(1-alpha))}
-	protos := []spec.Spec{
-		protocol.New("flood"),
-		protocol.New("push").WithInt("k", 1),
-		protocol.New("push").WithInt("k", 3),
-		protocol.New("pushpull").WithInt("k", 1),
-		protocol.New("pull"),
-	}
-	cells, err := study.Grid(base, models, protos)
+}
+
+func runE18(cfg Config, w io.Writer) error {
+	// The grid runs through the declarative sweep path — the same engine
+	// cmd/sweep drives from JSON files — with no checkpoint to resume
+	// from, which reduces to exactly the study.Grid execution it replaced.
+	records, err := study.RunSweep(e18Sweep(cfg), nil, nil)
 	if err != nil {
 		return err
 	}
 
 	tab := NewTable(w, "protocol", "median total", "median to n/2", "median n/2 -> n", "incomplete")
-	for _, cell := range cells {
+	for _, rec := range records {
 		var total, spread, sat []float64
-		for _, res := range cell.Results {
-			if !res.Completed {
+		incomplete := 0
+		for i := 0; i < rec.Trials; i++ {
+			if rec.Times[i] < 0 {
+				incomplete++
 				continue
 			}
-			total = append(total, float64(res.Time))
-			if ps, ok := flood.Phases(res); ok {
-				spread = append(spread, float64(ps.Spreading))
-				sat = append(sat, float64(ps.Saturation))
+			total = append(total, float64(rec.Times[i]))
+			if rec.HalfTimes[i] >= 0 {
+				spread = append(spread, float64(rec.HalfTimes[i]))
+				sat = append(sat, float64(rec.Times[i]-rec.HalfTimes[i]))
 			}
 		}
-		tab.Row(cell.Protocol, f1(stats.Median(total)), f1(stats.Median(spread)), f1(stats.Median(sat)), cell.Incomplete)
+		tab.Row(rec.Protocol, f1(stats.Median(total)), f1(stats.Median(spread)), f1(stats.Median(sat)), incomplete)
 	}
 	if err := tab.Flush(); err != nil {
 		return err

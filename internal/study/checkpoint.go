@@ -1,0 +1,245 @@
+package study
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/stats"
+)
+
+// Key identifies one sweep cell: the canonical spec strings of its model
+// and protocol plus the trial count and master seed. Two cells with equal
+// Keys run the identical trial set (the study engine derives every
+// per-trial stream from Seed), so a checkpointed record under a Key fully
+// replaces re-execution of that cell.
+type Key struct {
+	Model    string
+	Protocol string
+	Trials   int
+	Seed     uint64
+}
+
+// String renders the key for logs and error messages.
+func (k Key) String() string {
+	return fmt.Sprintf("%s × %s (trials=%d seed=%d)", k.Model, k.Protocol, k.Trials, k.Seed)
+}
+
+// CellRecord is the checkpoint form of one completed sweep cell: its Key
+// fields, the run configuration, and the per-trial outcomes — everything
+// the report layer aggregates, so a finished cell never reruns. Trial i
+// completed iff Times[i] >= 0; HalfTimes[i] is -1 when the run never
+// reached n/2 informed.
+type CellRecord struct {
+	Model    string `json:"model"`
+	Protocol string `json:"protocol"`
+	Trials   int    `json:"trials"`
+	Seed     uint64 `json:"seed"`
+	Source   int    `json:"source"`
+	MaxSteps int    `json:"max_steps"`
+	// N is the node count of the model, the denominator of informed
+	// fractions.
+	N int `json:"n"`
+	// Times, HalfTimes, and Informed hold one entry per trial, in trial
+	// order.
+	Times     []int `json:"times"`
+	HalfTimes []int `json:"half_times"`
+	Informed  []int `json:"informed"`
+}
+
+// Key returns the record's cell key.
+func (r CellRecord) Key() Key {
+	return Key{Model: r.Model, Protocol: r.Protocol, Trials: r.Trials, Seed: r.Seed}
+}
+
+// Record converts a completed study cell into its checkpoint record.
+func Record(s Study, c Cell) CellRecord {
+	rec := CellRecord{
+		Model:     c.Model,
+		Protocol:  c.Protocol,
+		Trials:    s.Trials,
+		Seed:      s.Seed,
+		Source:    s.Source,
+		MaxSteps:  s.MaxSteps,
+		N:         c.N,
+		Times:     make([]int, len(c.Results)),
+		HalfTimes: make([]int, len(c.Results)),
+		Informed:  make([]int, len(c.Results)),
+	}
+	for i, res := range c.Results {
+		rec.Times[i] = res.Time
+		rec.HalfTimes[i] = res.HalfTime
+		rec.Informed[i] = res.Informed
+	}
+	return rec
+}
+
+// CompletedTimes returns the completion times of completed trials, in
+// trial order.
+func (r CellRecord) CompletedTimes() []float64 {
+	times := make([]float64, 0, len(r.Times))
+	for _, t := range r.Times {
+		if t >= 0 {
+			times = append(times, float64(t))
+		}
+	}
+	return times
+}
+
+// MedianTime returns the median completion time over completed trials
+// (NaN when none completed).
+func (r CellRecord) MedianTime() float64 {
+	return stats.Median(r.CompletedTimes())
+}
+
+// valid reports whether the record is internally consistent: a record
+// whose per-trial slices do not match its trial count (a line truncated
+// mid-write that still parsed as JSON) must not suppress re-execution.
+func (r CellRecord) valid() bool {
+	return r.Trials > 0 &&
+		len(r.Times) == r.Trials &&
+		len(r.HalfTimes) == r.Trials &&
+		len(r.Informed) == r.Trials
+}
+
+// WriteCheckpoint appends the record to w as one JSON line.
+func WriteCheckpoint(w io.Writer, rec CellRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("study: encoding checkpoint for %s: %w", rec.Key(), err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("study: writing checkpoint for %s: %w", rec.Key(), err)
+	}
+	return nil
+}
+
+// ReadCheckpoint parses JSONL cell records from r. A malformed or
+// inconsistent FINAL line is dropped silently — that is the signature of a
+// sweep killed mid-write, and resuming must tolerate it — while damage
+// anywhere earlier is a corrupt checkpoint and errors. Later records win
+// when a key appears twice (a rerun appended a fresh result).
+func ReadCheckpoint(r io.Reader) ([]CellRecord, error) {
+	records, _, err := scanCheckpoint(r)
+	return records, err
+}
+
+// scanCheckpoint is ReadCheckpoint plus the byte length of the valid
+// prefix: the offset just past the last intact record, where an appender
+// must resume so a kill-severed partial line is overwritten rather than
+// glued onto (see OpenCheckpoint).
+func scanCheckpoint(r io.Reader) (records []CellRecord, validLen int64, err error) {
+	br := bufio.NewReader(r)
+	var pendingErr error // a bad line is fatal only if another line follows
+	line := 0
+	for {
+		text, readErr := br.ReadBytes('\n')
+		if len(text) > 0 {
+			line++
+			if pendingErr != nil {
+				return nil, 0, pendingErr
+			}
+			pendingErr = func() error {
+				trimmed := bytes.TrimSpace(text)
+				if len(trimmed) == 0 {
+					return nil
+				}
+				var rec CellRecord
+				if err := json.Unmarshal(trimmed, &rec); err != nil {
+					return fmt.Errorf("study: checkpoint line %d: %w", line, err)
+				}
+				if !rec.valid() {
+					return fmt.Errorf("study: checkpoint line %d: record %s has %d/%d/%d per-trial entries for %d trials",
+						line, rec.Key(), len(rec.Times), len(rec.HalfTimes), len(rec.Informed), rec.Trials)
+				}
+				records = append(records, rec)
+				return nil
+			}()
+			if pendingErr == nil {
+				validLen += int64(len(text))
+			}
+		}
+		if readErr == io.EOF {
+			// A pending error on the final line is the kill signature:
+			// drop the line, report the intact prefix.
+			return records, validLen, nil
+		}
+		if readErr != nil {
+			return nil, 0, fmt.Errorf("study: reading checkpoint: %w", readErr)
+		}
+	}
+}
+
+// LoadCheckpoint reads the checkpoint file into a key-indexed map; a
+// missing file is an empty checkpoint, not an error.
+func LoadCheckpoint(path string) (map[Key]CellRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return map[Key]CellRecord{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := ReadCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return Index(records), nil
+}
+
+// OpenCheckpoint opens the checkpoint at path for resumption: it loads
+// the existing records (creating an empty file when none exists) and
+// returns the file positioned for appending. A kill-severed partial final
+// line is truncated away first, so the next append starts on a fresh line
+// instead of gluing onto the fragment and corrupting the file for every
+// later load. The caller owns closing the file.
+func OpenCheckpoint(path string) (*os.File, map[Key]CellRecord, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	records, validLen, err := scanCheckpoint(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("study: truncating partial checkpoint line in %s: %w", path, err)
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if validLen > 0 {
+		// A kill can sever exactly the final record's trailing newline:
+		// the record is intact (and counted), but appending after it would
+		// glue two JSON objects onto one line. Repair the separator.
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], validLen-1); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+		}
+	}
+	return f, Index(records), nil
+}
+
+// Index keys the records, later entries winning duplicates.
+func Index(records []CellRecord) map[Key]CellRecord {
+	m := make(map[Key]CellRecord, len(records))
+	for _, rec := range records {
+		m[rec.Key()] = rec
+	}
+	return m
+}

@@ -1,0 +1,191 @@
+package study
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Row is one aggregated report line: the cell identity plus the summary
+// statistics the paper's tables report — flooding-time quantiles over
+// completed trials, the half time (spreading-phase boundary, Lemma 13),
+// and the mean final informed fraction (1.0 unless trials hit MaxSteps).
+type Row struct {
+	Model     string
+	Protocol  string
+	Trials    int
+	Seed      uint64
+	Completed int
+	// MedianTime, MeanTime, and P95Time summarize completion times over
+	// completed trials (NaN when none completed).
+	MedianTime float64
+	MeanTime   float64
+	P95Time    float64
+	// MedianHalf is the median time to n/2 informed over trials that
+	// reached it (NaN when none did).
+	MedianHalf float64
+	// InformedFrac is the mean final |I|/n over ALL trials, completed or
+	// not.
+	InformedFrac float64
+}
+
+// Report aggregates checkpoint records into rows sorted by (model,
+// protocol, trials, seed) — a canonical order independent of how the
+// records were produced, so a resumed sweep reports byte-identically to an
+// uninterrupted one.
+func Report(records []CellRecord) []Row {
+	rows := make([]Row, 0, len(records))
+	for _, rec := range records {
+		row := Row{
+			Model:    rec.Model,
+			Protocol: rec.Protocol,
+			Trials:   rec.Trials,
+			Seed:     rec.Seed,
+		}
+		var times, halves []float64
+		var informed float64
+		for i := 0; i < rec.Trials; i++ {
+			if rec.Times[i] >= 0 {
+				row.Completed++
+				times = append(times, float64(rec.Times[i]))
+			}
+			if rec.HalfTimes[i] >= 0 {
+				halves = append(halves, float64(rec.HalfTimes[i]))
+			}
+			if rec.N > 0 {
+				informed += float64(rec.Informed[i]) / float64(rec.N)
+			}
+		}
+		row.MedianTime = stats.Median(times)
+		row.MeanTime = stats.Mean(times)
+		row.P95Time = stats.Quantile(times, 0.95)
+		row.MedianHalf = stats.Median(halves)
+		row.InformedFrac = informed / float64(rec.Trials)
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.Protocol != b.Protocol {
+			return a.Protocol < b.Protocol
+		}
+		if a.Trials != b.Trials {
+			return a.Trials < b.Trials
+		}
+		return a.Seed < b.Seed
+	})
+	return rows
+}
+
+// reportHeader names the report columns, shared by the CSV and markdown
+// renderers so the two stay aligned.
+var reportHeader = []string{
+	"model", "protocol", "trials", "seed", "completed",
+	"median_time", "mean_time", "p95_time", "median_half", "informed_frac",
+}
+
+// csvCells renders a row with full float precision, for machine
+// consumption.
+func (r Row) csvCells() []string {
+	return []string{
+		r.Model, r.Protocol,
+		strconv.Itoa(r.Trials),
+		strconv.FormatUint(r.Seed, 10),
+		strconv.Itoa(r.Completed),
+		gfloat(r.MedianTime), gfloat(r.MeanTime), gfloat(r.P95Time),
+		gfloat(r.MedianHalf),
+		gfloat(r.InformedFrac),
+	}
+}
+
+// markdownCells renders a row compactly for human-facing tables; NaN
+// (no completed trials) prints as "-".
+func (r Row) markdownCells() []string {
+	return []string{
+		r.Model, r.Protocol,
+		strconv.Itoa(r.Trials),
+		strconv.FormatUint(r.Seed, 10),
+		fmt.Sprintf("%d/%d", r.Completed, r.Trials),
+		ffloat(r.MedianTime), ffloat(r.MeanTime), ffloat(r.P95Time),
+		ffloat(r.MedianHalf),
+		fmt.Sprintf("%.3f", r.InformedFrac),
+	}
+}
+
+func gfloat(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func ffloat(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// WriteCSV emits the rows as CSV with a header line. Fields containing
+// commas — every parameterized spec string — are quoted.
+func WriteCSV(w io.Writer, rows []Row) error {
+	lines := make([][]string, 0, len(rows)+1)
+	lines = append(lines, reportHeader)
+	for _, r := range rows {
+		lines = append(lines, r.csvCells())
+	}
+	return csv.NewWriter(w).WriteAll(lines)
+}
+
+// WriteMarkdown emits the rows as a GitHub-flavored markdown table with
+// columns padded to equal width, readable both rendered and raw.
+func WriteMarkdown(w io.Writer, rows []Row) error {
+	table := make([][]string, 0, len(rows)+1)
+	table = append(table, reportHeader)
+	for _, r := range rows {
+		table = append(table, r.markdownCells())
+	}
+	widths := make([]int, len(reportHeader))
+	for _, cells := range table {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			b.WriteString("| ")
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)+1))
+		}
+		b.WriteString("|")
+		_, err := fmt.Fprintln(w, b.String())
+		return err
+	}
+	if err := writeRow(table[0]); err != nil {
+		return err
+	}
+	rule := make([]string, len(widths))
+	for i, width := range widths {
+		rule[i] = strings.Repeat("-", width)
+	}
+	if err := writeRow(rule); err != nil {
+		return err
+	}
+	for _, cells := range table[1:] {
+		if err := writeRow(cells); err != nil {
+			return err
+		}
+	}
+	return nil
+}

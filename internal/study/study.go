@@ -11,6 +11,13 @@
 // fresh model and a fresh protocol instance for every trial, and returns
 // results in trial order — so equal Studies yield identical Cells for any
 // Workers value.
+//
+// On top of the single-cell engine sits the declarative sweep layer
+// (sweep.go, checkpoint.go, report.go): a Sweep declares a whole
+// model×protocol grid, RunSweep executes it with JSONL checkpointing and
+// crash-safe resume keyed by (model, protocol, trials, seed), and Report/
+// WriteCSV/WriteMarkdown aggregate checkpoint records into the tables the
+// paper reports. cmd/sweep is the CLI front end.
 package study
 
 import (
@@ -64,6 +71,9 @@ type Cell struct {
 	// Model and Protocol are the canonical spec strings of the cell.
 	Model    string
 	Protocol string
+	// N is the node count of the built model (0 when the study ran zero
+	// trials and so never built one).
+	N int
 	// Results holds one entry per trial, in trial order.
 	Results []flood.Result
 	// Times summarizes the completion times of completed trials.
@@ -82,6 +92,7 @@ func Run(s Study) (Cell, error) {
 		return Cell{}, err
 	}
 	var results []flood.Result
+	var n int
 	if s.Trials > 0 {
 		// Model and protocol constructor errors (parameter validation
 		// beyond spec types) do not depend on the seed: run trial 0
@@ -91,8 +102,9 @@ func Run(s Study) (Cell, error) {
 		if err != nil {
 			return Cell{}, err
 		}
-		if s.Source < 0 || s.Source >= d0.N() {
-			return Cell{}, fmt.Errorf("study: source %d out of range for %s (n = %d)", s.Source, s.Model, d0.N())
+		n = d0.N()
+		if s.Source < 0 || s.Source >= n {
+			return Cell{}, fmt.Errorf("study: source %d out of range for %s (n = %d)", s.Source, s.Model, n)
 		}
 		p0, err := protocol.Build(s.Protocol, rng.Seed(s.Seed, protoStream, 0))
 		if err != nil {
@@ -111,6 +123,7 @@ func Run(s Study) (Cell, error) {
 	cell := Cell{
 		Model:    s.Model.String(),
 		Protocol: s.Protocol.String(),
+		N:        n,
 		Results:  results,
 	}
 	times, incomplete := TimesOf(results)
