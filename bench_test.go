@@ -78,12 +78,16 @@ var floodBenchSpecs = map[string]model.Spec{
 
 func benchFlood(b *testing.B, spec model.Spec, batch bool) {
 	b.Helper()
+	b.ReportAllocs()
+	// One warm scratch across iterations, as a study worker would hold:
+	// remaining allocs/op is model construction, not the engine.
+	opts := flood.Opts{MaxSteps: 1 << 17, Scratch: flood.NewScratch()}
 	for i := 0; i < b.N; i++ {
 		d := model.MustBuild(spec, 1)
 		if !batch {
 			d = callbackOnly{d}
 		}
-		res := flood.Run(d, 0, flood.Opts{MaxSteps: 1 << 17})
+		res := flood.Run(d, 0, opts)
 		if !res.Completed {
 			b.Fatal("flood did not complete")
 		}
@@ -107,14 +111,16 @@ var protoBenchModel = model.New("edgemeg").WithInt("n", 512).
 
 func benchProtocol(b *testing.B, ptext string) {
 	b.Helper()
+	b.ReportAllocs()
 	pspec, err := protocol.Parse(ptext)
 	if err != nil {
 		b.Fatal(err)
 	}
+	opts := flood.Opts{MaxSteps: 1 << 17, Scratch: flood.NewScratch()}
 	for i := 0; i < b.N; i++ {
 		d := model.MustBuild(protoBenchModel, 1)
 		p := protocol.MustBuild(pspec, 2)
-		if res := p.Run(d, 0, flood.Opts{MaxSteps: 1 << 17}); !res.Completed {
+		if res := p.Run(d, 0, opts); !res.Completed {
 			b.Fatalf("%s did not complete", ptext)
 		}
 	}

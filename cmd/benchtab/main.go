@@ -9,12 +9,14 @@
 //	benchtab -exp E4    # a single experiment
 //	benchtab -list      # list experiment IDs and claims
 //	benchtab -seed 7    # change the master seed
+//	benchtab -json      # run the microbenchmark suite, write BENCH_<date>.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -25,6 +27,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	seed := flag.Uint64("seed", 1, "master seed (tables are deterministic per seed)")
 	workers := flag.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS)")
+	jsonBench := flag.Bool("json", false, "run the spreading-core microbenchmark suite and write a machine-readable perf record instead of experiment tables")
+	jsonOut := flag.String("json-out", "", "output path for -json (default BENCH_<YYYY-MM-DD>.json)")
 	flag.Parse()
 
 	if *list {
@@ -35,6 +39,32 @@ func main() {
 	}
 
 	cfg := bench.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+
+	if *jsonBench {
+		if *exp != "" {
+			fmt.Fprintln(os.Stderr, "benchtab: -json runs the fixed microbenchmark suite and cannot be combined with -exp")
+			os.Exit(1)
+		}
+		now := time.Now()
+		path := *jsonOut
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", now.Format("2006-01-02"))
+		}
+		f, err := os.Create(path)
+		if err == nil {
+			err = bench.WriteMicroJSON(cfg, now, f, os.Stderr)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchtab: wrote", path)
+		return
+	}
+
 	var err error
 	if *exp != "" {
 		err = bench.RunOne(*exp, cfg, os.Stdout)

@@ -5,21 +5,32 @@
 // paper instantiates it on — edge-MEGs, node-MEGs, the random waypoint and
 // random walk mobility models, and random paths over graphs.
 //
-// # Simulation API (v4)
+// # Simulation API (v5)
 //
 // The core abstraction is dyngraph.Dynamic — N, Step, ForEachNeighbor —
-// with two optional batch extensions that hot paths consume when a model
-// offers them:
+// with three optional batch extensions that hot paths consume when a
+// model offers them:
 //
 //   - dyngraph.Batcher exposes the whole current snapshot as a flat
 //     []Edge batch (AppendEdges). The flooding engine scans it linearly,
 //     with no per-edge callbacks; models whose state already is
 //     edge-shaped (sparse edge-MEG alive lists, geometry cell lists,
 //     recorded traces, static graphs) produce it natively.
+//   - dyngraph.ArcBatcher is the directed counterpart (AppendArcs), for
+//     virtual graphs whose adjacency is asymmetric: dyngraph.Subsample —
+//     the §5 push-gossip reduction — enumerates each node's kept subset
+//     as arcs, and the flooding engine propagates along them one-way.
 //   - dyngraph.NeighborLister exposes one node's neighbors as a slice
 //     (AppendNeighbors), for consumers that touch few nodes per step
 //     (random walkers, pull gossip, push subsampling). The per-node
 //     protocol engines hoist the interface check out of their hot loops.
+//
+// The v5 spreading core underneath is allocation-free once warm: informed
+// sets are word-packed bitsets (internal/bitset) and all per-run working
+// state lives in a reusable flood.Scratch threaded through flood.Opts —
+// internal/study gives each worker one for all its trials, and `benchtab
+// -json` records the resulting perf trajectory machine-readably (see the
+// README's Performance section).
 //
 // The package-level dyngraph.AppendEdges / dyngraph.AppendNeighbors fall
 // back to ForEachNeighbor adapters for models implementing neither, so

@@ -53,11 +53,14 @@ func runE7(cfg Config, w io.Writer) error {
 		return err
 	}
 
-	// Phase statistics across trials.
+	// Phase statistics across trials; one scratch serves them all (the
+	// loop is sequential, unlike the study worker pools which hold one
+	// scratch per worker).
 	var spread, sat []float64
+	opts := flood.Opts{MaxSteps: 1 << 17, Scratch: flood.NewScratch()}
 	for trial := 0; trial < trials; trial++ {
 		d := buildModel(spec, cfg.Seed, 9, uint64(trial))
-		r := flood.Run(d, 0, flood.Opts{MaxSteps: 1 << 17})
+		r := flood.Run(d, 0, opts)
 		if ps, ok := flood.Phases(r); ok {
 			spread = append(spread, float64(ps.Spreading))
 			sat = append(sat, float64(ps.Saturation))

@@ -1,0 +1,187 @@
+package bench
+
+// The microbenchmark suite behind `benchtab -json`: the spreading-core hot
+// loops measured via testing.Benchmark and emitted as a machine-readable
+// record, so every PR can append a BENCH_<date>.json point to the perf
+// trajectory without scraping `go test -bench` text output.
+//
+// Each micro measures one production-shaped trial: build the model from
+// its registered spec, build the protocol from the registry, run to
+// completion with a warm flood.Scratch shared across iterations — exactly
+// how internal/study workers execute trials, so allocs/op here is the
+// per-trial allocation cost a sweep pays (model construction included; the
+// engines themselves are pinned to zero warm allocations by the
+// regression tests in internal/flood).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/dyngraph"
+	"repro/internal/flood"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/protocol"
+)
+
+// MicroResult is one benchmark row of the perf record.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// MicroRecord is the whole BENCH_<date>.json document.
+type MicroRecord struct {
+	// Schema names the document format; bump on breaking changes.
+	Schema string `json:"schema"`
+	// Date is the RFC 3339 timestamp of the run.
+	Date string `json:"date"`
+	// Go, GOOS and GOARCH identify the toolchain and platform.
+	Go     string `json:"go"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// Seed and Quick echo the benchtab configuration.
+	Seed  uint64 `json:"seed"`
+	Quick bool   `json:"quick"`
+	// Benchmarks holds one row per micro, in suite order.
+	Benchmarks []MicroResult `json:"benchmarks"`
+}
+
+// micro is one named benchmark of the suite.
+type micro struct {
+	name string
+	run  func(b *testing.B)
+}
+
+// memberScanOnly hides batch snapshot interfaces, forcing the flooding
+// engine onto the member-scan fallback while keeping the per-node batch
+// view — the cost profile of models without edge-shaped state.
+type memberScanOnly struct{ d dyngraph.Dynamic }
+
+func (m memberScanOnly) N() int                                { return m.d.N() }
+func (m memberScanOnly) Step()                                 { m.d.Step() }
+func (m memberScanOnly) ForEachNeighbor(i int, fn func(j int)) { m.d.ForEachNeighbor(i, fn) }
+func (m memberScanOnly) AppendNeighbors(i int, dst []int32) []int32 {
+	return dyngraph.AppendNeighbors(m.d, i, dst)
+}
+
+// floodMicro measures one flood trial per iteration: model built fresh
+// (trials never reuse model state), scratch warm across iterations.
+func floodMicro(cfg Config, spec model.Spec, wrap bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		opts := flood.Opts{MaxSteps: 1 << 17, Scratch: flood.NewScratch()}
+		for i := 0; i < b.N; i++ {
+			d := model.MustBuild(spec, cfg.Seed)
+			if wrap {
+				d = memberScanOnly{d}
+			}
+			if res := flood.Run(d, 0, opts); !res.Completed {
+				b.Fatal("flood did not complete")
+			}
+		}
+	}
+}
+
+// protoMicro measures one registry-built protocol trial per iteration.
+func protoMicro(cfg Config, mspec model.Spec, ptext string) func(b *testing.B) {
+	return func(b *testing.B) {
+		pspec, err := protocol.Parse(ptext)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := flood.Opts{MaxSteps: 1 << 17, Scratch: flood.NewScratch()}
+		for i := 0; i < b.N; i++ {
+			d := model.MustBuild(mspec, cfg.Seed)
+			p := protocol.MustBuild(pspec, cfg.Seed+1)
+			if res := p.Run(d, 0, opts); !res.Completed {
+				b.Fatalf("%s did not complete", ptext)
+			}
+		}
+	}
+}
+
+// micros assembles the suite. Sizes mirror the root bench_test.go hot-loop
+// workloads (sparse edge-MEG ≈ stationary degree 2, waypoint, and a denser
+// edge-MEG ≈ degree 20 for the per-node protocols), reduced under -quick.
+func micros(cfg Config) []micro {
+	sparse := model.New("edgemeg").WithInt("n", 2048).
+		WithFloat("p", 0.0001).WithFloat("q", 0.0999)
+	waypoint := model.New("waypoint").WithInt("n", 512).
+		WithFloat("L", 45).WithFloat("r", 1).WithFloat("vmin", 1)
+	dense := model.New("edgemeg").WithInt("n", 512).
+		WithFloat("p", 0.004).WithFloat("q", 0.096)
+	if cfg.Quick {
+		sparse = model.New("edgemeg").WithInt("n", 512).
+			WithFloat("p", 0.0004).WithFloat("q", 0.0996)
+		waypoint = model.New("waypoint").WithInt("n", 128).
+			WithFloat("L", 18).WithFloat("r", 1.5).WithFloat("vmin", 1)
+		dense = model.New("edgemeg").WithInt("n", 128).
+			WithFloat("p", 0.016).WithFloat("q", 0.084)
+	}
+	return []micro{
+		{"flood/edgemeg-sparse/edge-scan", floodMicro(cfg, sparse, false)},
+		{"flood/edgemeg-sparse/member-scan", floodMicro(cfg, sparse, true)},
+		{"flood/waypoint/edge-scan", floodMicro(cfg, waypoint, false)},
+		{"flood/static-torus/engine-only", func(b *testing.B) {
+			// Pure engine cost: the static model is stateless across runs,
+			// so nothing but the spreading core is measured.
+			d := dyngraph.NewStatic(graph.Torus(32, 32))
+			opts := flood.Opts{MaxSteps: 1 << 10, Scratch: flood.NewScratch()}
+			for i := 0; i < b.N; i++ {
+				if res := flood.Run(d, 0, opts); !res.Completed {
+					b.Fatal("flood did not complete")
+				}
+			}
+		}},
+		{"push/edgemeg-dense/k=2", protoMicro(cfg, dense, "push:k=2")},
+		{"pull/edgemeg-dense", protoMicro(cfg, dense, "pull")},
+		{"pushpull/edgemeg-dense/k=1", protoMicro(cfg, dense, "pushpull:k=1")},
+		{"parsimonious/edgemeg-dense/active=32", protoMicro(cfg, dense, "parsimonious:active=32")},
+	}
+}
+
+// RunMicros executes the microbenchmark suite and returns one row per
+// benchmark. Progress is reported to w (one line per micro) because a full
+// suite takes tens of seconds.
+func RunMicros(cfg Config, w io.Writer) []MicroResult {
+	var out []MicroResult
+	for _, m := range micros(cfg) {
+		r := testing.Benchmark(m.run)
+		row := MicroResult{
+			Name:        m.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Fprintf(w, "%-40s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+		out = append(out, row)
+	}
+	return out
+}
+
+// WriteMicroJSON runs the suite and writes the BENCH_<date>.json document
+// to w, with progress lines on progress.
+func WriteMicroJSON(cfg Config, now time.Time, w, progress io.Writer) error {
+	rec := MicroRecord{
+		Schema:     "repro-bench/v1",
+		Date:       now.Format(time.RFC3339),
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Seed:       cfg.Seed,
+		Quick:      cfg.Quick,
+		Benchmarks: RunMicros(cfg, progress),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}

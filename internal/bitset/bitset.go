@@ -1,0 +1,145 @@
+// Package bitset provides the word-packed node-set representation used by
+// the spreading-process hot paths: 64 membership bits per machine word, so
+// an informed set over n nodes costs n/8 bytes (instead of n bytes as
+// []bool), membership updates are single-word OR/AND-NOT operations, set
+// union is a word-wise OR sweep, and counting is popcount — all
+// cache-friendly and allocation-free once the backing array exists.
+//
+// A Set is sized for a fixed universe {0, ..., n-1} at New/Reset time and
+// reuses its backing words across Resets whenever capacity allows, which is
+// what lets internal/flood's Scratch amortize all set storage across the
+// trials of a sweep.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-universe bitset over {0, ..., Len()-1}. The zero value is
+// an empty set over the empty universe; size it with Reset. Sets are not
+// safe for concurrent mutation.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set over the universe {0, ..., n-1}.
+func New(n int) Set {
+	var s Set
+	s.Reset(n)
+	return s
+}
+
+// Reset re-sizes the set for a universe of n elements and empties it,
+// reusing the backing array when it is large enough. It is the warm-path
+// entry: after the first Reset at a given size, later Resets allocate
+// nothing.
+func (s *Set) Reset(n int) {
+	w := (n + 63) >> 6
+	if cap(s.words) < w {
+		s.words = make([]uint64, w)
+	} else {
+		s.words = s.words[:w]
+		clear(s.words)
+	}
+	s.n = n
+}
+
+// Len returns the universe size n.
+func (s *Set) Len() int { return s.n }
+
+// Get reports whether i is a member. Indices must be in [0, Len()): the
+// hot-path accessors check only the word bound (negative or far-out
+// indices panic like a slice access), so an index in the last word's
+// slack [Len(), 64·⌈Len()/64⌉) is NOT detected — and a bit planted there
+// by Set would corrupt Count and Absorb. Engines guarantee valid indices;
+// no range check is paid for them.
+func (s *Set) Get(i int) bool {
+	return s.words[uint(i)>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set adds i to the set. See Get for the index contract.
+func (s *Set) Set(i int) {
+	s.words[uint(i)>>6] |= 1 << (uint(i) & 63)
+}
+
+// Unset removes i from the set. See Get for the index contract.
+func (s *Set) Unset(i int) {
+	s.words[uint(i)>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Count returns the number of members, by popcount over the words.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ClearAll empties the set, keeping its universe and backing array.
+func (s *Set) ClearAll() {
+	clear(s.words)
+}
+
+// UnionWith adds every member of t to s. The sets must share a universe.
+func (s *Set) UnionWith(t *Set) {
+	if s.n != t.n {
+		panic("bitset: UnionWith across different universes")
+	}
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// Absorb merges t into s, empties t, and returns the new member count of s
+// — the fused commit + popcount + clear that ends one spreading step
+// (informed |= pending; |informed|; pending = ∅) in a single pass over the
+// words. The sets must share a universe.
+func (s *Set) Absorb(t *Set) int {
+	if s.n != t.n {
+		panic("bitset: Absorb across different universes")
+	}
+	c := 0
+	for i, w := range t.words {
+		merged := s.words[i] | w
+		s.words[i] = merged
+		t.words[i] = 0
+		c += bits.OnesCount64(merged)
+	}
+	return c
+}
+
+// AppendMembers appends the members of s to dst in ascending order and
+// returns the extended slice. Iteration is word-level: whole empty words
+// are skipped in one compare, and set bits are extracted with
+// trailing-zero counts.
+func (s *Set) AppendMembers(dst []int32) []int32 {
+	for wi, w := range s.words {
+		base := int32(wi << 6)
+		for w != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// AppendUnset appends the non-members of s (within the universe) to dst in
+// ascending order and returns the extended slice. Fully-set words — the
+// common case late in a spreading process, when almost every node is
+// informed — are skipped in one compare.
+func (s *Set) AppendUnset(dst []int32) []int32 {
+	for wi, w := range s.words {
+		u := ^w
+		if wi == len(s.words)-1 {
+			if r := uint(s.n) & 63; r != 0 {
+				u &= (1 << r) - 1
+			}
+		}
+		base := int32(wi << 6)
+		for u != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(u)))
+			u &= u - 1
+		}
+	}
+	return dst
+}

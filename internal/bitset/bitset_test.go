@@ -1,0 +1,138 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// TestSetAgainstMap drives a Set and a map[int]bool through the same random
+// operation sequence and checks membership, count, and iteration agree —
+// including at word boundaries (n spans several partial words).
+func TestSetAgainstMap(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 200} {
+		s := New(n)
+		ref := map[int]bool{}
+		r := rng.New(uint64(n))
+		for op := 0; op < 500; op++ {
+			i := r.Intn(n)
+			if r.Bool(0.7) {
+				s.Set(i)
+				ref[i] = true
+			} else {
+				s.Unset(i)
+				delete(ref, i)
+			}
+			if got, want := s.Get(i), ref[i]; got != want {
+				t.Fatalf("n=%d Get(%d) = %v, want %v", n, i, got, want)
+			}
+		}
+		if got, want := s.Count(), len(ref); got != want {
+			t.Fatalf("n=%d Count = %d, want %d", n, got, want)
+		}
+		members := s.AppendMembers(nil)
+		if len(members) != len(ref) {
+			t.Fatalf("n=%d AppendMembers returned %d members, want %d", n, len(members), len(ref))
+		}
+		for idx, m := range members {
+			if !ref[int(m)] {
+				t.Fatalf("n=%d AppendMembers yielded non-member %d", n, m)
+			}
+			if idx > 0 && members[idx-1] >= m {
+				t.Fatalf("n=%d AppendMembers not ascending: %v", n, members)
+			}
+		}
+		unset := s.AppendUnset(nil)
+		if len(unset)+len(members) != n {
+			t.Fatalf("n=%d members (%d) + unset (%d) != n", n, len(members), len(unset))
+		}
+		for _, u := range unset {
+			if ref[int(u)] {
+				t.Fatalf("n=%d AppendUnset yielded member %d", n, u)
+			}
+		}
+	}
+}
+
+func TestAbsorbMatchesUnionCountClear(t *testing.T) {
+	f := func(seedA, seedB uint16, nn uint8) bool {
+		n := int(nn)%150 + 1
+		a, b := New(n), New(n)
+		a2, b2 := New(n), New(n)
+		ra, rb := rng.New(uint64(seedA)), rng.New(uint64(seedB))
+		for i := 0; i < n; i++ {
+			if ra.Bool(0.3) {
+				a.Set(i)
+				a2.Set(i)
+			}
+			if rb.Bool(0.3) {
+				b.Set(i)
+				b2.Set(i)
+			}
+		}
+		got := a.Absorb(&b)
+		a2.UnionWith(&b2)
+		b2.ClearAll()
+		if got != a2.Count() || b.Count() != 0 {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if a.Get(i) != a2.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResetReuses pins the warm-path contract: a Reset to any size not
+// exceeding a previous one reuses the backing array and empties the set.
+func TestResetReuses(t *testing.T) {
+	s := New(200)
+	for i := 0; i < 200; i += 3 {
+		s.Set(i)
+	}
+	words := &s.words[0]
+	s.Reset(130)
+	if &s.words[0] != words {
+		t.Fatal("Reset to a smaller universe reallocated")
+	}
+	if s.Len() != 130 || s.Count() != 0 {
+		t.Fatalf("Reset left Len=%d Count=%d", s.Len(), s.Count())
+	}
+	// Stale bits from the old, larger universe must not leak into the
+	// complement view of the new one.
+	if got := len(s.AppendUnset(nil)); got != 130 {
+		t.Fatalf("AppendUnset after shrink returned %d indices, want 130", got)
+	}
+	s.Reset(4096)
+	if s.Count() != 0 || s.Len() != 4096 {
+		t.Fatal("Reset to a larger universe not empty")
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Absorb across universes did not panic")
+		}
+	}()
+	a, b := New(10), New(20)
+	a.Absorb(&b)
+}
+
+func TestZeroValue(t *testing.T) {
+	var s Set
+	if s.Len() != 0 || s.Count() != 0 || len(s.AppendMembers(nil)) != 0 {
+		t.Fatal("zero value is not the empty set")
+	}
+	s.Reset(70)
+	s.Set(69)
+	if !s.Get(69) || s.Count() != 1 {
+		t.Fatal("zero value unusable after Reset")
+	}
+}

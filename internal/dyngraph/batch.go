@@ -18,6 +18,23 @@ type Batcher interface {
 	AppendEdges(dst []Edge) []Edge
 }
 
+// ArcBatcher is the directed counterpart of Batcher: an optional extension
+// of Dynamic exposing the current snapshot as a flat batch of directed arcs
+// U → V, meaning "U transmits to V". It exists for virtual graphs whose
+// adjacency is asymmetric — the push-gossip subsampled graph, where node i
+// keeping j does not imply j keeps i — which can therefore never satisfy
+// the undirected Batcher contract. Consumers (the flooding arc-scan
+// engine) must propagate information only from U to V, never backwards.
+//
+// A model implements at most one of Batcher and ArcBatcher.
+type ArcBatcher interface {
+	// AppendArcs appends every directed arc of the current snapshot to dst
+	// exactly once and returns the extended slice, reusing Edge with U as
+	// the tail and V as the head. Order is unspecified but deterministic;
+	// implementations must not retain dst.
+	AppendArcs(dst []Edge) []Edge
+}
+
 // NeighborLister is an optional extension of Dynamic that exposes one
 // node's current neighbors as a slice batch, the per-node counterpart of
 // Batcher. It serves consumers that touch few nodes per step (random

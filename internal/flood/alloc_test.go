@@ -1,0 +1,78 @@
+package flood
+
+// Allocation-regression pins of the scratch refactor: once a run has
+// warmed its Scratch, the engine hot loops must not touch the heap at all.
+// The graphs are static (Step is a no-op and snapshot access appends into
+// caller buffers), so every measured allocation would belong to the engine
+// itself, not the model.
+
+import (
+	"testing"
+
+	"repro/internal/dyngraph"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// assertZeroAlloc warms the scratch with one run, then measures.
+func assertZeroAlloc(t *testing.T, name string, run func()) {
+	t.Helper()
+	run() // warm the scratch
+	if allocs := testing.AllocsPerRun(20, run); allocs != 0 {
+		t.Errorf("%s: %.1f allocs per warm run, want 0", name, allocs)
+	}
+}
+
+func TestFloodEdgeScanZeroAlloc(t *testing.T) {
+	d := dyngraph.NewStatic(graph.Torus(16, 16))
+	opts := Opts{MaxSteps: 1 << 10, Scratch: NewScratch()}
+	if res := Run(d, 0, opts); !res.Completed {
+		t.Fatal("flood on the torus did not complete")
+	}
+	assertZeroAlloc(t, "flood edge-scan", func() { Run(d, 0, opts) })
+}
+
+// listerOnly hides Batcher/ArcBatcher so the run takes the member-scan
+// path, keeping the cheap per-node batch view.
+type listerOnly struct{ s *dyngraph.Static }
+
+func (l listerOnly) N() int                                     { return l.s.N() }
+func (l listerOnly) Step()                                      { l.s.Step() }
+func (l listerOnly) ForEachNeighbor(i int, fn func(j int))      { l.s.ForEachNeighbor(i, fn) }
+func (l listerOnly) AppendNeighbors(i int, dst []int32) []int32 { return l.s.AppendNeighbors(i, dst) }
+
+func TestFloodMemberScanZeroAlloc(t *testing.T) {
+	d := listerOnly{dyngraph.NewStatic(graph.Torus(16, 16))}
+	opts := Opts{MaxSteps: 1 << 10, Scratch: NewScratch()}
+	assertZeroAlloc(t, "flood member-scan", func() { Run(d, 0, opts) })
+}
+
+func TestPullZeroAlloc(t *testing.T) {
+	d := dyngraph.NewStatic(graph.Torus(12, 12))
+	r := rng.New(5)
+	opts := Opts{MaxSteps: 1 << 12, Scratch: NewScratch()}
+	if res := Pull(d, 0, r, opts); !res.Completed {
+		t.Fatal("pull on the torus did not complete")
+	}
+	assertZeroAlloc(t, "pull", func() { Pull(d, 0, r, opts) })
+}
+
+func TestPushPullZeroAlloc(t *testing.T) {
+	d := dyngraph.NewStatic(graph.Torus(12, 12))
+	r := rng.New(5)
+	opts := Opts{MaxSteps: 1 << 12, Scratch: NewScratch()}
+	assertZeroAlloc(t, "pushpull", func() { PushPull(d, 0, 2, r, opts) })
+}
+
+func TestParsimoniousZeroAlloc(t *testing.T) {
+	d := dyngraph.NewStatic(graph.Torus(12, 12))
+	opts := Opts{MaxSteps: 1 << 12, Scratch: NewScratch()}
+	assertZeroAlloc(t, "parsimonious", func() { Parsimonious(d, 0, 64, opts) })
+}
+
+func TestRandomizedPushZeroAlloc(t *testing.T) {
+	d := dyngraph.NewStatic(graph.Torus(12, 12))
+	r := rng.New(5)
+	opts := Opts{MaxSteps: 1 << 12, Scratch: NewScratch()}
+	assertZeroAlloc(t, "randomized push (arc-scan)", func() { RandomizedPush(d, 0, 2, r, opts) })
+}

@@ -1,0 +1,470 @@
+package flood_test
+
+// Fixed-seed equivalence pins of the bitset/scratch engine refactor: every
+// engine in this package is re-run against a verbatim copy of its
+// pre-refactor implementation ([]bool informed sets, per-run allocation,
+// incremental size bookkeeping) over every registered model, and must
+// return byte-identical Results, timeline included.
+//
+// One deliberate behavior change is NOT covered by these pins: the
+// dyngraph.Subsample sampling scheme moved from one sequential RNG stream
+// to per-(node, epoch) derived streams so that its arc batch and its lazy
+// per-node view expose the same virtual graph. Randomized-push
+// trajectories at a fixed seed therefore differ from pre-refactor binaries
+// (same law, different draws); what is pinned here instead is that the new
+// directed arc-scan engine and the pre-refactor member-scan engine agree
+// exactly on the subsampled graph — the equivalence that scheme buys.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dyngraph"
+	"repro/internal/flood"
+	"repro/internal/graph"
+	"repro/internal/model"
+	_ "repro/internal/model/all"
+	"repro/internal/rng"
+)
+
+// ---------------------------------------------------------------------------
+// Reference implementations: the engines as they were before the refactor,
+// copied verbatim (modulo exported names and the Opts.Scratch field, which
+// they ignore).
+
+func refMaxSteps(o flood.Opts) int {
+	if o.MaxSteps <= 0 {
+		return flood.DefaultMaxSteps
+	}
+	return o.MaxSteps
+}
+
+func refStart(n, source int, opts flood.Opts) (informed []bool, res flood.Result, done bool) {
+	if source < 0 || source >= n {
+		panic("flood: source out of range")
+	}
+	informed = make([]bool, n)
+	informed[source] = true
+	res = flood.Result{Time: -1, HalfTime: -1, Informed: 1}
+	if opts.KeepTimeline {
+		res.Timeline = append(res.Timeline, 1)
+	}
+	if 2 >= n {
+		res.HalfTime = 0
+	}
+	if n == 1 {
+		res.Time = 0
+		res.Completed = true
+		return informed, res, true
+	}
+	return informed, res, false
+}
+
+func refRecord(res *flood.Result, opts flood.Opts, n, size, t int) bool {
+	res.Informed = size
+	if opts.KeepTimeline {
+		res.Timeline = append(res.Timeline, size)
+	}
+	if res.HalfTime < 0 && 2*size >= n {
+		res.HalfTime = t + 1
+	}
+	if size == n {
+		res.Time = t + 1
+		res.Completed = true
+		return true
+	}
+	return false
+}
+
+func refNeighborSource(d dyngraph.Dynamic) func(i int, dst []int32) []int32 {
+	if l, ok := d.(dyngraph.NeighborLister); ok {
+		return l.AppendNeighbors
+	}
+	return func(i int, dst []int32) []int32 {
+		d.ForEachNeighbor(i, func(j int) {
+			dst = append(dst, int32(j))
+		})
+		return dst
+	}
+}
+
+func refRun(d dyngraph.Dynamic, source int, opts flood.Opts) flood.Result {
+	n := d.N()
+	informed, res, done := refStart(n, source, opts)
+	if done {
+		return res
+	}
+	if b, ok := d.(dyngraph.Batcher); ok {
+		refEdgeScan(b, d, informed, opts, &res)
+	} else {
+		refMemberScan(d, informed, source, opts, &res)
+	}
+	return res
+}
+
+func refEdgeScan(b dyngraph.Batcher, d dyngraph.Dynamic, informed []bool, opts flood.Opts, res *flood.Result) {
+	n := len(informed)
+	size := 1
+	pending := make([]bool, n)
+	newly := make([]int32, 0, n)
+	var edges []dyngraph.Edge
+	maxSteps := refMaxSteps(opts)
+	for t := 0; t < maxSteps; t++ {
+		edges = b.AppendEdges(edges[:0])
+		newly = newly[:0]
+		for _, e := range edges {
+			if informed[e.U] {
+				if !informed[e.V] && !pending[e.V] {
+					pending[e.V] = true
+					newly = append(newly, e.V)
+				}
+			} else if informed[e.V] && !pending[e.U] {
+				pending[e.U] = true
+				newly = append(newly, e.U)
+			}
+		}
+		for _, v := range newly {
+			informed[v] = true
+			pending[v] = false
+		}
+		size += len(newly)
+		if refRecord(res, opts, n, size, t) {
+			return
+		}
+		d.Step()
+	}
+}
+
+func refMemberScan(d dyngraph.Dynamic, informed []bool, source int, opts flood.Opts, res *flood.Result) {
+	n := len(informed)
+	neighbors := refNeighborSource(d)
+	members := make([]int32, 1, n)
+	members[0] = int32(source)
+	newly := make([]int32, 0, n)
+	var nbrs []int32
+	maxSteps := refMaxSteps(opts)
+	for t := 0; t < maxSteps; t++ {
+		newly = newly[:0]
+		for _, i := range members {
+			nbrs = neighbors(int(i), nbrs[:0])
+			for _, j := range nbrs {
+				if !informed[j] {
+					informed[j] = true
+					newly = append(newly, j)
+				}
+			}
+		}
+		members = append(members, newly...)
+		if refRecord(res, opts, n, len(members), t) {
+			return
+		}
+		d.Step()
+	}
+}
+
+// refPush is pre-refactor RandomizedPush: plain flooding on the subsampled
+// virtual graph. The old Run had no arc-scan, so the wrapper was flooded by
+// member-scan over its lazy per-node views.
+func refPush(d dyngraph.Dynamic, source, k int, r *rng.RNG, opts flood.Opts) flood.Result {
+	sub := dyngraph.NewSubsample(d, k, r)
+	n := sub.N()
+	informed, res, done := refStart(n, source, opts)
+	if done {
+		return res
+	}
+	refMemberScan(sub, informed, source, opts, &res)
+	return res
+}
+
+func refPull(d dyngraph.Dynamic, source int, r *rng.RNG, opts flood.Opts) flood.Result {
+	n := d.N()
+	informed, res, done := refStart(n, source, opts)
+	if done {
+		return res
+	}
+	neighbors := refNeighborSource(d)
+
+	size := 1
+	var nbrs []int32
+	newly := make([]int32, 0, n)
+	maxSteps := refMaxSteps(opts)
+	for t := 0; t < maxSteps; t++ {
+		newly = newly[:0]
+		for i := 0; i < n; i++ {
+			if informed[i] {
+				continue
+			}
+			nbrs = neighbors(i, nbrs[:0])
+			if len(nbrs) == 0 {
+				continue
+			}
+			if informed[nbrs[r.Intn(len(nbrs))]] {
+				newly = append(newly, int32(i))
+			}
+		}
+		for _, i := range newly {
+			informed[i] = true
+		}
+		size += len(newly)
+		if refRecord(&res, opts, n, size, t) {
+			return res
+		}
+		d.Step()
+	}
+	return res
+}
+
+func refPushPull(d dyngraph.Dynamic, source, k int, r *rng.RNG, opts flood.Opts) flood.Result {
+	n := d.N()
+	informed, res, done := refStart(n, source, opts)
+	if done {
+		return res
+	}
+	neighbors := refNeighborSource(d)
+
+	size := 1
+	pending := make([]bool, n)
+	newly := make([]int32, 0, n)
+	var nbrs []int32
+	maxSteps := refMaxSteps(opts)
+	for t := 0; t < maxSteps; t++ {
+		newly = newly[:0]
+		for i := 0; i < n; i++ {
+			nbrs = neighbors(i, nbrs[:0])
+			if len(nbrs) == 0 {
+				continue
+			}
+			if informed[i] {
+				if len(nbrs) <= k {
+					for _, j := range nbrs {
+						if !informed[j] && !pending[j] {
+							pending[j] = true
+							newly = append(newly, j)
+						}
+					}
+				} else {
+					for _, idx := range r.SampleDistinct(len(nbrs), k) {
+						if j := nbrs[idx]; !informed[j] && !pending[j] {
+							pending[j] = true
+							newly = append(newly, j)
+						}
+					}
+				}
+			} else if !pending[i] {
+				if informed[nbrs[r.Intn(len(nbrs))]] {
+					pending[i] = true
+					newly = append(newly, int32(i))
+				}
+			}
+		}
+		for _, j := range newly {
+			informed[j] = true
+			pending[j] = false
+		}
+		size += len(newly)
+		if refRecord(&res, opts, n, size, t) {
+			return res
+		}
+		d.Step()
+	}
+	return res
+}
+
+func refParsimonious(d dyngraph.Dynamic, source, active int, opts flood.Opts) flood.Result {
+	n := d.N()
+	informed, res, done := refStart(n, source, opts)
+	if done {
+		return res
+	}
+	neighbors := refNeighborSource(d)
+
+	expiry := make([]int32, n)
+	activeList := make([]int32, 1, n)
+	activeList[0] = int32(source)
+	expiry[source] = int32(active - 1)
+
+	size := 1
+	newly := make([]int32, 0, n)
+	var nbrs []int32
+	maxSteps := refMaxSteps(opts)
+	for t := 0; t < maxSteps; t++ {
+		newly = newly[:0]
+		for _, i := range activeList {
+			nbrs = neighbors(int(i), nbrs[:0])
+			for _, j := range nbrs {
+				if !informed[j] {
+					informed[j] = true
+					newly = append(newly, j)
+				}
+			}
+		}
+		keep := activeList[:0]
+		for _, i := range activeList {
+			if int(expiry[i]) > t {
+				keep = append(keep, i)
+			}
+		}
+		activeList = keep
+		for _, j := range newly {
+			expiry[j] = int32(t + active)
+			activeList = append(activeList, j)
+		}
+		size += len(newly)
+		if refRecord(&res, opts, n, size, t) {
+			return res
+		}
+		if len(activeList) == 0 {
+			return res
+		}
+		d.Step()
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// The pins.
+
+// equivModels covers every registered model family at small sizes.
+var equivModels = []model.Spec{
+	model.New("edgemeg").WithInt("n", 96).WithFloat("p", 0.01).WithFloat("q", 0.09),
+	model.New("edgemeg").WithInt("n", 64).WithFloat("p", 0.02).WithFloat("q", 0.18).WithBool("dense", true),
+	model.New("edgemeg4").WithInt("n", 64),
+	model.New("waypoint").WithInt("n", 64).WithFloat("L", 12).WithFloat("r", 1.5),
+	model.New("direction").WithInt("n", 64).WithFloat("L", 12).WithFloat("r", 1.5),
+	model.New("dwaypoint").WithInt("n", 40).WithInt("m", 5),
+	model.New("walk").WithInt("n", 48).WithInt("m", 8),
+	model.New("paths").WithInt("n", 24).WithInt("m", 6),
+	model.New("static").With("topology", "torus").WithInt("m", 7),
+}
+
+// forceMemberScan hides batch interfaces so the engine falls back to the
+// per-node path, while keeping NeighborLister visible to match how the old
+// engine saw the same model.
+type forceMemberScan struct{ d dyngraph.Dynamic }
+
+func (f forceMemberScan) N() int                                { return f.d.N() }
+func (f forceMemberScan) Step()                                 { f.d.Step() }
+func (f forceMemberScan) ForEachNeighbor(i int, fn func(j int)) { f.d.ForEachNeighbor(i, fn) }
+func (f forceMemberScan) AppendNeighbors(i int, dst []int32) []int32 {
+	return dyngraph.AppendNeighbors(f.d, i, dst)
+}
+
+func TestEnginesMatchPreRefactorReference(t *testing.T) {
+	opts := flood.Opts{MaxSteps: 1 << 14, KeepTimeline: true}
+	for _, ms := range equivModels {
+		for _, seed := range []uint64{1, 42} {
+			build := func() dyngraph.Dynamic { return model.MustBuild(ms, seed) }
+			cases := []struct {
+				name      string
+				got, want flood.Result
+			}{
+				{"flood", flood.Run(build(), 0, opts), refRun(build(), 0, opts)},
+				{"flood/member-scan",
+					flood.Run(forceMemberScan{build()}, 0, opts),
+					refRun(forceMemberScan{build()}, 0, opts)},
+				{"push/arc-scan-vs-member-scan",
+					flood.RandomizedPush(build(), 0, 2, rng.New(7), opts),
+					refPush(build(), 0, 2, rng.New(7), opts)},
+				{"pull",
+					flood.Pull(build(), 0, rng.New(11), opts),
+					refPull(build(), 0, rng.New(11), opts)},
+				{"pushpull",
+					flood.PushPull(build(), 0, 1, rng.New(13), opts),
+					refPushPull(build(), 0, 1, rng.New(13), opts)},
+				{"parsimonious",
+					flood.Parsimonious(build(), 0, 6, opts),
+					refParsimonious(build(), 0, 6, opts)},
+			}
+			for _, c := range cases {
+				if !reflect.DeepEqual(c.got, c.want) {
+					t.Errorf("%v seed %d %s: refactored %+v != reference %+v",
+						ms, seed, c.name, c.got, c.want)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkEngineOnly* isolate the spreading core from model simulation
+// (static graph: Step is free, snapshot access is an append), pitting the
+// bitset/scratch engines against their pre-refactor references. This is
+// the apples-to-apples number behind the README's performance table — the
+// end-to-end BenchmarkFlood* family is dominated by model construction
+// and per-step Markov simulation.
+
+func BenchmarkEngineOnlyBitset(b *testing.B) {
+	d := dyngraph.NewStatic(graph.Torus(64, 64))
+	b.ReportAllocs()
+	opts := flood.Opts{MaxSteps: 1 << 10, Scratch: flood.NewScratch()}
+	for i := 0; i < b.N; i++ {
+		if res := flood.Run(d, 0, opts); !res.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkEngineOnlyReference(b *testing.B) {
+	d := dyngraph.NewStatic(graph.Torus(64, 64))
+	b.ReportAllocs()
+	opts := flood.Opts{MaxSteps: 1 << 10}
+	for i := 0; i < b.N; i++ {
+		if res := refRun(d, 0, opts); !res.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkEngineOnlyPullBitset(b *testing.B) {
+	d := dyngraph.NewStatic(graph.Torus(32, 32))
+	r := rng.New(5)
+	b.ReportAllocs()
+	opts := flood.Opts{MaxSteps: 1 << 14, Scratch: flood.NewScratch()}
+	for i := 0; i < b.N; i++ {
+		if res := flood.Pull(d, 0, r, opts); !res.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkEngineOnlyPullReference(b *testing.B) {
+	d := dyngraph.NewStatic(graph.Torus(32, 32))
+	r := rng.New(5)
+	b.ReportAllocs()
+	opts := flood.Opts{MaxSteps: 1 << 14}
+	for i := 0; i < b.N; i++ {
+		if res := refPull(d, 0, r, opts); !res.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// TestScratchWarmthDoesNotChangeResults runs every engine over every model
+// twice through one shared scratch — cold, then warm, in an order designed
+// to leave stale state from a different engine in the buffers — and checks
+// each result equals the scratch-free run. This is the contract that lets
+// internal/study hand one Scratch to a worker serving thousands of
+// heterogeneous trials.
+func TestScratchWarmthDoesNotChangeResults(t *testing.T) {
+	sc := flood.NewScratch()
+	for round := 0; round < 2; round++ {
+		for _, ms := range equivModels {
+			seed := uint64(3)
+			plain := flood.Opts{MaxSteps: 1 << 14, KeepTimeline: true}
+			shared := plain
+			shared.Scratch = sc
+			run := func(o flood.Opts) []flood.Result {
+				return []flood.Result{
+					flood.Run(model.MustBuild(ms, seed), 0, o),
+					flood.RandomizedPush(model.MustBuild(ms, seed), 0, 2, rng.New(7), o),
+					flood.Pull(model.MustBuild(ms, seed), 0, rng.New(11), o),
+					flood.PushPull(model.MustBuild(ms, seed), 0, 1, rng.New(13), o),
+					flood.Parsimonious(model.MustBuild(ms, seed), 0, 6, o),
+				}
+			}
+			if got, want := run(shared), run(plain); !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d %v: scratch-backed results differ:\n%+v\nvs\n%+v",
+					round, ms, got, want)
+			}
+		}
+	}
+}

@@ -94,6 +94,12 @@ type Opts struct {
 	// KeepTimeline controls whether the full |I_t| series is recorded.
 	// When false only Time/HalfTime are tracked, saving memory in sweeps.
 	KeepTimeline bool
+	// Scratch optionally supplies reusable working state (bitsets, edge
+	// and neighbor buffers, queues), amortizing all engine allocations
+	// across the runs that share it. Results never depend on whether — or
+	// how warm — a Scratch is supplied; nil makes the run allocate private
+	// state. A Scratch must not be shared across concurrent runs.
+	Scratch *Scratch
 }
 
 // maxSteps returns the effective step cap.
@@ -107,16 +113,21 @@ func (o Opts) maxSteps() int {
 // DefaultMaxSteps bounds runs whose caller did not choose a cap.
 const DefaultMaxSteps = 1 << 20
 
-// start validates the source, initializes the informed set and the Result
-// for a run over n nodes (the source is informed at t = 0), and reports
-// done == true for the trivial single-node network. It is the shared
-// entry bookkeeping of every engine in this package.
-func start(n, source int, opts Opts) (informed []bool, res Result, done bool) {
+// start validates the source, readies the run's scratch (the caller's via
+// Opts, or fresh private state), initializes the informed set and the
+// Result for a run over n nodes (the source is informed at t = 0), and
+// reports done == true for the trivial single-node network. It is the
+// shared entry bookkeeping of every engine in this package.
+func start(n, source int, opts Opts) (sc *Scratch, res Result, done bool) {
 	if source < 0 || source >= n {
 		panic("flood: source out of range")
 	}
-	informed = make([]bool, n)
-	informed[source] = true
+	sc = opts.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.reset(n)
+	sc.informed.Set(source)
 	res = Result{Time: -1, HalfTime: -1, Informed: 1}
 	if opts.KeepTimeline {
 		res.Timeline = append(res.Timeline, 1)
@@ -127,15 +138,17 @@ func start(n, source int, opts Opts) (informed []bool, res Result, done bool) {
 	if n == 1 {
 		res.Time = 0
 		res.Completed = true
-		return informed, res, true
+		return sc, res, true
 	}
-	return informed, res, false
+	return sc, res, false
 }
 
-// record updates the result after step t produced informed-set size size,
-// reporting whether the run completed. It is the shared per-step
-// bookkeeping of every engine in this package: a field added to Result is
-// tracked by all protocols at once.
+// record updates the result after step t produced informed-set size size
+// (engines obtain it by popcount over the informed bitset, usually fused
+// into the pending-set commit via bitset.Absorb), reporting whether the
+// run completed. It is the shared per-step bookkeeping of every engine in
+// this package: a field added to Result is tracked by all protocols at
+// once.
 func record(res *Result, opts Opts, n, size, t int) bool {
 	res.Informed = size
 	if opts.KeepTimeline {
@@ -152,21 +165,39 @@ func record(res *Result, opts Opts, n, size, t int) bool {
 	return false
 }
 
-// neighborSource returns the cheapest per-node neighbor accessor d offers:
-// the native dyngraph.NeighborLister batch when implemented, else an
-// adapter over ForEachNeighbor. Engines that touch nodes individually
-// (member-scan flooding, pull, parsimonious, push–pull) call this once per
-// run, hoisting the interface check out of their per-node hot loops.
-func neighborSource(d dyngraph.Dynamic) func(i int, dst []int32) []int32 {
-	if l, ok := d.(dyngraph.NeighborLister); ok {
-		return l.AppendNeighbors
+// neighborReader is the cheapest per-node neighbor accessor d offers: the
+// native dyngraph.NeighborLister batch when implemented, else an adapter
+// over ForEachNeighbor. Engines that touch nodes individually (member-scan
+// flooding, pull, parsimonious, push–pull) build one per run, hoisting the
+// interface check out of their per-node hot loops; unlike a bound method
+// value, the plain struct keeps the lister path allocation-free.
+type neighborReader struct {
+	lister dyngraph.NeighborLister // nil when d does not implement it
+	d      dyngraph.Dynamic
+}
+
+func newNeighborReader(d dyngraph.Dynamic) neighborReader {
+	l, _ := d.(dyngraph.NeighborLister)
+	return neighborReader{lister: l, d: d}
+}
+
+// append appends node i's current neighbors to dst.
+func (nr neighborReader) append(i int, dst []int32) []int32 {
+	if nr.lister != nil {
+		return nr.lister.AppendNeighbors(i, dst)
 	}
-	return func(i int, dst []int32) []int32 {
-		d.ForEachNeighbor(i, func(j int) {
-			dst = append(dst, int32(j))
-		})
-		return dst
-	}
+	return appendViaCallback(nr.d, i, dst)
+}
+
+// appendViaCallback adapts ForEachNeighbor. It lives outside
+// neighborReader.append so that the closure capturing dst — which costs a
+// heap cell per call — is only materialized on the callback path, keeping
+// the lister path allocation-free.
+func appendViaCallback(d dyngraph.Dynamic, i int, dst []int32) []int32 {
+	d.ForEachNeighbor(i, func(j int) {
+		dst = append(dst, int32(j))
+	})
+	return dst
 }
 
 // Run floods d from source and returns the result. It panics if source is
@@ -175,56 +206,77 @@ func neighborSource(d dyngraph.Dynamic) func(i int, dst []int32) []int32 {
 // The engine picks the cheapest snapshot access the model offers. Models
 // implementing dyngraph.Batcher are flooded by a linear scan of the flat
 // edge batch — one contiguous read per snapshot, no per-edge callbacks and
-// no adjacency materialization. All other models are flooded by rescanning
-// the informed set against per-node neighbor batches. Both paths compute
-// the identical deterministic process I_0 = {s}, I_{t+1} = I_t ∪ Γ_t(I_t),
-// so Results agree exactly for a given model state.
+// no adjacency materialization; directed virtual graphs implementing
+// dyngraph.ArcBatcher get the same scan with one-way propagation. All
+// other models are flooded by rescanning the informed set against per-node
+// neighbor batches. Every path computes the identical deterministic
+// process I_0 = {s}, I_{t+1} = I_t ∪ Γ_t(I_t), so Results agree exactly
+// for a given model state.
 func Run(d dyngraph.Dynamic, source int, opts Opts) Result {
 	n := d.N()
-	informed, res, done := start(n, source, opts)
+	sc, res, done := start(n, source, opts)
 	if done {
 		return res
 	}
-	if b, ok := d.(dyngraph.Batcher); ok {
-		runEdgeScan(b, d, informed, opts, &res)
+	if ab, ok := d.(dyngraph.ArcBatcher); ok {
+		runArcScan(ab, d, sc, opts, &res)
+	} else if b, ok := d.(dyngraph.Batcher); ok {
+		runEdgeScan(b, d, sc, opts, &res)
 	} else {
-		runMemberScan(d, informed, source, opts, &res)
+		runMemberScan(d, sc, opts, &res)
 	}
 	return res
 }
 
 // runEdgeScan floods over the batch snapshot view: every step scans the
-// flat edge list once, collecting edges that cross the informed-set
-// boundary. Nodes reached this step are marked pending, not informed, so
-// the scan only propagates from I_t (chained same-step propagation would
-// be wrong in a dynamic graph).
-func runEdgeScan(b dyngraph.Batcher, d dyngraph.Dynamic, informed []bool, opts Opts, res *Result) {
-	n := len(informed)
-	size := 1
-	pending := make([]bool, n)
-	newly := make([]int32, 0, n)
-	var edges []dyngraph.Edge
+// flat edge list once, marking the far side of every edge that crosses the
+// informed-set boundary in the pending bitset — a branch-light loop whose
+// membership tests are single-word mask probes, with no per-step dedup
+// bookkeeping because bit sets are idempotent. Pending bits are committed
+// into the informed set only at step end (Absorb), so the scan propagates
+// from I_t alone: chained same-step propagation would be wrong in a
+// dynamic graph.
+func runEdgeScan(b dyngraph.Batcher, d dyngraph.Dynamic, sc *Scratch, opts Opts, res *Result) {
+	// Hoist the bitset headers into locals: accessed through sc they would
+	// be reloaded after every store, since the compiler cannot prove the
+	// bit writes don't alias the scratch struct. The words arrays stay
+	// shared; only the headers are copied.
+	informed, pending := sc.informed, sc.pending
+	n := informed.Len()
 	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
-		edges = b.AppendEdges(edges[:0])
-		newly = newly[:0]
-		for _, e := range edges {
-			if informed[e.U] {
-				if !informed[e.V] && !pending[e.V] {
-					pending[e.V] = true
-					newly = append(newly, e.V)
+		sc.edges = b.AppendEdges(sc.edges[:0])
+		for _, e := range sc.edges {
+			if informed.Get(int(e.U)) {
+				if !informed.Get(int(e.V)) {
+					pending.Set(int(e.V))
 				}
-			} else if informed[e.V] && !pending[e.U] {
-				pending[e.U] = true
-				newly = append(newly, e.U)
+			} else if informed.Get(int(e.V)) {
+				pending.Set(int(e.U))
 			}
 		}
-		for _, v := range newly {
-			informed[v] = true
-			pending[v] = false
+		if record(res, opts, n, informed.Absorb(&pending), t) {
+			return
 		}
-		size += len(newly)
-		if record(res, opts, n, size, t) {
+		d.Step()
+	}
+}
+
+// runArcScan is runEdgeScan for directed virtual graphs: arcs carry
+// information only from tail to head, so only U → V with U informed and V
+// not marks pending.
+func runArcScan(ab dyngraph.ArcBatcher, d dyngraph.Dynamic, sc *Scratch, opts Opts, res *Result) {
+	informed, pending := sc.informed, sc.pending
+	n := informed.Len()
+	maxSteps := opts.maxSteps()
+	for t := 0; t < maxSteps; t++ {
+		sc.edges = ab.AppendArcs(sc.edges[:0])
+		for _, e := range sc.edges {
+			if informed.Get(int(e.U)) && !informed.Get(int(e.V)) {
+				pending.Set(int(e.V))
+			}
+		}
+		if record(res, opts, n, informed.Absorb(&pending), t) {
 			return
 		}
 		d.Step()
@@ -232,32 +284,25 @@ func runEdgeScan(b dyngraph.Batcher, d dyngraph.Dynamic, informed []bool, opts O
 }
 
 // runMemberScan floods by rescanning every informed node's current
-// neighbors — the fallback for models without batch snapshot access, and
-// the only correct option for directed virtual graphs (push subsampling),
-// whose uninformed nodes' neighbor sets must never be evaluated.
-func runMemberScan(d dyngraph.Dynamic, informed []bool, source int, opts Opts, res *Result) {
-	n := len(informed)
-	neighbors := neighborSource(d)
-	// members holds the informed set; scanned fully each round.
-	members := make([]int32, 1, n)
-	members[0] = int32(source)
-	newly := make([]int32, 0, n)
-	var nbrs []int32
+// neighbors — the fallback for models without batch snapshot access. The
+// member list is rebuilt each round from the informed bitset by word-level
+// iteration, and neighbors are marked pending and committed at step end,
+// like the scan engines.
+func runMemberScan(d dyngraph.Dynamic, sc *Scratch, opts Opts, res *Result) {
+	informed, pending := sc.informed, sc.pending
+	n := informed.Len()
+	nr := newNeighborReader(d)
 	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
 		// Scan snapshot E_t for edges leaving the informed set.
-		newly = newly[:0]
-		for _, i := range members {
-			nbrs = neighbors(int(i), nbrs[:0])
-			for _, j := range nbrs {
-				if !informed[j] {
-					informed[j] = true
-					newly = append(newly, j)
-				}
+		sc.queue = informed.AppendMembers(sc.queue[:0])
+		for _, i := range sc.queue {
+			sc.nbrs = nr.append(int(i), sc.nbrs[:0])
+			for _, j := range sc.nbrs {
+				pending.Set(int(j))
 			}
 		}
-		members = append(members, newly...)
-		if record(res, opts, n, len(members), t) {
+		if record(res, opts, n, informed.Absorb(&pending), t) {
 			return
 		}
 		d.Step()
@@ -267,7 +312,12 @@ func runMemberScan(d dyngraph.Dynamic, informed []bool, source int, opts Opts, r
 // RandomizedPush floods d with the §5 randomized protocol: each informed
 // node contacts at most k uniformly random current neighbors per step. It
 // is implemented, as the paper suggests, as plain flooding on the virtual
-// subsampled dynamic graph.
+// subsampled dynamic graph — which implements dyngraph.ArcBatcher, so the
+// flood runs as a directed arc scan. With a Scratch in opts the
+// subsampled-graph wrapper itself is reused across trials.
 func RandomizedPush(d dyngraph.Dynamic, source, k int, r *rng.RNG, opts Opts) Result {
+	if opts.Scratch != nil {
+		return Run(opts.Scratch.subsample(d, k, r), source, opts)
+	}
 	return Run(dyngraph.NewSubsample(d, k, r), source, opts)
 }

@@ -20,31 +20,36 @@ func Parsimonious(d dyngraph.Dynamic, source, active int, opts Opts) Result {
 		panic("flood: Parsimonious needs active > 0")
 	}
 	n := d.N()
-	informed, res, done := start(n, source, opts)
+	sc, res, done := start(n, source, opts)
 	if done {
 		return res
 	}
-	neighbors := neighborSource(d)
+	nr := newNeighborReader(d)
+	informed := sc.informed
 
-	// expiry[i] is the last step at which node i still transmits.
-	expiry := make([]int32, n)
+	// expiry[i] is the last step at which node i still transmits; every
+	// entry read below is assigned first, so the buffer needs no clearing.
+	expiry := sc.expirySlice(n)
 	// activeList holds nodes still within their transmission window.
-	activeList := make([]int32, 1, n)
-	activeList[0] = int32(source)
+	activeList := append(sc.queue[:0], int32(source))
 	expiry[source] = int32(active - 1)
 
+	// newly is duplicate-free, so incremental size tracking is exact —
+	// cheaper than a per-step popcount in the one engine that can run for
+	// thousands of near-idle steps (small windows strand progress).
 	size := 1
-	newly := make([]int32, 0, n)
-	var nbrs []int32
 	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
-		newly = newly[:0]
-		// Only active nodes transmit on snapshot E_t.
+		newly := sc.newly[:0]
+		// Only active nodes transmit on snapshot E_t. Marking informed
+		// immediately is safe — activeList is fixed for the round, so a
+		// node informed mid-round cannot transmit until the next one —
+		// and keeps newly duplicate-free.
 		for _, i := range activeList {
-			nbrs = neighbors(int(i), nbrs[:0])
-			for _, j := range nbrs {
-				if !informed[j] {
-					informed[j] = true
+			sc.nbrs = nr.append(int(i), sc.nbrs[:0])
+			for _, j := range sc.nbrs {
+				if !informed.Get(int(j)) {
+					informed.Set(int(j))
 					newly = append(newly, j)
 				}
 			}
@@ -62,6 +67,9 @@ func Parsimonious(d dyngraph.Dynamic, source, active int, opts Opts) Result {
 			expiry[j] = int32(t + active)
 			activeList = append(activeList, j)
 		}
+		// Store the (possibly re-grown) buffers back for reuse by the next
+		// run sharing this scratch.
+		sc.newly, sc.queue = newly[:0], activeList
 		size += len(newly)
 		if record(&res, opts, n, size, t) {
 			return res

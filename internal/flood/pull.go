@@ -16,38 +16,32 @@ import (
 // deg) and the saturation phase is fast (stragglers pull from an almost
 // fully informed population) while the early phase is slow. The sweep is
 // synchronous: all pulls observe the informed set as of the start of the
-// step.
+// step — successful pulls land in the pending bitset and are committed at
+// step end. The uninformed sweep itself iterates the complement of the
+// informed bitset word-wise, so fully-informed words (the common case in
+// the late phase pull is good at) cost one compare.
 func Pull(d dyngraph.Dynamic, source int, r *rng.RNG, opts Opts) Result {
 	n := d.N()
-	informed, res, done := start(n, source, opts)
+	sc, res, done := start(n, source, opts)
 	if done {
 		return res
 	}
-	neighbors := neighborSource(d)
+	nr := newNeighborReader(d)
+	informed, pending := sc.informed, sc.pending
 
-	size := 1
-	var nbrs []int32
-	newly := make([]int32, 0, n)
 	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
-		newly = newly[:0]
-		for i := 0; i < n; i++ {
-			if informed[i] {
+		sc.queue = informed.AppendUnset(sc.queue[:0])
+		for _, i := range sc.queue {
+			sc.nbrs = nr.append(int(i), sc.nbrs[:0])
+			if len(sc.nbrs) == 0 {
 				continue
 			}
-			nbrs = neighbors(i, nbrs[:0])
-			if len(nbrs) == 0 {
-				continue
-			}
-			if informed[nbrs[r.Intn(len(nbrs))]] {
-				newly = append(newly, int32(i))
+			if informed.Get(int(sc.nbrs[r.Intn(len(sc.nbrs))])) {
+				pending.Set(int(i))
 			}
 		}
-		for _, i := range newly {
-			informed[i] = true
-		}
-		size += len(newly)
-		if record(&res, opts, n, size, t) {
+		if record(&res, opts, n, informed.Absorb(&pending), t) {
 			return res
 		}
 		d.Step()

@@ -27,57 +27,43 @@ func PushPull(d dyngraph.Dynamic, source, k int, r *rng.RNG, opts Opts) Result {
 		panic("flood: PushPull needs k > 0")
 	}
 	n := d.N()
-	informed, res, done := start(n, source, opts)
+	sc, res, done := start(n, source, opts)
 	if done {
 		return res
 	}
-	neighbors := neighborSource(d)
+	nr := newNeighborReader(d)
+	informed, pending := sc.informed, sc.pending
 
-	size := 1
-	// pending marks nodes informed during this step (committed after the
-	// sweep, so same-step chaining cannot happen).
-	pending := make([]bool, n)
-	newly := make([]int32, 0, n)
-	var nbrs []int32
 	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
-		newly = newly[:0]
 		for i := 0; i < n; i++ {
-			nbrs = neighbors(i, nbrs[:0])
-			if len(nbrs) == 0 {
+			sc.nbrs = nr.append(i, sc.nbrs[:0])
+			if len(sc.nbrs) == 0 {
 				continue
 			}
-			if informed[i] {
+			if informed.Get(i) {
 				// Push: contact at most k distinct random neighbors.
-				if len(nbrs) <= k {
-					for _, j := range nbrs {
-						if !informed[j] && !pending[j] {
-							pending[j] = true
-							newly = append(newly, j)
-						}
+				if len(sc.nbrs) <= k {
+					for _, j := range sc.nbrs {
+						pending.Set(int(j))
 					}
 				} else {
-					for _, idx := range r.SampleDistinct(len(nbrs), k) {
-						if j := nbrs[idx]; !informed[j] && !pending[j] {
-							pending[j] = true
-							newly = append(newly, j)
-						}
+					sc.idx = r.SampleDistinctInto(len(sc.nbrs), k, sc.idx[:0])
+					for _, idx := range sc.idx {
+						pending.Set(int(sc.nbrs[idx]))
 					}
 				}
-			} else if !pending[i] {
+			} else if !pending.Get(i) {
 				// Pull: query one random neighbor's start-of-step state.
-				if informed[nbrs[r.Intn(len(nbrs))]] {
-					pending[i] = true
-					newly = append(newly, int32(i))
+				// A node already pushed to this step skips its pull (and
+				// its RNG draw), preserving the engine's historical
+				// random-stream consumption.
+				if informed.Get(int(sc.nbrs[r.Intn(len(sc.nbrs))])) {
+					pending.Set(i)
 				}
 			}
 		}
-		for _, j := range newly {
-			informed[j] = true
-			pending[j] = false
-		}
-		size += len(newly)
-		if record(&res, opts, n, size, t) {
+		if record(&res, opts, n, informed.Absorb(&pending), t) {
 			return res
 		}
 		d.Step()

@@ -1,0 +1,79 @@
+package flood
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/dyngraph"
+	"repro/internal/rng"
+)
+
+// Scratch is the reusable working state of one spreading run: the informed
+// and pending bitsets, the snapshot edge buffer, the per-node neighbor
+// buffer, the member/active queues, and (for k-push) the subsampled-graph
+// wrapper. Every engine in this package draws its state from a Scratch, so
+// a caller that runs many trials — internal/study gives each worker one —
+// pays the allocation cost once and every later trial runs the hot loop
+// with zero heap allocations (asserted by TestFloodRunZeroAlloc*).
+//
+// A Scratch may be reused freely across sequential runs of any engines and
+// any models (each run resets exactly the state it uses), but never shared
+// across concurrent runs. The zero value is ready to use; a nil
+// Opts.Scratch simply makes the run allocate private state, preserving the
+// fire-and-forget call style.
+type Scratch struct {
+	// informed is I_t; pending accumulates the nodes reached during the
+	// current step, committed into informed at step end (Absorb) so that
+	// same-step chained propagation — wrong in a dynamic graph — cannot
+	// happen.
+	informed bitset.Set
+	pending  bitset.Set
+	// edges receives the flat snapshot batch (edge-scan and arc-scan).
+	edges []dyngraph.Edge
+	// nbrs receives one node's neighbor batch (member-scan, pull,
+	// push–pull, parsimonious).
+	nbrs []int32
+	// queue holds the node list driving a round: informed members
+	// (member-scan), uninformed nodes (pull), or active transmitters
+	// (parsimonious).
+	queue []int32
+	// newly collects nodes informed this round when the engine needs them
+	// individually (parsimonious window bookkeeping).
+	newly []int32
+	// expiry is parsimonious' per-node last-transmission step.
+	expiry []int32
+	// idx is the SampleDistinctInto buffer of the push–pull fan-out draw.
+	idx []int
+	// sub is the reusable subsampled-graph wrapper of RandomizedPush.
+	sub *dyngraph.Subsample
+}
+
+// NewScratch returns an empty Scratch. Buffers are sized lazily by the
+// first run and grow monotonically, so one Scratch serves mixed workloads.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// reset prepares the scratch for a run over n nodes. Only the bitsets need
+// clearing — slice buffers are truncated at use sites and expiry is fully
+// overwritten before any read.
+func (sc *Scratch) reset(n int) {
+	sc.informed.Reset(n)
+	sc.pending.Reset(n)
+}
+
+// subsample returns a subsampled view of d with fan-out k, reusing the
+// scratch-held wrapper across trials when possible.
+func (sc *Scratch) subsample(d dyngraph.Dynamic, k int, r *rng.RNG) *dyngraph.Subsample {
+	if sc.sub == nil {
+		sc.sub = dyngraph.NewSubsample(d, k, r)
+	} else {
+		sc.sub.Reset(d, k, r)
+	}
+	return sc.sub
+}
+
+// expirySlice returns the expiry buffer sized to n. Values are garbage
+// until assigned; parsimonious assigns every entry it later reads.
+func (sc *Scratch) expirySlice(n int) []int32 {
+	if cap(sc.expiry) < n {
+		sc.expiry = make([]int32, n)
+	}
+	return sc.expiry[:n]
+}

@@ -30,6 +30,10 @@ import (
 // (internal/study does this), and never share one across concurrent runs.
 type Protocol interface {
 	// Run executes the process on d from source and reports the result.
+	// The call is scratch-aware through opts: a caller running many
+	// sequential trials sets opts.Scratch once (internal/study gives each
+	// worker its own) and every engine reuses those buffers instead of
+	// allocating per trial; results are identical either way.
 	Run(d dyngraph.Dynamic, source int, opts flood.Opts) flood.Result
 }
 

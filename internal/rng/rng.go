@@ -30,6 +30,12 @@ func New(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// Reseed re-initializes the generator in place to the stream New(seed)
+// would produce, without allocating. Hot paths that need many short-lived
+// derived streams (per-node, per-epoch sampling in dyngraph.Subsample)
+// keep one RNG value and Reseed it instead of calling New per draw.
+func (r *RNG) Reseed(seed uint64) { r.state = seed }
+
 // mix64 is the SplitMix64 output function.
 func mix64(z uint64) uint64 {
 	z ^= z >> 30

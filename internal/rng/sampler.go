@@ -135,18 +135,30 @@ func (r *RNG) Categorical(w []float64) int {
 // unspecified order. It panics if k > n or k < 0. It uses Floyd's algorithm,
 // costing O(k) expected time and O(k) space regardless of n.
 func (r *RNG) SampleDistinct(n, k int) []int {
+	return r.SampleDistinctInto(n, k, make([]int, 0, k))
+}
+
+// SampleDistinctInto is SampleDistinct appending into dst, for hot loops
+// that reuse one buffer across many draws (gossip fan-out selection every
+// step of every trial). It consumes exactly the random stream of
+// SampleDistinct — the two are interchangeable without perturbing any
+// seeded experiment — and allocates nothing when dst has capacity k.
+// Duplicate detection scans the appended prefix, which beats a map for the
+// small k of gossip protocols.
+func (r *RNG) SampleDistinctInto(n, k int, dst []int) []int {
 	if k < 0 || k > n {
 		panic("rng: SampleDistinct needs 0 <= k <= n")
 	}
-	chosen := make(map[int]struct{}, k)
-	out := make([]int, 0, k)
+	base := len(dst)
 	for j := n - k; j < n; j++ {
 		t := r.Intn(j + 1)
-		if _, dup := chosen[t]; dup {
-			t = j
+		for _, prev := range dst[base:] {
+			if prev == t {
+				t = j
+				break
+			}
 		}
-		chosen[t] = struct{}{}
-		out = append(out, t)
+		dst = append(dst, t)
 	}
-	return out
+	return dst
 }

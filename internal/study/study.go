@@ -10,7 +10,9 @@
 // protocol seed per trial from its master Seed via rng.Seed, builds a
 // fresh model and a fresh protocol instance for every trial, and returns
 // results in trial order — so equal Studies yield identical Cells for any
-// Workers value.
+// Workers value. Buffers are another matter: each worker owns one
+// flood.Scratch reused by every trial it runs, so a 10k-trial cell pays
+// the engine's allocation cost once per worker, not once per trial.
 //
 // On top of the single-cell engine sits the declarative sweep layer
 // (sweep.go, checkpoint.go, report.go): a Sweep declares a whole
@@ -171,6 +173,10 @@ type Factory func(trial int) (d dyngraph.Dynamic, p protocol.Protocol, source in
 
 // TrialsOpts configures a factory-level trial run.
 type TrialsOpts struct {
+	// Opts configures each execution. Trials gives every worker a private
+	// flood.Scratch, overriding Opts.Scratch: one worker's buffers serve
+	// all its trials instead of being reallocated per trial, and a
+	// caller-supplied scratch shared across workers would race.
 	Opts flood.Opts
 	// Workers bounds the number of concurrent trials; 0 means GOMAXPROCS.
 	Workers int
@@ -179,7 +185,9 @@ type TrialsOpts struct {
 // Trials runs `trials` independent executions in a bounded worker pool and
 // returns per-trial results in trial order. It is the factory-level core
 // under Run, for experiments whose models are built by hand rather than
-// registered (custom chains, wrapped instances).
+// registered (custom chains, wrapped instances). Results are identical for
+// any Workers value: engines guarantee results never depend on the scratch
+// state each worker carries across its trials.
 func Trials(factory Factory, trials int, opts TrialsOpts) []flood.Result {
 	if trials <= 0 {
 		return nil
@@ -199,9 +207,11 @@ func Trials(factory Factory, trials int, opts TrialsOpts) []flood.Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wopts := opts.Opts
+			wopts.Scratch = flood.NewScratch()
 			for trial := range work {
 				d, p, source := factory(trial)
-				results[trial] = p.Run(d, source, opts.Opts)
+				results[trial] = p.Run(d, source, wopts)
 			}
 		}()
 	}

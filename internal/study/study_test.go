@@ -28,27 +28,36 @@ func baseStudy() study.Study {
 	}
 }
 
-// TestRunDeterministicAcrossWorkers pins the reproducibility contract:
-// the same Study yields identical per-trial results and summaries for any
-// Workers value.
+// TestRunDeterministicAcrossWorkers pins the reproducibility contract for
+// every registered protocol: the same Study yields identical per-trial
+// results and summaries for any Workers value. Since each worker reuses
+// one flood.Scratch across all its trials, this also pins that results
+// never depend on how trials are packed onto warm scratches.
 func TestRunDeterministicAcrossWorkers(t *testing.T) {
-	var cells []study.Cell
-	for _, workers := range []int{1, 2, 7} {
-		s := baseStudy()
-		s.Workers = workers
-		cell, err := study.Run(s)
+	for _, ptext := range []string{"flood", "push:k=2", "pull", "pushpull:k=1", "parsimonious:active=8"} {
+		pspec, err := protocol.Parse(ptext)
 		if err != nil {
 			t.Fatal(err)
 		}
-		cells = append(cells, cell)
-	}
-	for i := 1; i < len(cells); i++ {
-		if !reflect.DeepEqual(cells[0], cells[i]) {
-			t.Fatalf("cells differ across worker counts:\n%+v\nvs\n%+v", cells[0], cells[i])
+		var cells []study.Cell
+		for _, workers := range []int{1, 2, 7} {
+			s := baseStudy()
+			s.Protocol = pspec
+			s.Workers = workers
+			cell, err := study.Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells = append(cells, cell)
 		}
-	}
-	if cells[0].Times.N+cells[0].Incomplete != 8 {
-		t.Fatalf("summary does not account for all trials: %+v", cells[0])
+		for i := 1; i < len(cells); i++ {
+			if !reflect.DeepEqual(cells[0], cells[i]) {
+				t.Fatalf("%s: cells differ across worker counts:\n%+v\nvs\n%+v", ptext, cells[0], cells[i])
+			}
+		}
+		if cells[0].Times.N+cells[0].Incomplete != 8 {
+			t.Fatalf("%s: summary does not account for all trials: %+v", ptext, cells[0])
+		}
 	}
 }
 

@@ -1,0 +1,103 @@
+package study_test
+
+// Direct tests of study.WorstSource — the paper's F(G) = max_s F(G, s)
+// scan — on a randomized fixed-seed model: determinism for any Workers
+// value, and agreement with a brute-force per-source loop that bypasses
+// the Trials pool entirely.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dyngraph"
+	"repro/internal/flood"
+	"repro/internal/model"
+	_ "repro/internal/model/all"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/study"
+)
+
+// worstSourceFixture is a small sparse edge-MEG studied from several
+// sources with per-(trial, source) derived seeds, as the SourceFactory
+// contract requires.
+func worstSourceFixture() (factory study.SourceFactory, sources []int, trials int, opts study.TrialsOpts) {
+	megSpec := model.New("edgemeg").WithInt("n", 48).WithFloat("p", 0.01).WithFloat("q", 0.19)
+	factory = func(trial, source int) (dyngraph.Dynamic, protocol.Protocol) {
+		seed := rng.Seed(99, uint64(trial), uint64(source))
+		return model.MustBuild(megSpec, seed), protocol.Flooding()
+	}
+	return factory, []int{0, 17, 31}, 6, study.TrialsOpts{Opts: flood.Opts{MaxSteps: 1 << 14}}
+}
+
+func TestWorstSourceDeterministicAcrossWorkers(t *testing.T) {
+	factory, sources, trials, opts := worstSourceFixture()
+	type outcome struct {
+		medians []float64
+		worst   int
+	}
+	var outcomes []outcome
+	for _, workers := range []int{1, 2, 5} {
+		o := opts
+		o.Workers = workers
+		medians, worst := study.WorstSource(factory, sources, trials, o)
+		outcomes = append(outcomes, outcome{medians, worst})
+	}
+	for i := 1; i < len(outcomes); i++ {
+		if !reflect.DeepEqual(outcomes[0], outcomes[i]) {
+			t.Fatalf("WorstSource differs across worker counts:\n%+v\nvs\n%+v",
+				outcomes[0], outcomes[i])
+		}
+	}
+}
+
+func TestWorstSourceMatchesBruteForce(t *testing.T) {
+	factory, sources, trials, opts := worstSourceFixture()
+	gotMedians, gotWorst := study.WorstSource(factory, sources, trials, opts)
+
+	// Brute force: per source, run every trial sequentially and take the
+	// median of completed times, NaN when all fail; worst is the first NaN
+	// source, else the max-median index (first on ties).
+	wantMedians := make([]float64, len(sources))
+	for si, src := range sources {
+		var times []float64
+		failed := 0
+		for trial := 0; trial < trials; trial++ {
+			d, p := factory(trial, src)
+			res := p.Run(d, src, opts.Opts)
+			if res.Completed {
+				times = append(times, float64(res.Time))
+			} else {
+				failed++
+			}
+		}
+		if failed == trials {
+			wantMedians[si] = math.NaN()
+		} else {
+			wantMedians[si] = stats.Median(times)
+		}
+	}
+	wantWorst := 0
+	for si, m := range wantMedians {
+		if math.IsNaN(m) {
+			wantWorst = si
+			break
+		}
+		if m > wantMedians[wantWorst] {
+			wantWorst = si
+		}
+	}
+
+	if !reflect.DeepEqual(gotMedians, wantMedians) || gotWorst != wantWorst {
+		t.Fatalf("WorstSource = (%v, %d), brute force = (%v, %d)",
+			gotMedians, gotWorst, wantMedians, wantWorst)
+	}
+	// The fixture must actually exercise completed runs from every source.
+	for si, m := range gotMedians {
+		if math.IsNaN(m) || m <= 0 {
+			t.Fatalf("fixture source %d yielded median %v; pick parameters with completing floods", sources[si], m)
+		}
+	}
+}
