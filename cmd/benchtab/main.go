@@ -29,6 +29,10 @@ func main() {
 	workers := flag.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS)")
 	jsonBench := flag.Bool("json", false, "run the spreading-core microbenchmark suite and write a machine-readable perf record instead of experiment tables")
 	jsonOut := flag.String("json-out", "", "output path for -json (default BENCH_<YYYY-MM-DD>.json)")
+	baseline := flag.String("baseline", "", "with -json: committed BENCH_<date>.json to gate against; exits nonzero if the baseline row regressed")
+	baselineRow := flag.String("baseline-row", "flood/static-torus/engine-only",
+		"row compared against -baseline (must be mode-independent: same workload under -quick and full)")
+	baselineSlack := flag.Float64("baseline-slack", 25, "percent slowdown tolerated by -baseline before failing")
 	flag.Parse()
 
 	if *list {
@@ -62,6 +66,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "benchtab: wrote", path)
+		if *baseline != "" {
+			rec, err := bench.ReadMicroRecord(path)
+			if err == nil {
+				var base bench.MicroRecord
+				base, err = bench.ReadMicroRecord(*baseline)
+				if err == nil {
+					err = bench.CheckRegression(rec, base, *baselineRow, *baselineSlack)
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchtab: %s within %.0f%% of %s\n",
+				*baselineRow, *baselineSlack, *baseline)
+		}
 		return
 	}
 

@@ -5,10 +5,10 @@
 // paper instantiates it on — edge-MEGs, node-MEGs, the random waypoint and
 // random walk mobility models, and random paths over graphs.
 //
-// # Simulation API (v5)
+// # Simulation API (v6)
 //
 // The core abstraction is dyngraph.Dynamic — N, Step, ForEachNeighbor —
-// with three optional batch extensions that hot paths consume when a
+// with four optional batch extensions that hot paths consume when a
 // model offers them:
 //
 //   - dyngraph.Batcher exposes the whole current snapshot as a flat
@@ -24,13 +24,37 @@
 //     (AppendNeighbors), for consumers that touch few nodes per step
 //     (random walkers, pull gossip, push subsampling). The per-node
 //     protocol engines hoist the interface check out of their hot loops.
+//   - dyngraph.DeltaBatcher (v6) exposes the churn of the most recent
+//     Step as flat born/died batches (AppendDeltas) — O(n) per step in
+//     the paper's sparse regime p = c/n, versus the Θ(n) edges of the
+//     snapshot itself. The edge-MEG simulators (sparse, dense,
+//     generalized — so also the four-state chain), Static and trace
+//     Replay implement it natively from their own step logic;
+//     dyngraph.NewDeltifier adapts any other model by diffing consecutive
+//     snapshots. Consumers seed a persistent dyngraph.Adjacency from one
+//     snapshot batch and Apply the deltas, maintaining the current graph
+//     in O(churn) per step.
+//
+// Two engines consume the delta stream directly through a scratch-held
+// Adjacency: flood.Run runs an incremental active-set engine (scan only
+// informed nodes that may still reach someone; re-activate the informed
+// endpoints of born edges), and flood.Parsimonious reads its
+// transmitters' neighborhoods from the store. The order-sensitive
+// engines — pull, push–pull, random walks, whose random draws index into
+// neighbor lists — win model-side instead: the edge-MEG simulators keep
+// their per-node lists live incrementally in rebuild-identical order, so
+// fixed-seed trajectories are unchanged while the O(m) per-step rebuild
+// disappears. The opt-in edgemeg fastchurn parameter further replaces
+// the death sweep with geometric skipping (same law, different stream),
+// making the whole model step O(churn).
 //
 // The v5 spreading core underneath is allocation-free once warm: informed
 // sets are word-packed bitsets (internal/bitset) and all per-run working
 // state lives in a reusable flood.Scratch threaded through flood.Opts —
 // internal/study gives each worker one for all its trials, and `benchtab
-// -json` records the resulting perf trajectory machine-readably (see the
-// README's Performance section).
+// -json` records the resulting perf trajectory machine-readably, gated in
+// CI against the committed BENCH_<date>.json baseline (see the README's
+// Performance section).
 //
 // The package-level dyngraph.AppendEdges / dyngraph.AppendNeighbors fall
 // back to ForEachNeighbor adapters for models implementing neither, so

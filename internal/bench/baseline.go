@@ -1,0 +1,66 @@
+package bench
+
+// The perf-trajectory gate behind `benchtab -baseline`: every PR commits a
+// BENCH_<date>.json record (the full suite), and CI re-runs the quick
+// suite and compares the one row whose workload is identical in both
+// modes — the engine-only micro — against the committed record. The check
+// is a smoke gate, not a precision benchmark: the slack absorbs
+// machine-to-machine variance, while a real engine regression (an O(m)
+// rescan sneaking back into the hot loop) overshoots any plausible slack.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReadMicroRecord loads a BENCH_<date>.json document.
+func ReadMicroRecord(path string) (MicroRecord, error) {
+	var rec MicroRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, fmt.Errorf("bench: reading baseline: %w", err)
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("bench: parsing baseline %s: %w", path, err)
+	}
+	if rec.Schema != "repro-bench/v1" {
+		return rec, fmt.Errorf("bench: baseline %s has schema %q, want repro-bench/v1", path, rec.Schema)
+	}
+	return rec, nil
+}
+
+// findRow returns the named benchmark row of rec.
+func findRow(rec MicroRecord, name string) (MicroResult, error) {
+	for _, r := range rec.Benchmarks {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return MicroResult{}, fmt.Errorf("bench: row %q not in record (have %d rows)", name, len(rec.Benchmarks))
+}
+
+// CheckRegression compares the named row of a fresh record against the
+// committed baseline: the run fails if the row allocates at all (the
+// zero-alloc engine pin) or if its ns/op exceeds the baseline by more
+// than slackPct percent. A faster row always passes — the gate only has a
+// ceiling.
+func CheckRegression(rec, baseline MicroRecord, row string, slackPct float64) error {
+	got, err := findRow(rec, row)
+	if err != nil {
+		return err
+	}
+	want, err := findRow(baseline, row)
+	if err != nil {
+		return fmt.Errorf("%w (regenerate the committed baseline?)", err)
+	}
+	if got.AllocsPerOp != 0 {
+		return fmt.Errorf("bench: %s allocates %d/op, want 0", row, got.AllocsPerOp)
+	}
+	limit := want.NsPerOp * (1 + slackPct/100)
+	if got.NsPerOp > limit {
+		return fmt.Errorf("bench: %s regressed: %.0f ns/op vs baseline %.0f ns/op (+%.0f%% > %.0f%% slack)",
+			row, got.NsPerOp, want.NsPerOp, 100*(got.NsPerOp/want.NsPerOp-1), slackPct)
+	}
+	return nil
+}

@@ -22,10 +22,12 @@ import (
 	"time"
 
 	"repro/internal/dyngraph"
+	"repro/internal/dynwalk"
 	"repro/internal/flood"
 	"repro/internal/graph"
 	"repro/internal/model"
 	"repro/internal/protocol"
+	"repro/internal/rng"
 )
 
 // MicroResult is one benchmark row of the perf record.
@@ -72,18 +74,48 @@ func (m memberScanOnly) AppendNeighbors(i int, dst []int32) []int32 {
 	return dyngraph.AppendNeighbors(m.d, i, dst)
 }
 
+// batchScanOnly hides DeltaBatcher while keeping the flat batch view,
+// forcing the flooding engine onto the PR 4 full-snapshot edge scan — the
+// before side of the delta-vs-batch rows.
+type batchScanOnly struct{ d dyngraph.Dynamic }
+
+func (m batchScanOnly) N() int                                { return m.d.N() }
+func (m batchScanOnly) Step()                                 { m.d.Step() }
+func (m batchScanOnly) ForEachNeighbor(i int, fn func(j int)) { m.d.ForEachNeighbor(i, fn) }
+func (m batchScanOnly) AppendEdges(dst []dyngraph.Edge) []dyngraph.Edge {
+	return dyngraph.AppendEdges(m.d, dst)
+}
+
 // floodMicro measures one flood trial per iteration: model built fresh
-// (trials never reuse model state), scratch warm across iterations.
-func floodMicro(cfg Config, spec model.Spec, wrap bool) func(b *testing.B) {
+// (trials never reuse model state), scratch warm across iterations. A
+// non-nil wrap narrows the model's interface surface to steer engine
+// dispatch.
+func floodMicro(cfg Config, spec model.Spec, wrap func(dyngraph.Dynamic) dyngraph.Dynamic) func(b *testing.B) {
 	return func(b *testing.B) {
 		opts := flood.Opts{MaxSteps: 1 << 17, Scratch: flood.NewScratch()}
 		for i := 0; i < b.N; i++ {
 			d := model.MustBuild(spec, cfg.Seed)
-			if wrap {
-				d = memberScanOnly{d}
+			if wrap != nil {
+				d = wrap(d)
 			}
 			if res := flood.Run(d, 0, opts); !res.Completed {
 				b.Fatal("flood did not complete")
+			}
+		}
+	}
+}
+
+// walkMicro measures a fixed-length random walk ON the model — the
+// workload whose per-step cost used to be dominated by the O(m) adjacency
+// rebuild that the walker's single neighbor read forced every step, and
+// that the live incremental adjacency reduces to O(churn).
+func walkMicro(cfg Config, spec model.Spec, steps int) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := model.MustBuild(spec, cfg.Seed)
+			w := dynwalk.NewWalker(d, 0, rng.New(cfg.Seed+3))
+			for s := 0; s < steps; s++ {
+				w.Step()
 			}
 		}
 	}
@@ -110,28 +142,60 @@ func protoMicro(cfg Config, mspec model.Spec, ptext string) func(b *testing.B) {
 // micros assembles the suite. Sizes mirror the root bench_test.go hot-loop
 // workloads (sparse edge-MEG ≈ stationary degree 2, waypoint, and a denser
 // edge-MEG ≈ degree 20 for the per-node protocols), reduced under -quick.
+//
+// The delta-vs-edge-scan pairs are the headline numbers of the
+// incremental-dynamics refactor: same model, same seed, same trajectory
+// (engine choice consumes no randomness) — one row consumes the per-step
+// churn (O(churn + frontier) engine work), the other rescans the full
+// snapshot (O(m) with a rank decode per alive edge per step). They run in
+// the paper's sparse stationary regime with long-lived edges (p = c/n,
+// q = 0.01, expected degree ≈ 2 — churn ≈ 2% of edges per step) on the
+// fastchurn simulator, so the whole step is O(churn) and the engine
+// difference is what the pair measures. The n = 65536 pair is a scale at
+// which the batch engine made benching impractical.
 func micros(cfg Config) []micro {
 	sparse := model.New("edgemeg").WithInt("n", 2048).
 		WithFloat("p", 0.0001).WithFloat("q", 0.0999)
+	sparse4k := model.New("edgemeg").WithInt("n", 4096).
+		WithFloat("p", 0.0000049).WithFloat("q", 0.01).WithBool("fastchurn", true)
+	sparse64k := model.New("edgemeg").WithInt("n", 65536).
+		WithFloat("p", 0.0000003).WithFloat("q", 0.01).WithBool("fastchurn", true)
+	walkSpec := model.New("edgemeg").WithInt("n", 2048).
+		WithFloat("p", 0.0000098).WithFloat("q", 0.01).WithBool("fastchurn", true)
 	waypoint := model.New("waypoint").WithInt("n", 512).
 		WithFloat("L", 45).WithFloat("r", 1).WithFloat("vmin", 1)
 	dense := model.New("edgemeg").WithInt("n", 512).
 		WithFloat("p", 0.004).WithFloat("q", 0.096)
+	walkSteps := 1 << 13
 	if cfg.Quick {
 		sparse = model.New("edgemeg").WithInt("n", 512).
 			WithFloat("p", 0.0004).WithFloat("q", 0.0996)
+		sparse4k = model.New("edgemeg").WithInt("n", 1024).
+			WithFloat("p", 0.0000196).WithFloat("q", 0.01).WithBool("fastchurn", true)
+		sparse64k = model.New("edgemeg").WithInt("n", 8192).
+			WithFloat("p", 0.0000024).WithFloat("q", 0.01).WithBool("fastchurn", true)
 		waypoint = model.New("waypoint").WithInt("n", 128).
 			WithFloat("L", 18).WithFloat("r", 1.5).WithFloat("vmin", 1)
 		dense = model.New("edgemeg").WithInt("n", 128).
 			WithFloat("p", 0.016).WithFloat("q", 0.084)
+		walkSteps = 1 << 11
 	}
+	forceBatch := func(d dyngraph.Dynamic) dyngraph.Dynamic { return batchScanOnly{d} }
+	forceMember := func(d dyngraph.Dynamic) dyngraph.Dynamic { return memberScanOnly{d} }
 	return []micro{
-		{"flood/edgemeg-sparse/edge-scan", floodMicro(cfg, sparse, false)},
-		{"flood/edgemeg-sparse/member-scan", floodMicro(cfg, sparse, true)},
-		{"flood/waypoint/edge-scan", floodMicro(cfg, waypoint, false)},
+		{"flood/edgemeg-sparse/delta-scan", floodMicro(cfg, sparse, nil)},
+		{"flood/edgemeg-sparse/edge-scan", floodMicro(cfg, sparse, forceBatch)},
+		{"flood/edgemeg-sparse/member-scan", floodMicro(cfg, sparse, forceMember)},
+		{"flood/edgemeg-sparse-4k/delta-scan", floodMicro(cfg, sparse4k, nil)},
+		{"flood/edgemeg-sparse-4k/edge-scan", floodMicro(cfg, sparse4k, forceBatch)},
+		{"flood/edgemeg-sparse-64k/delta-scan", floodMicro(cfg, sparse64k, nil)},
+		{"flood/edgemeg-sparse-64k/edge-scan", floodMicro(cfg, sparse64k, forceBatch)},
+		{"flood/waypoint/edge-scan", floodMicro(cfg, waypoint, nil)},
 		{"flood/static-torus/engine-only", func(b *testing.B) {
 			// Pure engine cost: the static model is stateless across runs,
-			// so nothing but the spreading core is measured.
+			// so nothing but the spreading core is measured (since the
+			// delta refactor, the incremental engine: per-run adjacency
+			// seeding + active-set sweeps over a churn-free graph).
 			d := dyngraph.NewStatic(graph.Torus(32, 32))
 			opts := flood.Opts{MaxSteps: 1 << 10, Scratch: flood.NewScratch()}
 			for i := 0; i < b.N; i++ {
@@ -140,6 +204,7 @@ func micros(cfg Config) []micro {
 				}
 			}
 		}},
+		{"walk/edgemeg-sparse/8k-steps", walkMicro(cfg, walkSpec, walkSteps)},
 		{"push/edgemeg-dense/k=2", protoMicro(cfg, dense, "push:k=2")},
 		{"pull/edgemeg-dense", protoMicro(cfg, dense, "pull")},
 		{"pushpull/edgemeg-dense/k=1", protoMicro(cfg, dense, "pushpull:k=1")},

@@ -1,0 +1,124 @@
+package bitset
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// Fuzz coverage for the word-level fused operations the spreading engines
+// lean on — Absorb (union + popcount + clear in one pass) and the
+// word-skipping iterators — with universes deliberately straddling word
+// boundaries, where the final word's slack bits hide off-by-one bugs.
+// Memberships are driven by raw fuzz bytes: byte k toggles element
+// (k*7+3) % n, so adjacent corpus entries exercise different words.
+
+func buildSets(n int, data []byte) (s, t Set) {
+	s, t = New(n), New(n)
+	for k, b := range data {
+		i := (k*7 + 3) % n
+		if b&1 != 0 {
+			s.Set(i)
+		}
+		if b&2 != 0 {
+			t.Set(i)
+		}
+		if b&4 != 0 {
+			s.Unset(i)
+		}
+	}
+	return s, t
+}
+
+func FuzzSetOps(f *testing.F) {
+	f.Add(1, []byte{})
+	f.Add(63, []byte{1, 2, 3})
+	f.Add(64, []byte{0xff, 0x01})
+	f.Add(65, []byte{7, 7, 7, 7})
+	f.Add(130, []byte{1, 3, 5, 2, 4, 6})
+	f.Fuzz(func(t *testing.T, n int, data []byte) {
+		if n < 1 || n > 4096 {
+			t.Skip()
+		}
+		a, b := buildSets(n, data)
+
+		// Reference membership arrays.
+		am, bm := make([]bool, n), make([]bool, n)
+		for i := 0; i < n; i++ {
+			am[i], bm[i] = a.Get(i), b.Get(i)
+		}
+
+		// Count matches the reference popcount.
+		wantCount := 0
+		for _, on := range am {
+			if on {
+				wantCount++
+			}
+		}
+		if got := a.Count(); got != wantCount {
+			t.Fatalf("n=%d: Count = %d, reference %d", n, got, wantCount)
+		}
+
+		// AppendMembers and AppendUnset partition the universe, ascending,
+		// with nothing from the final word's slack [n, 64*ceil(n/64)).
+		members := a.AppendMembers(nil)
+		unset := a.AppendUnset(nil)
+		if len(members)+len(unset) != n {
+			t.Fatalf("n=%d: %d members + %d unset != n", n, len(members), len(unset))
+		}
+		seen := make([]bool, n)
+		for _, lst := range [][]int32{members, unset} {
+			for k, i := range lst {
+				if int(i) < 0 || int(i) >= n {
+					t.Fatalf("n=%d: index %d out of universe", n, i)
+				}
+				if k > 0 && lst[k-1] >= i {
+					t.Fatalf("n=%d: iteration not ascending at %d", n, i)
+				}
+				seen[i] = true
+			}
+		}
+		for _, i := range members {
+			if !am[i] {
+				t.Fatalf("n=%d: AppendMembers reported non-member %d", n, i)
+			}
+		}
+		for _, i := range unset {
+			if am[i] {
+				t.Fatalf("n=%d: AppendUnset reported member %d", n, i)
+			}
+		}
+
+		// Absorb == union + popcount + clear, in one pass.
+		gotSize := a.Absorb(&b)
+		wantSize := 0
+		for i := 0; i < n; i++ {
+			union := am[i] || bm[i]
+			if union {
+				wantSize++
+			}
+			if a.Get(i) != union {
+				t.Fatalf("n=%d: after Absorb, a.Get(%d) = %v, want %v", n, i, a.Get(i), union)
+			}
+			if b.Get(i) {
+				t.Fatalf("n=%d: Absorb left bit %d set in the absorbed set", n, i)
+			}
+		}
+		if gotSize != wantSize {
+			t.Fatalf("n=%d: Absorb returned %d, union has %d members", n, gotSize, wantSize)
+		}
+		if b.Count() != 0 {
+			t.Fatalf("n=%d: absorbed set has Count %d, want 0", n, b.Count())
+		}
+
+		// The final word carries no bits beyond the universe (the Get/Set
+		// contract engines rely on for Count and Absorb correctness).
+		if w := len(a.words); w > 0 {
+			if r := uint(n) & 63; r != 0 {
+				if slack := a.words[w-1] &^ ((1 << r) - 1); slack != 0 {
+					t.Fatalf("n=%d: %d slack bits set beyond the universe",
+						n, bits.OnesCount64(slack))
+				}
+			}
+		}
+	})
+}

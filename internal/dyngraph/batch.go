@@ -56,6 +56,15 @@ func AppendEdges(d Dynamic, dst []Edge) []Edge {
 	if b, ok := d.(Batcher); ok {
 		return b.AppendEdges(dst)
 	}
+	return appendEdgesViaCallback(d, dst)
+}
+
+// appendEdgesViaCallback adapts ForEachNeighbor. It lives outside
+// AppendEdges so that the closure capturing dst — which costs a heap cell
+// per call, even on paths that never reach it — is only materialized on
+// the callback path, keeping the Batcher path allocation-free for the
+// engine hot loops that seed scratch state through this helper.
+func appendEdgesViaCallback(d Dynamic, dst []Edge) []Edge {
 	n := d.N()
 	for i := 0; i < n; i++ {
 		d.ForEachNeighbor(i, func(j int) {

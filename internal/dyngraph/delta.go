@@ -1,0 +1,235 @@
+package dyngraph
+
+import "slices"
+
+// DeltaBatcher is the incremental sibling of Batcher: an optional extension
+// of Dynamic exposing the edge churn of the most recent Step as two flat
+// batches instead of forcing consumers to rescan the whole snapshot. In the
+// sparse regimes the paper cares about (p = c/n, stationary degree O(1))
+// the expected churn p·(missing) + q·(present) is O(n) per step while the
+// snapshot itself has Θ(n) edges that mostly do not change — and the
+// edge-MEG Markov steps already know exactly which pairs flipped, so the
+// deltas come out of the simulator for free.
+//
+// Consumers seed their view from a full snapshot (AppendEdges) once, then
+// after every Step apply the deltas to a persistent Adjacency, maintaining
+// the current graph in O(churn) per step instead of O(m).
+type DeltaBatcher interface {
+	// AppendDeltas appends the edges born (absent before the most recent
+	// Step, present after) to born and the edges that died (present before,
+	// absent after) to died, returning the extended slices. Before the
+	// first Step both batches are empty. Each edge appears at most once,
+	// normalized to U < V; born and died are disjoint; applying them to the
+	// pre-Step snapshot yields exactly the current snapshot. Order is
+	// unspecified but deterministic. Implementations must not retain the
+	// slices, and calls between two Steps are idempotent.
+	AppendDeltas(born, died []Edge) (b, d []Edge)
+}
+
+// Adjacency is a persistent neighbor store that consumers of DeltaBatcher
+// maintain across steps: per-node neighbor lists over a fixed universe,
+// built once from a snapshot batch and then updated in place from delta
+// batches — O(degree) per changed edge, so a step costs O(churn) instead
+// of the O(m) full rebuild a snapshot view pays. Reset reuses all backing
+// arrays, which is what lets flood.Scratch amortize the store across the
+// trials of a sweep.
+//
+// Neighbor order within a list is unspecified (removals swap with the
+// last entry), so Adjacency serves order-insensitive consumers — the
+// flooding and parsimonious engines, which treat neighborhoods as sets.
+// Engines whose random draws index into neighbor lists (pull, push–pull,
+// random walks) must keep reading the model's own neighbor view, whose
+// order is pinned by the fixed-seed equivalence tests.
+type Adjacency struct {
+	lists [][]int32
+	n     int
+}
+
+// Reset re-sizes the store for a universe of n nodes and empties every
+// list, reusing backing arrays whenever capacity allows.
+func (a *Adjacency) Reset(n int) {
+	if cap(a.lists) < n {
+		old := a.lists[:cap(a.lists)]
+		a.lists = make([][]int32, n)
+		copy(a.lists, old)
+	} else {
+		a.lists = a.lists[:n]
+	}
+	for i := range a.lists {
+		a.lists[i] = a.lists[i][:0]
+	}
+	a.n = n
+}
+
+// N returns the universe size.
+func (a *Adjacency) N() int { return a.n }
+
+// Degree returns the current degree of node i.
+func (a *Adjacency) Degree(i int) int { return len(a.lists[i]) }
+
+// Neighbors returns node i's current neighbor list. The slice aliases the
+// store and is invalidated by the next Add/Remove/Apply/Reset; callers
+// must not mutate it.
+func (a *Adjacency) Neighbors(i int) []int32 { return a.lists[i] }
+
+// AddEdge inserts the undirected edge {u, v}, which must not be present.
+func (a *Adjacency) AddEdge(u, v int32) {
+	a.lists[u] = append(a.lists[u], v)
+	a.lists[v] = append(a.lists[v], u)
+}
+
+// RemoveEdge deletes the undirected edge {u, v}, which must be present.
+// The removal swaps with the last entry, perturbing neighbor order.
+func (a *Adjacency) RemoveEdge(u, v int32) {
+	removeSwap(a.lists, u, v)
+	removeSwap(a.lists, v, u)
+}
+
+func removeSwap(lists [][]int32, u, v int32) {
+	l := lists[u]
+	for i, w := range l {
+		if w == v {
+			last := len(l) - 1
+			l[i] = l[last]
+			lists[u] = l[:last]
+			return
+		}
+	}
+	panic("dyngraph: Adjacency.RemoveEdge of an absent edge")
+}
+
+// AddEdges inserts every edge of the batch — the seeding pass that turns a
+// fresh (or Reset) store into the current snapshot.
+func (a *Adjacency) AddEdges(edges []Edge) {
+	for _, e := range edges {
+		a.AddEdge(e.U, e.V)
+	}
+}
+
+// Apply updates the store by one step of churn: every died edge is removed
+// and every born edge inserted. Batches must be consistent with the stored
+// graph (deltas from the model whose snapshot seeded the store).
+func (a *Adjacency) Apply(born, died []Edge) {
+	for _, e := range died {
+		a.RemoveEdge(e.U, e.V)
+	}
+	for _, e := range born {
+		a.AddEdge(e.U, e.V)
+	}
+}
+
+// AppendEdges appends the stored graph's edges to dst, each once with
+// U < V, in an unspecified deterministic order. It exists so tests can
+// compare a delta-maintained store against a fresh snapshot batch.
+func (a *Adjacency) AppendEdges(dst []Edge) []Edge {
+	for u, l := range a.lists {
+		for _, v := range l {
+			if int32(u) < v {
+				dst = append(dst, Edge{U: int32(u), V: v})
+			}
+		}
+	}
+	return dst
+}
+
+// compareEdges orders edges lexicographically by (U, V).
+func compareEdges(a, b Edge) int {
+	if a.U != b.U {
+		return int(a.U) - int(b.U)
+	}
+	return int(a.V) - int(b.V)
+}
+
+// diffSortedEdges merges two (U, V)-sorted edge batches, appending edges
+// only in cur to born and edges only in prev to died.
+func diffSortedEdges(prev, cur, born, died []Edge) (b, d []Edge) {
+	i, j := 0, 0
+	for i < len(prev) && j < len(cur) {
+		switch c := compareEdges(prev[i], cur[j]); {
+		case c == 0:
+			i++
+			j++
+		case c < 0:
+			died = append(died, prev[i])
+			i++
+		default:
+			born = append(born, cur[j])
+			j++
+		}
+	}
+	born = append(born, cur[j:]...)
+	died = append(died, prev[i:]...)
+	return born, died
+}
+
+// Deltifier adapts any Dynamic into a DeltaBatcher by diffing consecutive
+// snapshot batches — the generic fallback for models whose step logic does
+// not know its own churn (mobility models, whose edges follow node motion,
+// and recorded traces replayed without delta support). The diff sorts and
+// merges two full snapshots, so Step costs O(m log m): the adapter buys
+// the delta API and O(churn) downstream consumption, not a cheaper model
+// step. Models with edge-shaped state should implement DeltaBatcher
+// natively instead.
+//
+// The wrapper owns the clock: callers must Step the Deltifier, never the
+// wrapped model directly. Snapshot reads (ForEachNeighbor, batch and
+// per-node views) are forwarded unchanged.
+type Deltifier struct {
+	d          Dynamic
+	prev, cur  []Edge // (U, V)-sorted snapshots before and after the last Step
+	stepped    bool
+	downstream NeighborLister // d's native per-node view, if any
+}
+
+// NewDeltifier wraps d, capturing its current snapshot as the base the
+// first Step's deltas are computed against.
+func NewDeltifier(d Dynamic) *Deltifier {
+	df := &Deltifier{d: d}
+	df.downstream, _ = d.(NeighborLister)
+	df.cur = sortEdges(AppendEdges(d, df.cur[:0]))
+	return df
+}
+
+func sortEdges(edges []Edge) []Edge {
+	slices.SortFunc(edges, compareEdges)
+	return edges
+}
+
+// N implements Dynamic.
+func (df *Deltifier) N() int { return df.d.N() }
+
+// Step implements Dynamic: the wrapped model advances, and the sorted
+// snapshots before and after are retained for AppendDeltas.
+func (df *Deltifier) Step() {
+	df.d.Step()
+	df.prev, df.cur = df.cur, df.prev[:0]
+	df.cur = sortEdges(AppendEdges(df.d, df.cur))
+	df.stepped = true
+}
+
+// ForEachNeighbor implements Dynamic.
+func (df *Deltifier) ForEachNeighbor(i int, fn func(j int)) {
+	df.d.ForEachNeighbor(i, fn)
+}
+
+// AppendEdges implements Batcher, serving the retained sorted snapshot.
+func (df *Deltifier) AppendEdges(dst []Edge) []Edge {
+	return append(dst, df.cur...)
+}
+
+// AppendNeighbors implements NeighborLister, forwarding to the wrapped
+// model's native view when it has one.
+func (df *Deltifier) AppendNeighbors(i int, dst []int32) []int32 {
+	if df.downstream != nil {
+		return df.downstream.AppendNeighbors(i, dst)
+	}
+	return AppendNeighbors(df.d, i, dst)
+}
+
+// AppendDeltas implements DeltaBatcher by merging the retained snapshots.
+func (df *Deltifier) AppendDeltas(born, died []Edge) (b, d []Edge) {
+	if !df.stepped {
+		return born, died
+	}
+	return diffSortedEdges(df.prev, df.cur, born, died)
+}

@@ -63,6 +63,13 @@ func (s *Static) AppendNeighbors(i int, dst []int32) []int32 {
 	return append(dst, s.g.Neighbors(i)...)
 }
 
+// AppendDeltas implements DeltaBatcher: a static snapshot never churns, so
+// delta consumers pay exactly nothing per step — the degenerate best case
+// of the incremental dynamics API.
+func (s *Static) AppendDeltas(born, died []Edge) (b, d []Edge) {
+	return born, died
+}
+
 // Graph returns the wrapped static graph.
 func (s *Static) Graph() *graph.Graph { return s.g }
 

@@ -62,7 +62,7 @@ func (tr *Trace) EdgesAt(t int) []Edge { return tr.steps[t] }
 // past the final snapshot keeps the last snapshot forever (the trace is
 // "frozen" at its end).
 func (tr *Trace) Replay() *Replay {
-	r := &Replay{trace: tr}
+	r := &Replay{trace: tr, deltaT: -1}
 	r.build()
 	return r
 }
@@ -72,6 +72,10 @@ type Replay struct {
 	trace *Trace
 	t     int
 	adj   [][]int32
+	// prevSorted/curSorted are lazily maintained sorted snapshot copies
+	// backing AppendDeltas; deltaT remembers which step they describe.
+	prevSorted, curSorted []Edge
+	deltaT                int
 }
 
 func (r *Replay) build() {
@@ -124,6 +128,30 @@ func (r *Replay) AppendEdges(dst []Edge) []Edge {
 // AppendNeighbors implements NeighborLister.
 func (r *Replay) AppendNeighbors(i int, dst []int32) []int32 {
 	return append(dst, r.adj[i]...)
+}
+
+// AppendDeltas implements DeltaBatcher by diffing the recorded previous and
+// current snapshots. A trace stores whole snapshots, not churn, so the diff
+// sorts two copies on the first call after a Step (O(m log m), cached until
+// the next Step); past the end of the trace the snapshot is frozen and the
+// deltas are empty.
+func (r *Replay) AppendDeltas(born, died []Edge) (b, d []Edge) {
+	if r.t == 0 {
+		return born, died
+	}
+	prevIdx, curIdx := r.t-1, r.t
+	if last := len(r.trace.steps) - 1; curIdx > last {
+		curIdx = last
+	}
+	if prevIdx >= curIdx {
+		return born, died // frozen: both clamp to the final snapshot
+	}
+	if r.deltaT != r.t {
+		r.prevSorted = sortEdges(append(r.prevSorted[:0], r.trace.steps[prevIdx]...))
+		r.curSorted = sortEdges(append(r.curSorted[:0], r.trace.steps[curIdx]...))
+		r.deltaT = r.t
+	}
+	return diffSortedEdges(r.prevSorted, r.curSorted, born, died)
 }
 
 // traceMagic identifies the binary trace format.

@@ -19,6 +19,7 @@ import (
 // clock: Step advances both the token and the graph.
 type Walker struct {
 	d       dyngraph.Dynamic
+	lister  dyngraph.NeighborLister // d's native per-node view, if any
 	r       *rng.RNG
 	pos     int
 	scratch []int32
@@ -29,7 +30,9 @@ func NewWalker(d dyngraph.Dynamic, start int, r *rng.RNG) *Walker {
 	if start < 0 || start >= d.N() {
 		panic("dynwalk: start out of range")
 	}
-	return &Walker{d: d, r: r, pos: start}
+	w := &Walker{d: d, r: r, pos: start}
+	w.lister, _ = d.(dyngraph.NeighborLister)
+	return w
 }
 
 // Pos returns the token's current node.
@@ -37,10 +40,22 @@ func (w *Walker) Pos() int { return w.pos }
 
 // Step moves the token to a uniform current neighbor (staying put if the
 // node is isolated in this snapshot), then advances the dynamic graph.
-// The neighbor set is read through the per-node batch view — a walker
-// touches one node per step, so whole-snapshot batching would be wasteful.
+//
+// The neighbor set is read through the model's per-node batch view (the
+// interface check is hoisted to construction) — a walker touches one node
+// per step, so whole-snapshot batching would be wasteful, and the move
+// draw indexes into the neighbor list, so walks are pinned to the model's
+// neighbor order and must not read a delta-maintained engine store.
+// The incremental-dynamics refactor speeds walks up model-side: edge-MEG
+// simulators now serve this view from neighbor lists maintained in
+// O(churn) per step (in rebuild-identical order), so a long walk on a
+// sparse MEG no longer pays an O(m) adjacency rebuild every step.
 func (w *Walker) Step() {
-	w.scratch = dyngraph.AppendNeighbors(w.d, w.pos, w.scratch[:0])
+	if w.lister != nil {
+		w.scratch = w.lister.AppendNeighbors(w.pos, w.scratch[:0])
+	} else {
+		w.scratch = dyngraph.AppendNeighbors(w.d, w.pos, w.scratch[:0])
+	}
 	if len(w.scratch) > 0 {
 		w.pos = int(w.scratch[w.r.Intn(len(w.scratch))])
 	}

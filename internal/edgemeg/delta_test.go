@@ -1,0 +1,212 @@
+package edgemeg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dyngraph"
+	"repro/internal/rng"
+)
+
+// The incremental adjacency maintenance must be invisible: a simulator
+// whose neighbor lists went live early (and were then maintained in place
+// across hundreds of steps of churn) must expose neighbor sequences
+// byte-identical to a same-seed simulator that rebuilds lazily at the
+// checkpoint. Neighbor ORDER matters, not just set equality — pull,
+// push–pull and random-walk draws index into these lists, so any order
+// drift would silently change fixed-seed trajectories.
+
+// neighborMatrix snapshots every node's AppendNeighbors output.
+func neighborMatrix(d dyngraph.Dynamic, n int) [][]int32 {
+	out := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		out[i] = dyngraph.AppendNeighbors(d, i, nil)
+	}
+	return out
+}
+
+func matricesEqual(a, b [][]int32) (int, bool) {
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return i, false
+		}
+		for k := range a[i] {
+			if a[i][k] != b[i][k] {
+				return i, false
+			}
+		}
+	}
+	return 0, true
+}
+
+func testIncrementalMatchesRebuild(t *testing.T, build func(seed uint64) dyngraph.Dynamic, n int) {
+	t.Helper()
+	const steps = 220
+	for _, seed := range []uint64{1, 7, 1234} {
+		live := build(seed)
+		neighborMatrix(live, n) // force the adjacency live at t = 0
+		fresh := func(upto int) dyngraph.Dynamic {
+			d := build(seed)
+			for s := 0; s < upto; s++ {
+				d.Step() // never accessed: adjacency stays unbuilt
+			}
+			return d
+		}
+		checkpoints := map[int]bool{1: true, 2: true, 13: true, 100: true, steps: true}
+		for s := 1; s <= steps; s++ {
+			live.Step()
+			got := neighborMatrix(live, n) // maintained incrementally
+			if !checkpoints[s] {
+				continue
+			}
+			want := neighborMatrix(fresh(s), n) // built by one lazy rebuild
+			if node, ok := matricesEqual(got, want); !ok {
+				t.Fatalf("seed %d step %d node %d: incremental %v != rebuilt %v",
+					seed, s, node, got[node], want[node])
+			}
+		}
+	}
+}
+
+func TestSparseIncrementalAdjacencyMatchesRebuild(t *testing.T) {
+	const n = 48
+	testIncrementalMatchesRebuild(t, func(seed uint64) dyngraph.Dynamic {
+		return NewSparse(Params{N: n, P: 0.02, Q: 0.2}, InitStationary, rng.New(seed))
+	}, n)
+}
+
+func TestSparseChurnIncrementalAdjacencyMatchesRebuild(t *testing.T) {
+	const n = 48
+	testIncrementalMatchesRebuild(t, func(seed uint64) dyngraph.Dynamic {
+		return NewSparseChurn(Params{N: n, P: 0.02, Q: 0.2}, InitStationary, rng.New(seed))
+	}, n)
+}
+
+// TestSparseChurnMatchesSweepMoments pins the fastchurn death sampler to
+// the sweep sampler's law: time-averaged edge counts and their Binomial
+// fluctuations agree (the geometric-skipping deaths are the same
+// product-Bernoulli(q) law consumed through fewer draws), and the extreme
+// rates behave exactly.
+func TestSparseChurnMatchesSweepMoments(t *testing.T) {
+	params := Params{N: 40, P: 0.02, Q: 0.08} // alpha = 0.2
+	sweep := NewSparse(params, InitStationary, rng.New(11))
+	churn := NewSparseChurn(params, InitStationary, rng.New(13))
+	var mSweep, mChurn, deaths, alive float64
+	const steps = 600
+	for step := 0; step < steps; step++ {
+		mSweep += float64(sweep.EdgeCount())
+		before := churn.EdgeCount()
+		mChurn += float64(before)
+		churn.Step()
+		sweep.Step()
+		_, died := churn.AppendDeltas(nil, nil)
+		deaths += float64(len(died))
+		alive += float64(before)
+	}
+	want := params.Alpha() * float64(pairCount(40))
+	for name, mean := range map[string]float64{"sweep": mSweep / steps, "fastchurn": mChurn / steps} {
+		if math.Abs(mean-want) > 0.08*want {
+			t.Fatalf("%s mean edges %v, want ~%v", name, mean, want)
+		}
+	}
+	// Per-step deaths average q per alive edge.
+	if got, want := deaths/alive, params.Q; math.Abs(got-want) > 0.15*want {
+		t.Fatalf("fastchurn death rate %v, want ~%v", got, want)
+	}
+
+	// Extremes: q = 1 kills every edge in one step; q = 0 kills none
+	// (starting full, no pair is dead before the step, so no births
+	// interfere in either case).
+	all := NewSparseChurn(Params{N: 20, P: 0.01, Q: 1}, InitFull, rng.New(3))
+	all.Step()
+	if all.EdgeCount() != 0 {
+		t.Fatalf("q=1 fastchurn left %d edges alive", all.EdgeCount())
+	}
+	none := NewSparseChurn(Params{N: 20, P: 0.01, Q: 0}, InitFull, rng.New(3))
+	none.Step()
+	if got, want := none.EdgeCount(), int(pairCount(20)); got != want {
+		t.Fatalf("q=0 fastchurn killed edges: %d alive, want %d", got, want)
+	}
+}
+
+func TestGeneralIncrementalAdjacencyMatchesRebuild(t *testing.T) {
+	const n = 32
+	testIncrementalMatchesRebuild(t, func(seed uint64) dyngraph.Dynamic {
+		g, err := NewFourState(FourStateParams{
+			N: n, WakeUp: 0.05, Rebound: 0.3, Calm: 0.3,
+			Drop: 0.4, Settle: 0.05, Detach: 0.2,
+		}, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}, n)
+}
+
+// TestSparseDeltasMatchSnapshots pins AppendDeltas against brute-force
+// snapshot diffs: born = cur \ prev, died = prev \ cur, disjoint, and
+// empty before the first Step.
+func TestSparseDeltasMatchSnapshots(t *testing.T) {
+	for _, dense := range []bool{false, true} {
+		params := Params{N: 40, P: 0.03, Q: 0.25}
+		var d dyngraph.Dynamic
+		if dense {
+			d = NewDense(params, InitStationary, rng.New(9))
+		} else {
+			d = NewSparse(params, InitStationary, rng.New(9))
+		}
+		db := d.(dyngraph.DeltaBatcher)
+		if born, died := db.AppendDeltas(nil, nil); len(born)+len(died) != 0 {
+			t.Fatalf("dense=%v: nonzero deltas before the first Step: +%v -%v", dense, born, died)
+		}
+		prev := edgeSet(dyngraph.AppendEdges(d, nil))
+		for s := 0; s < 150; s++ {
+			d.Step()
+			cur := edgeSet(dyngraph.AppendEdges(d, nil))
+			born, died := db.AppendDeltas(nil, nil)
+			// Idempotent between steps.
+			born2, died2 := db.AppendDeltas(nil, nil)
+			if len(born2) != len(born) || len(died2) != len(died) {
+				t.Fatalf("dense=%v step %d: AppendDeltas not idempotent", dense, s)
+			}
+			seen := map[dyngraph.Edge]bool{}
+			for _, e := range born {
+				if seen[e] || prev[e] || !cur[e] {
+					t.Fatalf("dense=%v step %d: bad born edge %v", dense, s, e)
+				}
+				seen[e] = true
+			}
+			for _, e := range died {
+				if seen[e] || !prev[e] || cur[e] {
+					t.Fatalf("dense=%v step %d: bad died edge %v", dense, s, e)
+				}
+				seen[e] = true
+			}
+			// Completeness: |prev Δ cur| == |born| + |died|.
+			diff := 0
+			for e := range prev {
+				if !cur[e] {
+					diff++
+				}
+			}
+			for e := range cur {
+				if !prev[e] {
+					diff++
+				}
+			}
+			if diff != len(born)+len(died) {
+				t.Fatalf("dense=%v step %d: %d churned edges, deltas report %d",
+					dense, s, diff, len(born)+len(died))
+			}
+			prev = cur
+		}
+	}
+}
+
+func edgeSet(edges []dyngraph.Edge) map[dyngraph.Edge]bool {
+	m := make(map[dyngraph.Edge]bool, len(edges))
+	for _, e := range edges {
+		m[e] = true
+	}
+	return m
+}

@@ -16,6 +16,9 @@ type Dense struct {
 	r      *rng.RNG
 	bits   []uint64 // one bit per pair, pairRank order
 	pairs  int64
+	// born and died record the edges that flipped in the most recent Step,
+	// backing dyngraph.DeltaBatcher; buffers are reused across steps.
+	born, died []dyngraph.Edge
 }
 
 // NewDense builds a dense simulator with the given initial distribution.
@@ -68,18 +71,28 @@ func (d *Dense) set(rank int64, on bool) {
 func (d *Dense) N() int { return d.params.N }
 
 // Step implements dyngraph.Dynamic: every edge flips according to its
-// two-state chain, independently.
+// two-state chain, independently. The sweep tracks the pair coordinates
+// alongside the rank, so each flip is recorded as a ready-made delta edge
+// without a rank inversion.
 func (d *Dense) Step() {
 	p, q := d.params.P, d.params.Q
-	for rank := int64(0); rank < d.pairs; rank++ {
-		if d.get(rank) {
-			if d.r.Bool(q) {
-				d.set(rank, false)
+	d.born, d.died = d.born[:0], d.died[:0]
+	n := d.params.N
+	rank := int64(0)
+	for u := 0; u < n-1; u++ {
+		for v := u + 1; v < n; v++ {
+			if d.get(rank) {
+				if d.r.Bool(q) {
+					d.set(rank, false)
+					d.died = append(d.died, dyngraph.Edge{U: int32(u), V: int32(v)})
+				}
+			} else {
+				if d.r.Bool(p) {
+					d.set(rank, true)
+					d.born = append(d.born, dyngraph.Edge{U: int32(u), V: int32(v)})
+				}
 			}
-		} else {
-			if d.r.Bool(p) {
-				d.set(rank, true)
-			}
+			rank++
 		}
 	}
 }
@@ -123,6 +136,12 @@ func (d *Dense) AppendNeighbors(i int, dst []int32) []int32 {
 		}
 	}
 	return dst
+}
+
+// AppendDeltas implements dyngraph.DeltaBatcher, serving the flips the
+// last Step recorded.
+func (d *Dense) AppendDeltas(born, died []dyngraph.Edge) (b, dd []dyngraph.Edge) {
+	return append(born, d.born...), append(died, d.died...)
 }
 
 // HasEdge reports whether {i, j} is currently on.

@@ -27,7 +27,15 @@ type General struct {
 	states  []int32 // per pair, pairRank order
 	pairs   int64
 	adj     [][]int32
-	dirty   bool
+	// adjLive reports that adj mirrors the presence map. It flips true on
+	// the first neighbor access (the lazy build) and stays true: Step then
+	// maintains the lists in place, each sorted ascending by neighbor id —
+	// exactly the order a full rank-order rebuild produces — at O(degree)
+	// per presence flip. Batch and delta consumers never force the build.
+	adjLive bool
+	// born and died record the edges whose presence flipped in the most
+	// recent Step, backing dyngraph.DeltaBatcher; buffers are reused.
+	born, died []dyngraph.Edge
 }
 
 // NewGeneral builds a generalized edge-MEG with each edge's initial state
@@ -53,7 +61,6 @@ func NewGeneral(n int, chain *markov.Chain, chi []bool, init []float64, r *rng.R
 		states:  make([]int32, pairs),
 		pairs:   pairs,
 		adj:     make([][]int32, n),
-		dirty:   true,
 	}
 	initAlias := rng.NewAlias(init)
 	for i := range g.states {
@@ -82,14 +89,66 @@ func StationaryAlpha(chain *markov.Chain, chi []bool) (float64, error) {
 func (g *General) N() int { return g.n }
 
 // Step implements dyngraph.Dynamic: every edge's hidden state advances one
-// step of M independently.
+// step of M independently. The sweep tracks the pair coordinates alongside
+// the rank, recording each presence flip as a delta edge and mirroring it
+// into the live adjacency.
 func (g *General) Step() {
-	for i := range g.states {
-		g.states[i] = int32(g.sampler.Next(int(g.states[i]), g.r))
+	g.born, g.died = g.born[:0], g.died[:0]
+	rank := int64(0)
+	for u := 0; u < g.n-1; u++ {
+		for v := u + 1; v < g.n; v++ {
+			old := g.states[rank]
+			next := int32(g.sampler.Next(int(old), g.r))
+			g.states[rank] = next
+			if was, is := g.chi[old], g.chi[next]; is != was {
+				if is {
+					g.born = append(g.born, dyngraph.Edge{U: int32(u), V: int32(v)})
+					if g.adjLive {
+						g.adjInsort(u, int32(v))
+						g.adjInsort(v, int32(u))
+					}
+				} else {
+					g.died = append(g.died, dyngraph.Edge{U: int32(u), V: int32(v)})
+					if g.adjLive {
+						g.adjDelete(u, int32(v))
+						g.adjDelete(v, int32(u))
+					}
+				}
+			}
+			rank++
+		}
 	}
-	g.dirty = true
 }
 
+// adjInsort inserts neighbor v into adj[u], keeping the list sorted
+// ascending — the order a full rank-order rebuild produces.
+func (g *General) adjInsort(u int, v int32) {
+	l := append(g.adj[u], v)
+	k := len(l) - 1
+	for k > 0 && l[k-1] > v {
+		l[k] = l[k-1]
+		k--
+	}
+	l[k] = v
+	g.adj[u] = l
+}
+
+// adjDelete removes neighbor v from adj[u], preserving order.
+func (g *General) adjDelete(u int, v int32) {
+	l := g.adj[u]
+	for k, w := range l {
+		if w == v {
+			g.adj[u] = append(l[:k], l[k+1:]...)
+			return
+		}
+	}
+	panic("edgemeg: adjacency out of sync (missing neighbor)")
+}
+
+// rebuildAdj materializes the per-node neighbor lists by one rank-order
+// scan, each list coming out sorted ascending by neighbor id. It runs at
+// most once per simulator — the lazy build on the first neighbor access;
+// from then on Step maintains the lists incrementally in the same order.
 func (g *General) rebuildAdj() {
 	for i := range g.adj {
 		g.adj[i] = g.adj[i][:0]
@@ -101,12 +160,12 @@ func (g *General) rebuildAdj() {
 			g.adj[v] = append(g.adj[v], int32(u))
 		}
 	}
-	g.dirty = false
+	g.adjLive = true
 }
 
 // ForEachNeighbor implements dyngraph.Dynamic.
 func (g *General) ForEachNeighbor(i int, fn func(j int)) {
-	if g.dirty {
+	if !g.adjLive {
 		g.rebuildAdj()
 	}
 	for _, j := range g.adj[i] {
@@ -132,10 +191,16 @@ func (g *General) AppendEdges(dst []dyngraph.Edge) []dyngraph.Edge {
 
 // AppendNeighbors implements dyngraph.NeighborLister.
 func (g *General) AppendNeighbors(i int, dst []int32) []int32 {
-	if g.dirty {
+	if !g.adjLive {
 		g.rebuildAdj()
 	}
 	return append(dst, g.adj[i]...)
+}
+
+// AppendDeltas implements dyngraph.DeltaBatcher, serving the presence
+// flips the last Step recorded.
+func (g *General) AppendDeltas(born, died []dyngraph.Edge) (b, d []dyngraph.Edge) {
+	return append(born, g.born...), append(died, g.died...)
 }
 
 // HasEdge reports whether {i, j} currently exists.

@@ -59,6 +59,7 @@ func init() {
 			{Name: "q", Kind: model.Float, Default: "0.096", Help: "edge death rate (on -> off)"},
 			{Name: "init", Kind: model.String, Default: "stationary", Help: "initial law: stationary | empty | full"},
 			{Name: "dense", Kind: model.Bool, Default: "false", Help: "use the dense O(n²)-per-step simulator"},
+			{Name: "fastchurn", Kind: model.Bool, Default: "false", Help: "O(churn)-draw death sampler (same law, different RNG stream; sparse only)"},
 		},
 		Build: func(a model.Args, r *rng.RNG) (dyngraph.Dynamic, error) {
 			params := Params{N: a.Int("n"), P: a.Float("p"), Q: a.Float("q")}
@@ -70,7 +71,13 @@ func init() {
 				return nil, err
 			}
 			if a.Bool("dense") {
+				if a.Bool("fastchurn") {
+					return nil, fmt.Errorf("edgemeg: fastchurn applies to the sparse simulator only")
+				}
 				return NewDense(params, init, r), nil
+			}
+			if a.Bool("fastchurn") {
+				return NewSparseChurn(params, init, r), nil
 			}
 			return NewSparse(params, init, r), nil
 		},

@@ -17,13 +17,45 @@ import (
 // Alive edges are stored in an insertion-ordered slice with a position
 // index, so the random-number stream is consumed in a deterministic order
 // and runs are reproducible per seed (Go map iteration order would not be).
+//
+// The simulator knows exactly which ranks flip each step, so it exposes
+// the churn through dyngraph.DeltaBatcher, and its per-node adjacency is
+// never rebuilt from scratch after its first construction: once a neighbor
+// consumer forces the lists into existence they are maintained in place —
+// O(degree) per changed edge — in an order provably identical to a full
+// rebuild, so order-sensitive consumers (pull's and push–pull's random
+// draws, random walks) see byte-identical neighbor sequences per seed.
+// Consumers that only read batches or deltas never pay for adjacency at
+// all.
 type Sparse struct {
 	params Params
 	r      *rng.RNG
 	edges  []int64       // alive edge ranks, arbitrary but deterministic order
 	pos    map[int64]int // rank -> index in edges
-	adj    [][]int32     // current adjacency lists, rebuilt on change
-	dirty  bool
+	adj    [][]adjEntry  // per-node neighbor lists; see adjLive
+	// adjLive reports that adj mirrors the alive set. It flips true on the
+	// first neighbor access (the lazy build) and stays true: insert/remove
+	// then maintain the lists incrementally, sorted by the incident edge's
+	// position in edges — exactly the order rebuildAdj produces.
+	adjLive bool
+	// born and died record the ranks that flipped in the most recent Step,
+	// backing AppendDeltas; buffers are reused across steps.
+	born, died []int64
+	// fastChurn selects the O(churn)-draw death sampler (geometric
+	// skipping over the alive slice) instead of the per-edge Bernoulli
+	// sweep. Same transition law, different RNG stream; see NewSparseChurn.
+	fastChurn bool
+}
+
+// adjEntry is one neighbor-list slot: the neighbor plus the incident
+// edge's current position in the alive slice. Carrying the position in
+// the entry keeps incremental maintenance free of pos-map lookups — the
+// relocation compare after a swap-remove is a plain integer read.
+// Positions index the alive slice (not pair ranks), so int32 spans any
+// realistic alive set.
+type adjEntry struct {
+	nbr int32
+	pos int32
 }
 
 // NewSparse builds a sparse simulator with the given initial distribution.
@@ -35,8 +67,7 @@ func NewSparse(params Params, init Init, r *rng.RNG) *Sparse {
 		params: params,
 		r:      r,
 		pos:    make(map[int64]int),
-		adj:    make([][]int32, params.N),
-		dirty:  true,
+		adj:    make([][]adjEntry, params.N),
 	}
 	pairs := pairCount(params.N)
 	switch init {
@@ -54,16 +85,47 @@ func NewSparse(params Params, init Init, r *rng.RNG) *Sparse {
 	default:
 		panic("edgemeg: unknown Init")
 	}
+	s.born = s.born[:0] // initial edges are the base snapshot, not churn
 	return s
 }
 
-// insert adds rank to the alive set; it must not already be present.
-func (s *Sparse) insert(rank int64) {
-	s.pos[rank] = len(s.edges)
-	s.edges = append(s.edges, rank)
+// NewSparseChurn builds a sparse simulator whose whole Step costs
+// O(churn): deaths are sampled by geometric skipping over the alive slice
+// — each alive edge still dies independently with probability q (gaps
+// between successes of a Bernoulli(q) sequence are iid Geometric(q), the
+// same device binomialInt64 uses for births) — instead of the per-edge
+// Bernoulli sweep, whose O(alive) draws dominate the step once delta
+// consumers stop paying for snapshot scans. The trajectory law is
+// identical to NewSparse; the random-number STREAM is not, so fixed-seed
+// runs differ (same distribution). Every stream-compatibility pin
+// therefore stays on NewSparse, which remains the default; this variant
+// is opt-in (spec param fastchurn) for large-scale work where the sweep
+// is the bottleneck.
+func NewSparseChurn(params Params, init Init, r *rng.RNG) *Sparse {
+	s := NewSparse(params, init, r)
+	s.fastChurn = true
+	return s
 }
 
-// remove deletes rank from the alive set by swap-with-last.
+// insert adds rank to the alive set (at the maximal position) and records
+// it as born; it must not already be present.
+func (s *Sparse) insert(rank int64) {
+	p := len(s.edges)
+	s.pos[rank] = p
+	s.edges = append(s.edges, rank)
+	s.born = append(s.born, rank)
+	if s.adjLive {
+		// The new edge holds the maximal position, so appending keeps both
+		// endpoint lists sorted by edge position.
+		u, v := pairFromRank(rank, s.params.N)
+		s.adj[u] = append(s.adj[u], adjEntry{nbr: int32(v), pos: int32(p)})
+		s.adj[v] = append(s.adj[v], adjEntry{nbr: int32(u), pos: int32(p)})
+	}
+}
+
+// remove deletes rank from the alive set by swap-with-last, mirroring the
+// change into the live adjacency so the lists stay exactly what a full
+// rebuild from the post-removal edge slice would produce.
 func (s *Sparse) remove(rank int64) {
 	i := s.pos[rank]
 	last := len(s.edges) - 1
@@ -72,6 +134,47 @@ func (s *Sparse) remove(rank int64) {
 	s.pos[moved] = i
 	s.edges = s.edges[:last]
 	delete(s.pos, rank)
+	if s.adjLive {
+		n := s.params.N
+		u, v := pairFromRank(rank, n)
+		s.adjDelete(u, int32(v))
+		s.adjDelete(v, int32(u))
+		if moved != rank {
+			// The swapped edge's position dropped from the maximum to i, so
+			// its entries — currently last in both endpoint lists — must
+			// move to the slot that keeps the lists position-sorted.
+			mu, mv := pairFromRank(moved, n)
+			s.adjRelocateLast(mu, int32(mv), i)
+			s.adjRelocateLast(mv, int32(mu), i)
+		}
+	}
+}
+
+// adjDelete removes neighbor v from adj[u], preserving the order of the
+// remaining entries.
+func (s *Sparse) adjDelete(u int, v int32) {
+	l := s.adj[u]
+	for k := range l {
+		if l[k].nbr == v {
+			s.adj[u] = append(l[:k], l[k+1:]...)
+			return
+		}
+	}
+	panic("edgemeg: adjacency out of sync (missing neighbor)")
+}
+
+// adjRelocateLast moves adj[u]'s final entry (neighbor v, whose incident
+// edge just moved to position newPos in the alive slice) to the slot that
+// keeps adj[u] sorted by edge position. The stored positions make the
+// compare a plain integer read — no pos-map lookups on this hot path.
+func (s *Sparse) adjRelocateLast(u int, v int32, newPos int) {
+	l := s.adj[u]
+	k := len(l) - 1 // v's current slot
+	for k > 0 && l[k-1].pos > int32(newPos) {
+		l[k] = l[k-1]
+		k--
+	}
+	l[k] = adjEntry{nbr: v, pos: int32(newPos)}
 }
 
 // binomialInt64 samples Binomial(n, p) for potentially huge n via geometric
@@ -120,57 +223,71 @@ func (s *Sparse) Step() {
 	p, q := s.params.P, s.params.Q
 	pairs := pairCount(s.params.N)
 	aliveBefore := int64(len(s.edges))
+	s.born, s.died = s.born[:0], s.died[:0]
 
-	// Deaths: sweep the slice in deterministic order; collect then remove.
-	var died []int64
+	// Deaths: collect in deterministic order, then remove. The default
+	// sweep draws one Bernoulli per alive edge (the stream-compatible
+	// path); fastChurn draws one Geometric per death instead — identical
+	// law over the died set, O(churn) draws.
 	if q > 0 {
-		for _, rank := range s.edges {
-			if s.r.Bool(q) {
-				died = append(died, rank)
+		if s.fastChurn {
+			for i := int64(s.r.Geometric(q)); i < int64(len(s.edges)); i += 1 + int64(s.r.Geometric(q)) {
+				s.died = append(s.died, s.edges[i])
+			}
+		} else {
+			for _, rank := range s.edges {
+				if s.r.Bool(q) {
+					s.died = append(s.died, rank)
+				}
 			}
 		}
-		for _, rank := range died {
+		for _, rank := range s.died {
 			s.remove(rank)
 		}
 	}
 
 	// Births apply to pairs dead *before* the step: skip both the
-	// surviving alive set and the just-died ranks.
+	// surviving alive set and the just-died ranks. insert records them
+	// into s.born.
 	if p > 0 {
 		dead := pairs - aliveBefore
 		births := binomialInt64(dead, p, s.r)
 		var exclude map[int64]struct{}
-		if len(died) > 0 && births > 0 {
-			exclude = make(map[int64]struct{}, len(died))
-			for _, rank := range died {
+		if len(s.died) > 0 && births > 0 {
+			exclude = make(map[int64]struct{}, len(s.died))
+			for _, rank := range s.died {
 				exclude[rank] = struct{}{}
 			}
 		}
 		s.sampleNewEdges(births, exclude)
 	}
-	s.dirty = true
 }
 
+// rebuildAdj materializes the per-node neighbor lists from the alive
+// slice. It runs at most once per simulator — the lazy build on the first
+// neighbor access; from then on insert/remove keep the lists current, in
+// this same order (each list sorted by the incident edge's position), at
+// O(degree) per changed edge instead of O(alive) per step.
 func (s *Sparse) rebuildAdj() {
 	for i := range s.adj {
 		s.adj[i] = s.adj[i][:0]
 	}
 	n := s.params.N
-	for _, rank := range s.edges {
+	for p, rank := range s.edges {
 		u, v := pairFromRank(rank, n)
-		s.adj[u] = append(s.adj[u], int32(v))
-		s.adj[v] = append(s.adj[v], int32(u))
+		s.adj[u] = append(s.adj[u], adjEntry{nbr: int32(v), pos: int32(p)})
+		s.adj[v] = append(s.adj[v], adjEntry{nbr: int32(u), pos: int32(p)})
 	}
-	s.dirty = false
+	s.adjLive = true
 }
 
 // ForEachNeighbor implements dyngraph.Dynamic.
 func (s *Sparse) ForEachNeighbor(i int, fn func(j int)) {
-	if s.dirty {
+	if !s.adjLive {
 		s.rebuildAdj()
 	}
-	for _, j := range s.adj[i] {
-		fn(int(j))
+	for _, e := range s.adj[i] {
+		fn(int(e.nbr))
 	}
 }
 
@@ -189,10 +306,29 @@ func (s *Sparse) AppendEdges(dst []dyngraph.Edge) []dyngraph.Edge {
 
 // AppendNeighbors implements dyngraph.NeighborLister.
 func (s *Sparse) AppendNeighbors(i int, dst []int32) []int32 {
-	if s.dirty {
+	if !s.adjLive {
 		s.rebuildAdj()
 	}
-	return append(dst, s.adj[i]...)
+	for _, e := range s.adj[i] {
+		dst = append(dst, e.nbr)
+	}
+	return dst
+}
+
+// AppendDeltas implements dyngraph.DeltaBatcher: the Markov step already
+// knows exactly which ranks flipped, so the churn batches cost one rank
+// decode per changed edge — no snapshot rescans.
+func (s *Sparse) AppendDeltas(born, died []dyngraph.Edge) (b, d []dyngraph.Edge) {
+	n := s.params.N
+	for _, rank := range s.born {
+		u, v := pairFromRank(rank, n)
+		born = append(born, dyngraph.Edge{U: int32(u), V: int32(v)})
+	}
+	for _, rank := range s.died {
+		u, v := pairFromRank(rank, n)
+		died = append(died, dyngraph.Edge{U: int32(u), V: int32(v)})
+	}
+	return born, died
 }
 
 // HasEdge reports whether {i, j} is currently alive.

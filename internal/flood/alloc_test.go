@@ -23,8 +23,30 @@ func assertZeroAlloc(t *testing.T, name string, run func()) {
 	}
 }
 
-func TestFloodEdgeScanZeroAlloc(t *testing.T) {
+func TestFloodDeltaScanZeroAlloc(t *testing.T) {
+	// Static implements DeltaBatcher, so the default path is the
+	// incremental delta-scan engine (persistent adjacency + active set).
 	d := dyngraph.NewStatic(graph.Torus(16, 16))
+	opts := Opts{MaxSteps: 1 << 10, Scratch: NewScratch()}
+	if res := Run(d, 0, opts); !res.Completed {
+		t.Fatal("flood on the torus did not complete")
+	}
+	assertZeroAlloc(t, "flood delta-scan", func() { Run(d, 0, opts) })
+}
+
+// batcherOnly hides DeltaBatcher (and the per-node view) so the run takes
+// the flat edge-scan path.
+type batcherOnly struct{ s *dyngraph.Static }
+
+func (b batcherOnly) N() int                                { return b.s.N() }
+func (b batcherOnly) Step()                                 { b.s.Step() }
+func (b batcherOnly) ForEachNeighbor(i int, fn func(j int)) { b.s.ForEachNeighbor(i, fn) }
+func (b batcherOnly) AppendEdges(d []dyngraph.Edge) []dyngraph.Edge {
+	return b.s.AppendEdges(d)
+}
+
+func TestFloodEdgeScanZeroAlloc(t *testing.T) {
+	d := batcherOnly{dyngraph.NewStatic(graph.Torus(16, 16))}
 	opts := Opts{MaxSteps: 1 << 10, Scratch: NewScratch()}
 	if res := Run(d, 0, opts); !res.Completed {
 		t.Fatal("flood on the torus did not complete")
@@ -65,9 +87,17 @@ func TestPushPullZeroAlloc(t *testing.T) {
 }
 
 func TestParsimoniousZeroAlloc(t *testing.T) {
+	// The static model is delta-capable, so this exercises the
+	// adjacency-backed incremental window engine.
 	d := dyngraph.NewStatic(graph.Torus(12, 12))
 	opts := Opts{MaxSteps: 1 << 12, Scratch: NewScratch()}
-	assertZeroAlloc(t, "parsimonious", func() { Parsimonious(d, 0, 64, opts) })
+	assertZeroAlloc(t, "parsimonious delta", func() { Parsimonious(d, 0, 64, opts) })
+}
+
+func TestParsimoniousMemberPathZeroAlloc(t *testing.T) {
+	d := listerOnly{dyngraph.NewStatic(graph.Torus(12, 12))}
+	opts := Opts{MaxSteps: 1 << 12, Scratch: NewScratch()}
+	assertZeroAlloc(t, "parsimonious member-path", func() { Parsimonious(d, 0, 64, opts) })
 }
 
 func TestRandomizedPushZeroAlloc(t *testing.T) {

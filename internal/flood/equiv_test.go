@@ -1,10 +1,14 @@
 package flood_test
 
-// Fixed-seed equivalence pins of the bitset/scratch engine refactor: every
-// engine in this package is re-run against a verbatim copy of its
-// pre-refactor implementation ([]bool informed sets, per-run allocation,
-// incremental size bookkeeping) over every registered model, and must
-// return byte-identical Results, timeline included.
+// Fixed-seed equivalence pins of the bitset/scratch engine refactor AND
+// the incremental-dynamics (delta) refactor on top of it: every engine in
+// this package is re-run against a verbatim copy of its pre-refactor
+// implementation ([]bool informed sets, per-run allocation, incremental
+// size bookkeeping) over every registered model, and must return
+// byte-identical Results, timeline included. Because delta-capable models
+// steer flood.Run and Parsimonious onto the adjacency-backed incremental
+// engines, those paths are pinned here too — directly, via forced batch
+// fallback, and through the generic Deltifier adapter.
 //
 // One deliberate behavior change is NOT covered by these pins: the
 // dyngraph.Subsample sampling scheme moved from one sequential RNG stream
@@ -328,6 +332,7 @@ func refParsimonious(d dyngraph.Dynamic, source, active int, opts flood.Opts) fl
 var equivModels = []model.Spec{
 	model.New("edgemeg").WithInt("n", 96).WithFloat("p", 0.01).WithFloat("q", 0.09),
 	model.New("edgemeg").WithInt("n", 64).WithFloat("p", 0.02).WithFloat("q", 0.18).WithBool("dense", true),
+	model.New("edgemeg").WithInt("n", 96).WithFloat("p", 0.01).WithFloat("q", 0.09).WithBool("fastchurn", true),
 	model.New("edgemeg4").WithInt("n", 64),
 	model.New("waypoint").WithInt("n", 64).WithFloat("L", 12).WithFloat("r", 1.5),
 	model.New("direction").WithInt("n", 64).WithFloat("L", 12).WithFloat("r", 1.5),
@@ -349,16 +354,43 @@ func (f forceMemberScan) AppendNeighbors(i int, dst []int32) []int32 {
 	return dyngraph.AppendNeighbors(f.d, i, dst)
 }
 
+// forceBatchScan hides DeltaBatcher (and the per-node view) while keeping
+// Batcher, pinning the flat-edge-scan path that models without delta
+// support still take — and that the delta engine must agree with exactly.
+type forceBatchScan struct{ d dyngraph.Dynamic }
+
+func (f forceBatchScan) N() int                                { return f.d.N() }
+func (f forceBatchScan) Step()                                 { f.d.Step() }
+func (f forceBatchScan) ForEachNeighbor(i int, fn func(j int)) { f.d.ForEachNeighbor(i, fn) }
+func (f forceBatchScan) AppendEdges(dst []dyngraph.Edge) []dyngraph.Edge {
+	return dyngraph.AppendEdges(f.d, dst)
+}
+
 func TestEnginesMatchPreRefactorReference(t *testing.T) {
 	opts := flood.Opts{MaxSteps: 1 << 14, KeepTimeline: true}
 	for _, ms := range equivModels {
 		for _, seed := range []uint64{1, 42} {
 			build := func() dyngraph.Dynamic { return model.MustBuild(ms, seed) }
+			// The flood and parsimonious references are shared by several
+			// cases below (the runs are deterministic per (spec, seed)).
+			refFlood := refRun(build(), 0, opts)
+			refPars := refParsimonious(build(), 0, 6, opts)
 			cases := []struct {
 				name      string
 				got, want flood.Result
 			}{
-				{"flood", flood.Run(build(), 0, opts), refRun(build(), 0, opts)},
+				// For delta-capable models (the edge-MEG family, static,
+				// traces) the first case exercises the incremental
+				// delta-scan engine against the pre-refactor reference.
+				{"flood", flood.Run(build(), 0, opts), refFlood},
+				{"flood/batch-scan",
+					flood.Run(forceBatchScan{build()}, 0, opts),
+					refFlood},
+				{"flood/deltified",
+					// The generic diff adapter must expose the same virtual
+					// graph as the model it wraps, whatever path Run picks.
+					flood.Run(dyngraph.NewDeltifier(build()), 0, opts),
+					refFlood},
 				{"flood/member-scan",
 					flood.Run(forceMemberScan{build()}, 0, opts),
 					refRun(forceMemberScan{build()}, 0, opts)},
@@ -372,8 +404,13 @@ func TestEnginesMatchPreRefactorReference(t *testing.T) {
 					flood.PushPull(build(), 0, 1, rng.New(13), opts),
 					refPushPull(build(), 0, 1, rng.New(13), opts)},
 				{"parsimonious",
+					// Delta-capable models take the incremental
+					// adjacency-backed window engine here.
 					flood.Parsimonious(build(), 0, 6, opts),
-					refParsimonious(build(), 0, 6, opts)},
+					refPars},
+				{"parsimonious/deltified",
+					flood.Parsimonious(dyngraph.NewDeltifier(build()), 0, 6, opts),
+					refPars},
 			}
 			for _, c := range cases {
 				if !reflect.DeepEqual(c.got, c.want) {

@@ -20,6 +20,14 @@ import (
 // step end. The uninformed sweep itself iterates the complement of the
 // informed bitset word-wise, so fully-informed words (the common case in
 // the late phase pull is good at) cost one compare.
+//
+// Pull deliberately has no engine-side delta fast path: the r.Intn draw
+// indexes into the neighbor list, so the trajectory at a fixed seed
+// depends on neighbor ORDER, which a scratch-held delta-maintained
+// adjacency does not preserve. The incremental win lands model-side
+// instead — edge-MEG simulators keep their own neighbor lists live in
+// O(churn) per step (in rebuild-identical order), so the per-node batches
+// this engine reads no longer pay an O(m) per-step rebuild.
 func Pull(d dyngraph.Dynamic, source int, r *rng.RNG, opts Opts) Result {
 	n := d.N()
 	sc, res, done := start(n, source, opts)

@@ -22,6 +22,13 @@ import (
 // (synchronous sweep), and RNG consumption is in node order — informed
 // nodes draw their push targets, uninformed nodes their pull target — so
 // equal (graph realization, RNG stream) pairs replay exactly.
+//
+// Like Pull, this engine keeps reading the model's own neighbor view
+// rather than a scratch-held delta adjacency: both the k-subset draw and
+// the pull draw index into the neighbor list, pinning the fixed-seed
+// trajectory to the model's neighbor order. Edge-MEG models serve that
+// view incrementally in O(churn) per step, which is where the delta
+// refactor speeds this engine up.
 func PushPull(d dyngraph.Dynamic, source, k int, r *rng.RNG, opts Opts) Result {
 	if k <= 0 {
 		panic("flood: PushPull needs k > 0")

@@ -44,6 +44,18 @@ type Scratch struct {
 	idx []int
 	// sub is the reusable subsampled-graph wrapper of RandomizedPush.
 	sub *dyngraph.Subsample
+	// adj is the persistent neighbor store of the delta fast paths: seeded
+	// from one snapshot batch at run start, then maintained in place from
+	// the model's per-step churn (dyngraph.DeltaBatcher), so the engine
+	// never rescans unchanged edges.
+	adj dyngraph.Adjacency
+	// active marks informed nodes that may still have uninformed neighbors
+	// — the only nodes the delta flood engine scans each step. A node
+	// leaves the set when a scan finds its neighborhood fully informed and
+	// re-enters only when a born edge touches it.
+	active bitset.Set
+	// born and died receive the per-step churn batches.
+	born, died []dyngraph.Edge
 }
 
 // NewScratch returns an empty Scratch. Buffers are sized lazily by the
