@@ -16,11 +16,17 @@
 //	  "max_steps": 65536
 //	}
 //
-// Usage:
+// Usage (single box):
 //
 //	sweep -file grid.json -checkpoint grid.ckpt.jsonl -csv grid.csv
 //	sweep -models "edgemeg:n=128,p=0.02,q=0.2" -protocols "flood;pull" -trials 10
 //	sweep -file grid.json -checkpoint grid.ckpt.jsonl -report-only
+//
+// Usage (farm, against a cmd/sweepd server):
+//
+//	sweep -server http://host:8377 -submit -file grid.json   # submit, print campaign id
+//	sweep -server http://host:8377                           # run as a leased worker
+//	sweep -server http://host:8377 -drain                    # worker that exits when the farm is done
 //
 // Every completed cell is appended to the checkpoint file before the next
 // cell starts. Rerunning the same command resumes: cells whose
@@ -30,19 +36,30 @@
 // only on the sweep definition, never on workers or interruption). -fresh
 // discards an existing checkpoint instead.
 //
+// SIGINT/SIGTERM are handled gracefully in every mode: the in-flight cell
+// is finished and checkpointed (workers post it to the server; a worker
+// holding an unstarted lease releases it instead), then the process exits
+// 0. A second signal kills immediately — losing, as always, only the cell
+// in flight.
+//
 // The markdown report prints to stdout unless -md redirects it; -csv
 // writes the machine-readable form; -report-only aggregates an existing
 // checkpoint without running anything.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/model"
 	_ "repro/internal/model/all"
 	"repro/internal/protocol"
@@ -66,6 +83,12 @@ func main() {
 	mdPath := flag.String("md", "-", "write the markdown report here ('-' for stdout, '' to suppress)")
 	listModels := flag.Bool("list-models", false, "list registered models and parameters, then exit")
 	listProtocols := flag.Bool("list-protocols", false, "list registered protocols and parameters, then exit")
+	server := flag.String("server", "", "sweepd base URL: submit to (-submit) or work for a campaign server instead of running locally")
+	submit := flag.Bool("submit", false, "with -server: submit the assembled sweep as a campaign and print its id")
+	workerName := flag.String("worker", "", "with -server: worker name reported to the server (default host:pid)")
+	poll := flag.Duration("poll", 2*time.Second, "with -server: idle re-poll interval")
+	drain := flag.Bool("drain", false, "with -server: exit 0 once the server reports every campaign complete")
+	hold := flag.Duration("hold", 0, "with -server: fault-injection pause between leasing a cell and running it (testing lease expiry)")
 	flag.Parse()
 
 	if *listModels {
@@ -74,6 +97,12 @@ func main() {
 	}
 	if *listProtocols {
 		fmt.Print(protocol.Usage())
+		return
+	}
+
+	if *server != "" {
+		farm(*server, *submit, *file, *models, *protocols, *trials, *seed, *source, *maxSteps,
+			*workerName, *workers, *poll, *drain, *hold)
 		return
 	}
 
@@ -110,9 +139,11 @@ func main() {
 	}
 }
 
-// run assembles the sweep from the file and flag overrides, wires the
-// checkpoint, and executes the missing cells.
-func run(file, models, protocols string, trials int, seed uint64, source, maxSteps, workers int, checkpoint string, fresh bool) []study.CellRecord {
+// assembleSweep builds the sweep from the file and flag overrides. A flag
+// overrides the file exactly when the user passed it — tracked via
+// flag.Visit, so legal zero values (-seed 0, -max-steps 0) are not
+// mistaken for "unset".
+func assembleSweep(file, models, protocols string, trials int, seed uint64, source, maxSteps, workers int) study.Sweep {
 	var sw study.Sweep
 	if file != "" {
 		var err error
@@ -121,9 +152,6 @@ func run(file, models, protocols string, trials int, seed uint64, source, maxSte
 			fatal(err)
 		}
 	}
-	// A flag overrides the file exactly when the user passed it — tracked
-	// via flag.Visit, so legal zero values (-seed 0, -max-steps 0) are not
-	// mistaken for "unset".
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if set["models"] {
@@ -150,6 +178,31 @@ func run(file, models, protocols string, trials int, seed uint64, source, maxSte
 	if err := sw.Validate(); err != nil {
 		fatal(err)
 	}
+	return sw
+}
+
+// stopOnSignal arms graceful shutdown: the first SIGINT/SIGTERM closes
+// the returned channel (finish the in-flight cell, then exit cleanly); a
+// second signal exits immediately.
+func stopOnSignal() <-chan struct{} {
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "sweep: signal received; finishing the in-flight cell (interrupt again to abort)")
+		close(stop)
+		<-sigc
+		fmt.Fprintln(os.Stderr, "sweep: second signal; aborting now")
+		os.Exit(1)
+	}()
+	return stop
+}
+
+// run assembles the sweep from the file and flag overrides, wires the
+// checkpoint, and executes the missing cells.
+func run(file, models, protocols string, trials int, seed uint64, source, maxSteps, workers int, checkpoint string, fresh bool) []study.CellRecord {
+	sw := assembleSweep(file, models, protocols, trials, seed, source, maxSteps, workers)
 
 	done := map[study.Key]study.CellRecord{}
 	var sink func(study.CellRecord) error
@@ -188,24 +241,78 @@ func run(file, models, protocols string, trials int, seed uint64, source, maxSte
 	fmt.Fprintf(os.Stderr, "sweep: %d cells (%d models × %d protocols), %d trials each; resumed %d from checkpoint\n",
 		len(keys), len(sw.Models), len(sw.Protocols), sw.Trials, resumed)
 
-	completed := resumed
-	progress := func(rec study.CellRecord) error {
+	// The one-line done/total progress log: long sweeps used to be silent
+	// until the end; now every cell announces itself as it starts.
+	completed := 0
+	progress := func(key study.Key, index, total int, wasResumed bool) {
 		completed++
-		fmt.Fprintf(os.Stderr, "sweep: [%d/%d] %s\n", completed, len(keys), rec.Key())
-		if sink != nil {
-			return sink(rec)
+		if wasResumed {
+			return // already counted in the resumed summary above
 		}
-		return nil
+		fmt.Fprintf(os.Stderr, "sweep: [%d/%d] %s\n", completed, total, key)
 	}
 
 	start := time.Now()
-	records, err := study.RunSweep(sw, done, progress)
+	records, err := study.RunSweepOpts(sw, study.SweepOpts{
+		Done:     done,
+		Sink:     sink,
+		Progress: progress,
+		Stop:     stopOnSignal(),
+	})
+	if err == study.ErrStopped {
+		// Graceful interruption: the checkpoint holds every finished cell
+		// (fsync'd per cell), so the same command resumes where this run
+		// stopped. Partial reports would be misleading; skip them.
+		fmt.Fprintf(os.Stderr, "sweep: interrupted after %d/%d cells; checkpoint intact — rerun the same command to resume\n",
+			len(records), len(keys))
+		os.Exit(0)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d cells done (%d run, %d resumed) in %.1fs\n",
 		len(records), len(records)-resumed, resumed, time.Since(start).Seconds())
 	return records
+}
+
+// farm is the -server entry point: submit a campaign, or loop as a leased
+// worker until drained, signalled, or failed.
+func farm(base string, submit bool, file, models, protocols string, trials int, seed uint64, source, maxSteps int,
+	workerName string, workers int, poll time.Duration, drain bool, hold time.Duration) {
+	cl := &campaign.Client{Base: base}
+	if submit {
+		sw := assembleSweep(file, models, protocols, trials, seed, source, maxSteps, workers)
+		id, cells, err := cl.Submit(context.Background(), sw)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: submitted campaign %s (%d cells) to %s\n", id, cells, base)
+		fmt.Println(id)
+		return
+	}
+
+	if workerName == "" {
+		host, _ := os.Hostname()
+		workerName = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	// Worker graceful shutdown: first signal cancels the context — the
+	// in-flight cell finishes and its record is posted, or an unstarted
+	// lease is released (see campaign.Work); second signal aborts.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	logger := log.New(os.Stderr, "sweep: ", log.LstdFlags)
+	completed, err := campaign.Work(ctx, cl, campaign.WorkerOpts{
+		Name:    workerName,
+		Workers: workers,
+		Poll:    poll,
+		Drain:   drain,
+		Hold:    hold,
+		Log:     logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: worker %s exiting after %d cells\n", workerName, completed)
 }
 
 func parseSpecs(field, text string) []spec.Spec {

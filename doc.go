@@ -113,6 +113,27 @@
 // cmd/sweep drives all of this from the command line; the E18 experiment
 // and examples/p2pchurn run their grids through the same path.
 //
+// The v7 layer distributes those campaigns across machines.
+// internal/campaign turns the checkpoint's existing contract — cells
+// keyed by (model, protocol, trials, seed), later duplicates win, results
+// a pure function of the sweep definition — into a lease-based work
+// queue: campaign.Manager holds submitted sweeps and leases cells out
+// with expiring random tokens; campaign.NewServer exposes it over
+// HTTP/JSON (submit, lease, complete, release, live progress and
+// CSV/markdown report endpoints); campaign.Client and campaign.Work are
+// the worker side, with transient-error retry and graceful shutdown
+// (finish and post the in-flight cell, or release an unstarted lease).
+// Worker death is handled purely by lease expiry and duplicate
+// completions are accepted as harmless — no fencing, heartbeats, or
+// consensus — so a farm of any size, including one suffering mid-cell
+// worker kills, reports byte-identically to the offline single-process
+// run. cmd/sweepd is the server binary; cmd/sweep -server is the
+// submitter and worker. Completed records carry wall_ms (diagnostic
+// only, never reported) which feeds adaptive lease TTLs and progress
+// throughput. study.RunSweepOpts adds the same graceful-stop and
+// progress hooks to local runs, and study.Sweep.CheckRecord gates every
+// record a campaign accepts. See docs/SWEEPD.md for the protocol.
+//
 // The library lives under internal/ (see DESIGN.md for the module map);
 // cmd/ holds the CLIs, examples/ runnable scenarios, and bench_test.go one
 // benchmark per experiment of EXPERIMENTS.md plus the flooding and

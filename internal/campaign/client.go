@@ -1,0 +1,210 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/study"
+)
+
+// Client speaks the sweepd HTTP API. The zero value is unusable; fill
+// Base. Transient failures — connection errors, 5xx, 408/429 — are
+// retried with exponential backoff; 4xx responses are permanent and
+// surface immediately.
+type Client struct {
+	// Base is the server root, e.g. "http://farm-host:8377".
+	Base string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+	// Retries is the number of attempts per call (default 5).
+	Retries int
+	// Backoff is the initial retry delay, doubling per attempt
+	// (default 250ms).
+	Backoff time.Duration
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 5
+}
+
+func (c *Client) backoff() time.Duration {
+	if c.Backoff > 0 {
+		return c.Backoff
+	}
+	return 250 * time.Millisecond
+}
+
+// permanentError is a non-retryable (4xx) server rejection.
+type permanentError struct {
+	status int
+	msg    string
+}
+
+func (e *permanentError) Error() string {
+	return fmt.Sprintf("server rejected request (%d): %s", e.status, e.msg)
+}
+
+// call POSTs (or GETs, when body is nil and method says so) JSON and
+// decodes the JSON response into out (ignored when nil), retrying
+// transient failures with exponential backoff until ctx is done or
+// attempts run out.
+func (c *Client) call(ctx context.Context, method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		payload, err = json.Marshal(body)
+		if err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	delay := c.backoff()
+	for attempt := 0; attempt < c.retries(); attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+			delay *= 2
+		}
+		data, err := c.once(ctx, method, path, payload)
+		if err == nil {
+			if out == nil {
+				return nil
+			}
+			return json.Unmarshal(data, out)
+		}
+		if perm, ok := err.(*permanentError); ok {
+			return perm
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("campaign: %s %s failed after %d attempts: %w", method, path, c.retries(), lastErr)
+}
+
+// once performs a single HTTP exchange, classifying failures.
+func (c *Client) once(ctx context.Context, method, path string, payload []byte) ([]byte, error) {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimSuffix(c.Base, "/")+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err // network-level: transient
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return data, nil
+	case resp.StatusCode == http.StatusRequestTimeout,
+		resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode >= 500:
+		return nil, fmt.Errorf("server returned %d: %s", resp.StatusCode, errorMessage(data))
+	default:
+		return nil, &permanentError{status: resp.StatusCode, msg: errorMessage(data)}
+	}
+}
+
+// errorMessage extracts the JSON error envelope, falling back to the raw
+// body.
+func errorMessage(data []byte) string {
+	var e errorBody
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// Submit registers a sweep and returns the campaign id and cell count.
+func (c *Client) Submit(ctx context.Context, sw study.Sweep) (string, int, error) {
+	var resp SubmitResponse
+	if err := c.call(ctx, http.MethodPost, "/campaigns", sw, &resp); err != nil {
+		return "", 0, err
+	}
+	return resp.ID, resp.Cells, nil
+}
+
+// Lease requests work.
+func (c *Client) Lease(ctx context.Context, worker string) (*Lease, LeaseStatus, error) {
+	var resp LeaseResponse
+	if err := c.call(ctx, http.MethodPost, "/lease", LeaseRequest{Worker: worker}, &resp); err != nil {
+		return nil, "", err
+	}
+	return resp.Lease, resp.Status, nil
+}
+
+// Complete submits a finished cell; duplicate reports whether the cell
+// was already done (still a success).
+func (c *Client) Complete(ctx context.Context, campaignID, token string, rec study.CellRecord) (duplicate bool, err error) {
+	var resp CompleteResponse
+	req := CompleteRequest{Campaign: campaignID, Token: token, Record: rec}
+	if err := c.call(ctx, http.MethodPost, "/complete", req, &resp); err != nil {
+		return false, err
+	}
+	return resp.Duplicate, nil
+}
+
+// Release returns a leased cell to the pending pool.
+func (c *Client) Release(ctx context.Context, campaignID, token string) error {
+	return c.call(ctx, http.MethodPost, "/release", ReleaseRequest{Campaign: campaignID, Token: token}, nil)
+}
+
+// Progress fetches one campaign's progress.
+func (c *Client) Progress(ctx context.Context, id string) (Progress, error) {
+	var p Progress
+	err := c.call(ctx, http.MethodGet, "/campaigns/"+id, nil, &p)
+	return p, err
+}
+
+// Report fetches the rendered report (format "csv" or "md").
+func (c *Client) Report(ctx context.Context, id, format string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(c.Base, "/")+"/campaigns/"+id+"/report?format="+format, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("campaign: report %s: server returned %d: %s", id, resp.StatusCode, errorMessage(data))
+	}
+	return data, nil
+}

@@ -1,0 +1,251 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/internal/study"
+)
+
+// The HTTP/JSON API. Every request and response body is JSON except the
+// report endpoint, which returns the rendered table. See docs/SWEEPD.md
+// for the protocol description.
+//
+//	POST /campaigns            submit a study.Sweep        -> SubmitResponse
+//	GET  /campaigns            list campaign progress      -> ListResponse
+//	GET  /campaigns/{id}       one campaign's progress     -> Progress
+//	GET  /campaigns/{id}/report?format=csv|md  rendered report
+//	POST /lease                request work                -> LeaseResponse
+//	POST /complete             submit a finished cell      -> CompleteResponse
+//	POST /release              return a leased cell        -> statusBody
+//	GET  /healthz              liveness                    -> "ok"
+
+// maxBodyBytes bounds request bodies; sweeps and cell records are small,
+// so anything larger is a confused client.
+const maxBodyBytes = 16 << 20
+
+// SubmitResponse answers POST /campaigns.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	Cells int    `json:"cells"`
+}
+
+// ListResponse answers GET /campaigns.
+type ListResponse struct {
+	Campaigns []Progress `json:"campaigns"`
+}
+
+// LeaseRequest is the body of POST /lease.
+type LeaseRequest struct {
+	// Worker names the requester, for logs and lease bookkeeping only —
+	// it carries no authority.
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse answers POST /lease. Lease is set only when Status is
+// StatusLeased.
+type LeaseResponse struct {
+	Status LeaseStatus `json:"status"`
+	Lease  *Lease      `json:"lease,omitempty"`
+}
+
+// CompleteRequest is the body of POST /complete.
+type CompleteRequest struct {
+	Campaign string           `json:"campaign"`
+	Token    string           `json:"token"`
+	Record   study.CellRecord `json:"record"`
+}
+
+// CompleteResponse answers POST /complete. Duplicate reports whether the
+// cell was already complete (the submission was accepted and idempotent).
+type CompleteResponse struct {
+	Duplicate bool `json:"duplicate"`
+}
+
+// ReleaseRequest is the body of POST /release.
+type ReleaseRequest struct {
+	Campaign string `json:"campaign"`
+	Token    string `json:"token"`
+}
+
+// errorBody is the JSON error envelope for non-2xx responses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server exposes a Manager over HTTP.
+type Server struct {
+	m   *Manager
+	log *log.Logger
+	mux *http.ServeMux
+}
+
+// NewServer wires the manager's HTTP API. logger may be nil for a silent
+// server (tests).
+func NewServer(m *Manager, logger *log.Logger) *Server {
+	s := &Server{m: m, log: logger}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleProgress)
+	mux.HandleFunc("GET /campaigns/{id}/report", s.handleReport)
+	mux.HandleFunc("POST /lease", s.handleLease)
+	mux.HandleFunc("POST /complete", s.handleComplete)
+	mux.HandleFunc("POST /release", s.handleRelease)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.log != nil {
+		s.log.Printf(format, args...)
+	}
+}
+
+// decodeJSON reads and decodes a bounded request body.
+func decodeJSON(r *http.Request, into any) error {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return err
+	}
+	if len(data) > maxBodyBytes {
+		return errors.New("request body too large")
+	}
+	return json.Unmarshal(data, into)
+}
+
+// writeJSON writes a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// writeError writes the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sw study.Sweep
+	if err := decodeJSON(r, &sw); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, err := s.m.Submit(sw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.logf("campaign %s submitted: %d cells (%d models × %d protocols, %d trials)",
+		c.ID(), len(c.keys), len(sw.Models), len(sw.Protocols), sw.Trials)
+	writeJSON(w, http.StatusCreated, SubmitResponse{ID: c.ID(), Cells: len(c.keys)})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	resp := ListResponse{Campaigns: []Progress{}}
+	for _, c := range s.m.Campaigns() {
+		resp.Campaigns = append(resp.Campaigns, c.progress(s.m.now()))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.m.Progress(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", r.PathValue("id")))
+		return
+	}
+	rows := study.Report(c.records())
+	format := r.URL.Query().Get("format")
+	switch strings.ToLower(format) {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		if err := study.WriteCSV(w, rows); err != nil {
+			s.logf("campaign %s: writing csv report: %v", c.ID(), err)
+		}
+	case "", "md", "markdown":
+		w.Header().Set("Content-Type", "text/markdown")
+		if err := study.WriteMarkdown(w, rows); err != nil {
+			s.logf("campaign %s: writing markdown report: %v", c.ID(), err)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown report format %q (want csv or md)", format))
+	}
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	l, status := s.m.Lease(req.Worker)
+	resp := LeaseResponse{Status: status}
+	if status == StatusLeased {
+		resp.Lease = &l
+		s.logf("campaign %s: leased %s to %q (ttl %dms)", l.Campaign, l.Cell.Key(), req.Worker, l.TTLMS)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fresh, err := s.m.Complete(req.Campaign, req.Token, req.Record)
+	if err != nil {
+		// A record failing validation is the client's fault (permanent);
+		// a checkpoint write failing is ours (retryable) — the worker's
+		// result is correct and not yet durable, so it must resubmit.
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrInternal) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err)
+		return
+	}
+	if fresh {
+		if p, ok := s.m.Progress(req.Campaign); ok {
+			s.logf("campaign %s: completed %s (%d/%d done)", req.Campaign, req.Record.Key(), p.Done, p.Cells)
+		}
+	}
+	writeJSON(w, http.StatusOK, CompleteResponse{Duplicate: !fresh})
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req ReleaseRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.m.Release(req.Campaign, req.Token); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}

@@ -1,0 +1,310 @@
+package campaign_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/model"
+	_ "repro/internal/model/all"
+	"repro/internal/protocol"
+	"repro/internal/spec"
+	"repro/internal/study"
+)
+
+func farmSweep() study.Sweep {
+	return study.Sweep{
+		Models: []spec.Spec{
+			model.New("edgemeg").WithInt("n", 48).WithFloat("p", 0.04).WithFloat("q", 0.26),
+			model.New("static").With("topology", "torus").WithInt("m", 6),
+		},
+		Protocols: []spec.Spec{
+			protocol.New("flood"),
+			protocol.New("push").WithInt("k", 2),
+			protocol.New("pushpull").WithInt("k", 1),
+		},
+		Trials:   4,
+		Seed:     5,
+		MaxSteps: 1 << 13,
+	}
+}
+
+// startServer boots a manager + HTTP server for tests. ttl is the real
+// lease TTL — keep it short so expiry is testable.
+func startServer(t *testing.T, dir string, ttl time.Duration) (*httptest.Server, *campaign.Manager) {
+	t.Helper()
+	mgr, err := campaign.NewManager(campaign.Options{Dir: dir, LeaseTTL: ttl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(campaign.NewServer(mgr, nil))
+	t.Cleanup(func() {
+		srv.Close()
+		mgr.Close()
+	})
+	return srv, mgr
+}
+
+// offlineReports runs the sweep locally — the single-process cmd/sweep
+// path — and renders both report forms.
+func offlineReports(t *testing.T, sw study.Sweep) (csv, md string) {
+	t.Helper()
+	records, err := study.RunSweep(sw, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := study.Report(records)
+	var csvBuf, mdBuf bytes.Buffer
+	if err := study.WriteCSV(&csvBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := study.WriteMarkdown(&mdBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	return csvBuf.String(), mdBuf.String()
+}
+
+// TestFarmEndToEnd is the acceptance test of the subsystem: a campaign
+// executed by two concurrent workers over real HTTP, with a third worker
+// dying mid-cell (lease acquired, never completed) so its cell must
+// travel the expiry → re-lease path, produces CSV and markdown reports
+// byte-identical to the same sweep run offline by the single-process
+// runner — and the server's on-disk checkpoint is a plain sweep
+// checkpoint readable by the -report-only path.
+func TestFarmEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	const ttl = 200 * time.Millisecond
+	srv, _ := startServer(t, dir, ttl)
+	cl := &campaign.Client{Base: srv.URL}
+	ctx := context.Background()
+
+	sw := farmSweep()
+	id, cells, err := cl.Submit(ctx, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(sw.Keys()); cells != want {
+		t.Fatalf("submitted %d cells, want %d", cells, want)
+	}
+
+	// The dying worker: leases a cell over HTTP and is never heard from
+	// again — exactly what kill -9 mid-cell looks like to the server.
+	dead, status, err := cl.Lease(ctx, "doomed")
+	if err != nil || status != campaign.StatusLeased {
+		t.Fatalf("doomed lease: %v %q", err, status)
+	}
+
+	// Two live workers drain the farm concurrently. Their polls must
+	// outlive the dead worker's lease TTL, which they do by retrying.
+	var wg sync.WaitGroup
+	results := make([]struct {
+		completed int
+		err       error
+	}, 2)
+	for w := range results {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w].completed, results[w].err = campaign.Work(ctx, cl, campaign.WorkerOpts{
+				Name:    []string{"alpha", "beta"}[w],
+				Workers: 1,
+				Poll:    20 * time.Millisecond,
+				Drain:   true,
+			})
+		}(w)
+	}
+	wg.Wait()
+	for w, r := range results {
+		if r.err != nil {
+			t.Fatalf("worker %d: %v", w, r.err)
+		}
+	}
+	if got := results[0].completed + results[1].completed; got != cells {
+		t.Fatalf("workers completed %d cells, want %d (every cell exactly once, incl. the re-leased one)", got, cells)
+	}
+
+	p, err := cl.Progress(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Complete || p.Done != cells || p.Leased != 0 || p.Pending != 0 {
+		t.Fatalf("final progress = %+v", p)
+	}
+	if p.MeanWallMS < 0 {
+		t.Fatalf("mean wall ms = %v", p.MeanWallMS)
+	}
+
+	// Byte-identical reports vs the offline single-process run.
+	wantCSV, wantMD := offlineReports(t, sw)
+	gotCSV, err := cl.Report(ctx, id, "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotCSV) != wantCSV {
+		t.Fatalf("farm CSV differs from offline run:\n%s\nvs\n%s", gotCSV, wantCSV)
+	}
+	gotMD, err := cl.Report(ctx, id, "md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotMD) != wantMD {
+		t.Fatalf("farm markdown differs from offline run:\n%s\nvs\n%s", gotMD, wantMD)
+	}
+
+	// The dead worker rises and posts its stale completion: accepted,
+	// flagged duplicate, and the report is unchanged.
+	lateRec, err := study.RunSweep(study.Sweep{
+		Models:    sw.Models[:1],
+		Protocols: sw.Protocols[:1],
+		Trials:    sw.Trials,
+		Seed:      sw.Seed,
+		MaxSteps:  sw.MaxSteps,
+	}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lateRec[0].Key() != dead.Cell.Key() {
+		t.Fatalf("test setup: dead cell %s is not the first grid cell %s", dead.Cell.Key(), lateRec[0].Key())
+	}
+	dup, err := cl.Complete(ctx, dead.Campaign, dead.Token, lateRec[0])
+	if err != nil {
+		t.Fatalf("late duplicate completion rejected: %v", err)
+	}
+	if !dup {
+		t.Fatal("late completion not flagged duplicate")
+	}
+	gotCSV2, err := cl.Report(ctx, id, "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotCSV2) != wantCSV {
+		t.Fatalf("duplicate completion changed the report:\n%s\nvs\n%s", gotCSV2, wantCSV)
+	}
+
+	// The campaign checkpoint on disk is an ordinary sweep checkpoint:
+	// -report-only aggregation over it reproduces the same CSV.
+	ckpt := filepath.Join(dir, id+".ckpt.jsonl")
+	done, err := study.LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []study.CellRecord
+	for _, rec := range done {
+		recs = append(recs, rec)
+	}
+	var b strings.Builder
+	if err := study.WriteCSV(&b, study.Report(recs)); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != wantCSV {
+		t.Fatalf("checkpoint-file aggregation differs:\n%s\nvs\n%s", b.String(), wantCSV)
+	}
+}
+
+// TestWorkerGracefulRelease: a worker cancelled while holding an
+// unstarted lease hands the cell back immediately instead of letting the
+// TTL run out.
+func TestWorkerGracefulRelease(t *testing.T) {
+	srv, mgr := startServer(t, "", time.Hour) // TTL so long expiry can't mask release
+	cl := &campaign.Client{Base: srv.URL}
+	if _, _, err := cl.Submit(context.Background(), farmSweep()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	donec := make(chan error, 1)
+	go func() {
+		_, err := campaign.Work(ctx, cl, campaign.WorkerOpts{
+			Name: "held",
+			Hold: time.Hour, // parks between lease and run until cancelled
+		})
+		donec <- err
+	}()
+	// Wait until the worker holds its lease, then shut it down.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p, _ := mgr.Progress("c0")
+		if p.Leased == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never leased")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-donec; err != nil {
+		t.Fatal(err)
+	}
+	p, _ := mgr.Progress("c0")
+	if p.Leased != 0 || p.Done != 0 {
+		t.Fatalf("cancelled worker did not release: %+v", p)
+	}
+}
+
+// TestServerRejects covers the HTTP error surface.
+func TestServerRejects(t *testing.T) {
+	srv, _ := startServer(t, "", time.Minute)
+	post := func(path, body string) (int, string) {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return resp.StatusCode, e.Error
+	}
+
+	if code, _ := post("/campaigns", `{"models":[],"protocols":["flood"],"trials":3}`); code != http.StatusBadRequest {
+		t.Fatalf("empty sweep: %d", code)
+	}
+	if code, _ := post("/campaigns", `not json`); code != http.StatusBadRequest {
+		t.Fatalf("bad json: %d", code)
+	}
+	if code, _ := post("/complete", `{"campaign":"nope","token":"t","record":{}}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown campaign complete: %d", code)
+	}
+	if code, _ := post("/release", `{"campaign":"nope","token":"t"}`); code != http.StatusNotFound {
+		t.Fatalf("unknown campaign release: %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/campaigns/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown campaign progress: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/campaigns/nope/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown campaign report: %d", resp.StatusCode)
+	}
+
+	// A submitted campaign with a bad report format.
+	if code, _ := post("/campaigns", `{"models":["edgemeg:n=32,p=0.05,q=0.3"],"protocols":["flood"],"trials":2,"seed":1}`); code != http.StatusCreated {
+		t.Fatalf("valid submit: %d", code)
+	}
+	resp, err = http.Get(srv.URL + "/campaigns/c0/report?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad report format: %d", resp.StatusCode)
+	}
+}

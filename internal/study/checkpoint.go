@@ -48,6 +48,12 @@ type CellRecord struct {
 	Times     []int `json:"times"`
 	HalfTimes []int `json:"half_times"`
 	Informed  []int `json:"informed"`
+	// WallMS is the wall-clock milliseconds the cell took on whichever
+	// worker executed it. It is diagnostic only — never part of the Key,
+	// never reported in CSV/markdown, and two legitimate records for the
+	// same key may differ in it (two workers racing a re-leased cell).
+	// Records written before the field existed read as 0.
+	WallMS int64 `json:"wall_ms,omitempty"`
 }
 
 // Key returns the record's cell key.
@@ -95,14 +101,24 @@ func (r CellRecord) MedianTime() float64 {
 	return stats.Median(r.CompletedTimes())
 }
 
-// valid reports whether the record is internally consistent: a record
-// whose per-trial slices do not match its trial count (a line truncated
-// mid-write that still parsed as JSON) must not suppress re-execution.
-func (r CellRecord) valid() bool {
-	return r.Trials > 0 &&
-		len(r.Times) == r.Trials &&
-		len(r.HalfTimes) == r.Trials &&
-		len(r.Informed) == r.Trials
+// Validate checks the record's internal consistency: a record whose
+// per-trial slices do not match its trial count (a line truncated
+// mid-write that still parsed as JSON, or a hostile/buggy remote worker)
+// must not suppress re-execution. The checkpoint scanner applies it to
+// every line, and the campaign server applies it to every record a worker
+// submits before the record reaches a checkpoint.
+func (r CellRecord) Validate() error {
+	if r.Trials <= 0 {
+		return fmt.Errorf("study: record %s: trials must be positive", r.Key())
+	}
+	if len(r.Times) != r.Trials || len(r.HalfTimes) != r.Trials || len(r.Informed) != r.Trials {
+		return fmt.Errorf("study: record %s has %d/%d/%d per-trial entries for %d trials",
+			r.Key(), len(r.Times), len(r.HalfTimes), len(r.Informed), r.Trials)
+	}
+	if r.WallMS < 0 {
+		return fmt.Errorf("study: record %s: negative wall_ms %d", r.Key(), r.WallMS)
+	}
+	return nil
 }
 
 // WriteCheckpoint appends the record to w as one JSON line.
@@ -152,9 +168,8 @@ func scanCheckpoint(r io.Reader) (records []CellRecord, validLen int64, err erro
 				if err := json.Unmarshal(trimmed, &rec); err != nil {
 					return fmt.Errorf("study: checkpoint line %d: %w", line, err)
 				}
-				if !rec.valid() {
-					return fmt.Errorf("study: checkpoint line %d: record %s has %d/%d/%d per-trial entries for %d trials",
-						line, rec.Key(), len(rec.Times), len(rec.HalfTimes), len(rec.Informed), rec.Trials)
+				if err := rec.Validate(); err != nil {
+					return fmt.Errorf("study: checkpoint line %d: %w", line, err)
 				}
 				records = append(records, rec)
 				return nil

@@ -1,0 +1,107 @@
+package study
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fuzzRecord builds a small valid record line for seeding the corpus.
+func fuzzRecord(model string, trials int, t0 int) string {
+	rec := CellRecord{
+		Model: model, Protocol: "flood", Trials: trials, Seed: 7, N: 8,
+		Times:     make([]int, trials),
+		HalfTimes: make([]int, trials),
+		Informed:  make([]int, trials),
+		WallMS:    int64(t0),
+	}
+	for i := range rec.Times {
+		rec.Times[i] = t0 + i
+		rec.HalfTimes[i] = t0 + i/2
+		rec.Informed[i] = 8
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, rec); err != nil {
+		panic(err)
+	}
+	return buf.String()
+}
+
+// FuzzScanCheckpoint hammers the checkpoint scanner with the multi-writer
+// reality the campaign server creates: interleaved duplicate keys,
+// kill-truncated tails, severed newlines, and mid-file garbage. The
+// invariants under fuzz:
+//
+//  1. scanCheckpoint never panics and validLen is a sane offset into the
+//     input ending on a record boundary.
+//  2. Every returned record passes Validate — garbage never becomes a
+//     record that could suppress re-execution.
+//  3. Rescanning the reported valid prefix reproduces exactly the same
+//     records and the same validLen (the prefix is self-consistent, so
+//     OpenCheckpoint's truncate-to-validLen repair converges).
+//  4. Appending a fresh valid line after the valid prefix — what resume
+//     and the campaign server both do — yields the old records plus the
+//     new one.
+func FuzzScanCheckpoint(f *testing.F) {
+	recA := fuzzRecord("a", 2, 3)
+	recB := fuzzRecord("b", 1, 5)
+	recA2 := fuzzRecord("a", 2, 9) // duplicate key for recA, later wins
+	f.Add([]byte(""))
+	f.Add([]byte(recA))
+	f.Add([]byte(recA + recB))
+	f.Add([]byte(recA + recB + recA2))                                  // interleaved duplicate keys
+	f.Add([]byte(recA + recB[:len(recB)/2]))                            // kill-truncated tail
+	f.Add([]byte(recA + strings.TrimSuffix(recB, "\n")))                // severed trailing newline
+	f.Add([]byte(recA + "{garbage\n" + recB))                           // mid-file garbage
+	f.Add([]byte("\n\n" + recA + "\n" + recB))                          // blank lines
+	f.Add([]byte(`{"model":"m","trials":3,"times":[1]}` + "\n" + recA)) // inconsistent record mid-file
+	f.Add([]byte(recA + `{"model":"m","trials":3,"times":[1]}`))        // inconsistent tail: dropped
+	f.Add([]byte(`{"model":"m","trials":-1,"times":[],"half_times":[],"informed":[]}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, validLen, err := scanCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return // corrupt checkpoints may be rejected; they must not panic
+		}
+		if validLen < 0 || validLen > int64(len(data)) {
+			t.Fatalf("validLen %d out of range for %d input bytes", validLen, len(data))
+		}
+		for _, rec := range records {
+			if verr := rec.Validate(); verr != nil {
+				t.Fatalf("scanner returned invalid record %+v: %v", rec, verr)
+			}
+		}
+		prefix := data[:validLen]
+		again, againLen, err := scanCheckpoint(bytes.NewReader(prefix))
+		if err != nil {
+			t.Fatalf("rescanning valid prefix failed: %v\nprefix: %q", err, prefix)
+		}
+		if againLen != validLen {
+			t.Fatalf("rescan of valid prefix shrank: %d -> %d\nprefix: %q", validLen, againLen, prefix)
+		}
+		if !reflect.DeepEqual(records, again) {
+			t.Fatalf("rescan of valid prefix changed records:\n%+v\nvs\n%+v", records, again)
+		}
+		// The append step mirrors OpenCheckpoint: truncate to validLen,
+		// repair a severed trailing newline, then append one fresh line.
+		appended := append([]byte{}, prefix...)
+		if len(appended) > 0 && appended[len(appended)-1] != '\n' {
+			appended = append(appended, '\n')
+		}
+		fresh := fuzzRecord("appended", 1, 11)
+		appended = append(appended, fresh...)
+		merged, _, err := scanCheckpoint(bytes.NewReader(appended))
+		if err != nil {
+			t.Fatalf("append after truncation broke the checkpoint: %v\nfile: %q", err, appended)
+		}
+		if len(merged) != len(records)+1 {
+			t.Fatalf("append after truncation: got %d records, want %d", len(merged), len(records)+1)
+		}
+		if merged[len(merged)-1].Model != "appended" {
+			t.Fatalf("appended record lost: %+v", merged[len(merged)-1])
+		}
+		if len(records) > 0 && !reflect.DeepEqual(merged[:len(records)], records) {
+			t.Fatalf("append disturbed earlier records")
+		}
+	})
+}

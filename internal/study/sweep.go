@@ -2,8 +2,10 @@ package study
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/protocol"
@@ -197,6 +199,66 @@ func (sw Sweep) Keys() []Key {
 	return keys
 }
 
+// CheckRecord verifies that rec is a legitimate result for one of the
+// sweep's cells: internally consistent, keyed to a cell the sweep
+// enumerates, and computed under the sweep-wide Source and MaxSteps (the
+// Key omits both, so a record from an edited sweep file — or a confused
+// remote worker — could otherwise smuggle in results computed under
+// different caps). RunSweep applies it to every resumed checkpoint record
+// and the campaign server applies it to every completion a worker posts.
+func (sw Sweep) CheckRecord(rec CellRecord) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	key := rec.Key()
+	found := false
+	for _, m := range sw.Models {
+		for _, p := range sw.Protocols {
+			if sw.key(m, p) == key {
+				found = true
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("sweep: record %s is not a cell of this sweep", key)
+	}
+	if rec.Source != sw.Source || rec.MaxSteps != sw.MaxSteps {
+		return fmt.Errorf(
+			"sweep: cell %s ran with source=%d max_steps=%d, sweep wants source=%d max_steps=%d",
+			key, rec.Source, rec.MaxSteps, sw.Source, sw.MaxSteps)
+	}
+	return nil
+}
+
+// ErrStopped is returned by RunSweepOpts when its Stop channel fired: the
+// in-flight cell was finished and checkpointed, no further cell started,
+// and the records completed so far accompany the error. It is a clean
+// interruption, not a failure — resuming from the checkpoint continues
+// exactly where the run left off.
+var ErrStopped = errors.New("study: sweep stopped before completion")
+
+// SweepOpts configures RunSweepOpts beyond the sweep definition itself.
+// Every field is optional; the zero value runs the whole grid silently.
+type SweepOpts struct {
+	// Done maps already-completed cells (a loaded checkpoint) to their
+	// records; cells found here are reused, not rerun.
+	Done map[Key]CellRecord
+	// Sink receives each NEWLY completed cell's record before the next
+	// cell starts, so an interrupted sweep loses at most the cell in
+	// flight.
+	Sink func(CellRecord) error
+	// Progress, when non-nil, is called once per cell in grid order just
+	// before the cell executes or is skipped: index is the 0-based cell
+	// index, total the grid size, and resumed reports whether the cell is
+	// being reused from Done.
+	Progress func(key Key, index, total int, resumed bool)
+	// Stop, when non-nil, makes the run return ErrStopped — after
+	// finishing and sinking the in-flight cell — as soon as the channel is
+	// closed or receives. This is the graceful-shutdown hook: a SIGINT
+	// costs at most the wall time of one cell and zero completed work.
+	Stop <-chan struct{}
+}
+
 // RunSweep executes the sweep's grid, skipping every cell whose key is
 // already present in done (a loaded checkpoint) and streaming each NEWLY
 // completed cell's record to sink before the next cell starts — so an
@@ -207,34 +269,55 @@ func (sw Sweep) Keys() []Key {
 // sweep ran in one pass or across any sequence of interruptions, for any
 // Workers values.
 func RunSweep(sw Sweep, done map[Key]CellRecord, sink func(CellRecord) error) ([]CellRecord, error) {
+	return RunSweepOpts(sw, SweepOpts{Done: done, Sink: sink})
+}
+
+// RunSweepOpts is RunSweep with progress reporting and graceful stop; see
+// SweepOpts. Each newly executed cell's record carries the wall-clock
+// milliseconds it took (CellRecord.WallMS); resumed records keep whatever
+// their checkpoint recorded.
+func RunSweepOpts(sw Sweep, opts SweepOpts) ([]CellRecord, error) {
 	if err := sw.Validate(); err != nil {
 		return nil, err
 	}
-	records := make([]CellRecord, 0, len(sw.Models)*len(sw.Protocols))
+	total := len(sw.Models) * len(sw.Protocols)
+	records := make([]CellRecord, 0, total)
+	index := 0
 	for _, m := range sw.Models {
 		for _, p := range sw.Protocols {
-			s := sw.study(m, p)
 			key := sw.key(m, p)
-			if rec, ok := done[key]; ok {
-				// The key omits Source and MaxSteps (they are sweep-wide,
-				// not per-cell), so a checkpoint from an edited sweep file
-				// could otherwise smuggle in results computed under
-				// different caps. Reject instead of silently reusing.
-				if rec.Source != sw.Source || rec.MaxSteps != sw.MaxSteps {
-					return records, fmt.Errorf(
-						"sweep: checkpointed cell %s ran with source=%d max_steps=%d, sweep wants source=%d max_steps=%d; discard the checkpoint (-fresh) to rerun",
-						key, rec.Source, rec.MaxSteps, sw.Source, sw.MaxSteps)
+			rec, resumed := opts.Done[key]
+			if !resumed && opts.Stop != nil {
+				// Checked before the cell is announced or started:
+				// stopping costs zero compute, and resumed cells are
+				// still merged for free on the way out.
+				select {
+				case <-opts.Stop:
+					return records, ErrStopped
+				default:
+				}
+			}
+			if opts.Progress != nil {
+				opts.Progress(key, index, total, resumed)
+			}
+			index++
+			if resumed {
+				if err := sw.CheckRecord(rec); err != nil {
+					return records, fmt.Errorf("%w; discard the checkpoint (-fresh) to rerun", err)
 				}
 				records = append(records, rec)
 				continue
 			}
+			s := sw.study(m, p)
+			start := time.Now()
 			cell, err := Run(s)
 			if err != nil {
 				return records, err
 			}
-			rec := Record(s, cell)
-			if sink != nil {
-				if err := sink(rec); err != nil {
+			rec = Record(s, cell)
+			rec.WallMS = time.Since(start).Milliseconds()
+			if opts.Sink != nil {
+				if err := opts.Sink(rec); err != nil {
 					return records, err
 				}
 			}
