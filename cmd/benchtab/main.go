@@ -10,6 +10,7 @@
 //	benchtab -list      # list experiment IDs and claims
 //	benchtab -seed 7    # change the master seed
 //	benchtab -json      # run the microbenchmark suite, write BENCH_<date>.json
+//	benchtab -compare a.json b.json   # diff two BENCH records row by row
 package main
 
 import (
@@ -33,7 +34,36 @@ func main() {
 	baselineRow := flag.String("baseline-row", "flood/static-torus/engine-only",
 		"row compared against -baseline (must be mode-independent: same workload under -quick and full)")
 	baselineSlack := flag.Float64("baseline-slack", 25, "percent slowdown tolerated by -baseline before failing")
+	compare := flag.Bool("compare", false, "diff two BENCH_<date>.json records row by row (benchtab -compare a.json b.json); exits nonzero when any row of b regressed beyond -baseline-slack or allocates more than a")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchtab: -compare wants exactly two record paths (a.json b.json)")
+			os.Exit(1)
+		}
+		a, err := bench.ReadMicroRecord(flag.Arg(0))
+		if err == nil {
+			var b bench.MicroRecord
+			b, err = bench.ReadMicroRecord(flag.Arg(1))
+			if err == nil {
+				rows := bench.Compare(a, b, *baselineSlack)
+				err = bench.WriteCompare(os.Stdout, rows)
+				if err == nil {
+					if bad := bench.Regressions(rows); len(bad) > 0 {
+						fmt.Fprintf(os.Stderr, "benchtab: %d row(s) regressed beyond %.0f%% slack\n",
+							len(bad), *baselineSlack)
+						os.Exit(1)
+					}
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range bench.All() {

@@ -28,6 +28,20 @@
 //	sweep -server http://host:8377                           # run as a leased worker
 //	sweep -server http://host:8377 -drain                    # worker that exits when the farm is done
 //
+// Telemetry (any mode):
+//
+//	sweep -file grid.json -telemetry ./tel          # capture metrics to ./tel/sweep.ftdc.jsonl
+//	sweep -server http://host:8377 -telemetry ./tel # worker capture: ./tel/worker-<name>.ftdc.jsonl
+//	sweep -telemetry-report ./tel                   # summarize every capture in the directory
+//
+// -telemetry enables the internal/telemetry collector: one delta-encoded
+// sample per second (plus one per completed cell) of throughput counters,
+// scratch footprint, and runtime GC/heap stats, written to a size-capped
+// ring of *.ftdc.jsonl files that tolerate kill -9 exactly like the
+// checkpoint. -telemetry-report decodes a capture file (or every capture
+// under a directory) and prints per-metric first/last/min/max/mean and
+// per-second rates. See docs/TELEMETRY.md.
+//
 // Every completed cell is appended to the checkpoint file before the next
 // cell starts. Rerunning the same command resumes: cells whose
 // (model, protocol, trials, seed) key is already checkpointed are skipped,
@@ -55,7 +69,9 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -65,6 +81,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/spec"
 	"repro/internal/study"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -89,6 +106,8 @@ func main() {
 	poll := flag.Duration("poll", 2*time.Second, "with -server: idle re-poll interval")
 	drain := flag.Bool("drain", false, "with -server: exit 0 once the server reports every campaign complete")
 	hold := flag.Duration("hold", 0, "with -server: fault-injection pause between leasing a cell and running it (testing lease expiry)")
+	telemetryDir := flag.String("telemetry", "", "directory for FTDC-style metrics captures (*.ftdc.jsonl): one sample per second plus one per completed cell")
+	telemetryReport := flag.String("telemetry-report", "", "capture file or directory: print per-metric summaries and exit")
 	flag.Parse()
 
 	if *listModels {
@@ -99,10 +118,16 @@ func main() {
 		fmt.Print(protocol.Usage())
 		return
 	}
+	if *telemetryReport != "" {
+		if err := reportTelemetry(*telemetryReport); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *server != "" {
 		farm(*server, *submit, *file, *models, *protocols, *trials, *seed, *source, *maxSteps,
-			*workerName, *workers, *poll, *drain, *hold)
+			*workerName, *workers, *poll, *drain, *hold, *telemetryDir)
 		return
 	}
 
@@ -127,7 +152,7 @@ func main() {
 			records = append(records, rec)
 		}
 	} else {
-		records = run(*file, *models, *protocols, *trials, *seed, *source, *maxSteps, *workers, *checkpoint, *fresh)
+		records = run(*file, *models, *protocols, *trials, *seed, *source, *maxSteps, *workers, *checkpoint, *fresh, *telemetryDir)
 	}
 
 	rows := study.Report(records)
@@ -200,9 +225,12 @@ func stopOnSignal() <-chan struct{} {
 }
 
 // run assembles the sweep from the file and flag overrides, wires the
-// checkpoint, and executes the missing cells.
-func run(file, models, protocols string, trials int, seed uint64, source, maxSteps, workers int, checkpoint string, fresh bool) []study.CellRecord {
+// checkpoint and telemetry, and executes the missing cells.
+func run(file, models, protocols string, trials int, seed uint64, source, maxSteps, workers int, checkpoint string, fresh bool, telemetryDir string) []study.CellRecord {
 	sw := assembleSweep(file, models, protocols, trials, seed, source, maxSteps, workers)
+
+	col, flushTelemetry := startTelemetry(telemetryDir, "sweep")
+	defer flushTelemetry()
 
 	done := map[study.Key]study.CellRecord{}
 	var sink func(study.CellRecord) error
@@ -254,15 +282,17 @@ func run(file, models, protocols string, trials int, seed uint64, source, maxSte
 
 	start := time.Now()
 	records, err := study.RunSweepOpts(sw, study.SweepOpts{
-		Done:     done,
-		Sink:     sink,
-		Progress: progress,
-		Stop:     stopOnSignal(),
+		Done:      done,
+		Sink:      sink,
+		Progress:  progress,
+		Stop:      stopOnSignal(),
+		Telemetry: col,
 	})
 	if err == study.ErrStopped {
 		// Graceful interruption: the checkpoint holds every finished cell
 		// (fsync'd per cell), so the same command resumes where this run
 		// stopped. Partial reports would be misleading; skip them.
+		flushTelemetry() // os.Exit skips the defer; capture the final sample
 		fmt.Fprintf(os.Stderr, "sweep: interrupted after %d/%d cells; checkpoint intact — rerun the same command to resume\n",
 			len(records), len(keys))
 		os.Exit(0)
@@ -278,9 +308,12 @@ func run(file, models, protocols string, trials int, seed uint64, source, maxSte
 // farm is the -server entry point: submit a campaign, or loop as a leased
 // worker until drained, signalled, or failed.
 func farm(base string, submit bool, file, models, protocols string, trials int, seed uint64, source, maxSteps int,
-	workerName string, workers int, poll time.Duration, drain bool, hold time.Duration) {
+	workerName string, workers int, poll time.Duration, drain bool, hold time.Duration, telemetryDir string) {
 	cl := &campaign.Client{Base: base}
 	if submit {
+		col, flushTelemetry := startTelemetry(telemetryDir, "submit")
+		defer flushTelemetry()
+		_ = col // submission registers no extra sources; the capture still records runtime stats
 		sw := assembleSweep(file, models, protocols, trials, seed, source, maxSteps, workers)
 		id, cells, err := cl.Submit(context.Background(), sw)
 		if err != nil {
@@ -295,6 +328,8 @@ func farm(base string, submit bool, file, models, protocols string, trials int, 
 		host, _ := os.Hostname()
 		workerName = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
+	col, flushTelemetry := startTelemetry(telemetryDir, "worker-"+sanitizeName(workerName))
+	defer flushTelemetry()
 	// Worker graceful shutdown: first signal cancels the context — the
 	// in-flight cell finishes and its record is posted, or an unstarted
 	// lease is released (see campaign.Work); second signal aborts.
@@ -302,17 +337,96 @@ func farm(base string, submit bool, file, models, protocols string, trials int, 
 	defer stop()
 	logger := log.New(os.Stderr, "sweep: ", log.LstdFlags)
 	completed, err := campaign.Work(ctx, cl, campaign.WorkerOpts{
-		Name:    workerName,
-		Workers: workers,
-		Poll:    poll,
-		Drain:   drain,
-		Hold:    hold,
-		Log:     logger,
+		Name:      workerName,
+		Workers:   workers,
+		Poll:      poll,
+		Drain:     drain,
+		Hold:      hold,
+		Log:       logger,
+		Telemetry: col,
 	})
 	if err != nil {
+		flushTelemetry() // fatal os.Exits past the defer
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "sweep: worker %s exiting after %d cells\n", workerName, completed)
+}
+
+// startTelemetry opens <dir>/<name>.ftdc.jsonl and starts a periodic
+// collector sampling into it. With dir empty it returns a nil collector
+// (every consumer treats nil as "telemetry off") and a no-op flush. The
+// returned flush is idempotent: it stops the sampler, writes the final
+// sample, and closes the capture.
+func startTelemetry(dir, name string) (*telemetry.Collector, func()) {
+	if dir == "" {
+		return nil, func() {}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	cw, err := telemetry.OpenCapture(filepath.Join(dir, name+telemetry.Ext), telemetry.CaptureOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	col := telemetry.New(telemetry.Options{})
+	col.Start(cw)
+	var once sync.Once
+	return col, func() {
+		once.Do(func() {
+			if err := col.Stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: telemetry:", err)
+			}
+			if err := cw.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: telemetry:", err)
+			}
+		})
+	}
+}
+
+// sanitizeName maps a worker name (default host:pid) to a safe capture
+// filename fragment.
+func sanitizeName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.', r == '_':
+			return r
+		}
+		return '-'
+	}, name)
+}
+
+// reportTelemetry decodes a capture file — or every *.ftdc.jsonl under a
+// directory — and prints per-metric summaries.
+func reportTelemetry(path string) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	paths := []string{path}
+	if info.IsDir() {
+		paths, err = telemetry.CaptureFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(paths) == 0 {
+			return fmt.Errorf("no *%s captures under %s", telemetry.Ext, path)
+		}
+	}
+	for i, p := range paths {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("%s:\n", p)
+		samples, err := telemetry.ReadCaptureFile(p)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteSummary(os.Stdout, telemetry.Summarize(samples)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func parseSpecs(field, text string) []spec.Spec {

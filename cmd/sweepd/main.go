@@ -9,6 +9,12 @@
 // Usage:
 //
 //	sweepd -addr :8377 -dir /var/lib/sweepd
+//	sweepd -addr :8377 -dir /var/lib/sweepd -telemetry /var/lib/sweepd/tel
+//
+// -telemetry enables the internal/telemetry collector: farm-wide gauges
+// (campaigns, cells done/leased/pending, heap/GC stats) sampled once per
+// second into <dir>/sweepd.ftdc.jsonl, and live snapshots on GET /metrics
+// and GET /campaigns/{id}/metrics. See docs/TELEMETRY.md.
 //
 // Submit, watch, and fetch:
 //
@@ -41,26 +47,48 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/campaign"
 	_ "repro/internal/model/all"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", ":8377", "listen address")
 	dir := flag.String("dir", "", "state directory: per-campaign sweep definitions + JSONL checkpoints; empty = in-memory only (campaigns die with the process)")
 	leaseTTL := flag.Duration("lease-ttl", campaign.DefaultLeaseTTL, "floor lease duration; leases stretch automatically with observed cell wall time")
+	telemetryDir := flag.String("telemetry", "", "directory for the server's FTDC-style metrics capture (sweepd.ftdc.jsonl); also feeds GET /metrics")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "sweepd: ", log.LstdFlags)
 	if *dir == "" {
 		logger.Printf("no -dir: running in-memory; campaigns will not survive a restart")
 	}
-	mgr, err := campaign.NewManager(campaign.Options{Dir: *dir, LeaseTTL: *leaseTTL})
+	var col *telemetry.Collector
+	var capture *telemetry.Capture
+	if *telemetryDir != "" {
+		if err := os.MkdirAll(*telemetryDir, 0o755); err != nil {
+			logger.Fatal(err)
+		}
+		var err error
+		capture, err = telemetry.OpenCapture(filepath.Join(*telemetryDir, "sweepd"+telemetry.Ext), telemetry.CaptureOptions{})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		col = telemetry.New(telemetry.Options{})
+	}
+	mgr, err := campaign.NewManager(campaign.Options{Dir: *dir, LeaseTTL: *leaseTTL, Telemetry: col})
 	if err != nil {
 		logger.Fatal(err)
+	}
+	if col != nil {
+		// Start after NewManager so the very first sample already carries
+		// the farm gauges the manager registers.
+		col.Start(capture)
+		logger.Printf("telemetry capture at %s", capture.Path())
 	}
 	for _, c := range mgr.Campaigns() {
 		p, _ := mgr.Progress(c.ID())
@@ -93,6 +121,14 @@ func main() {
 	}
 	if err := mgr.Close(); err != nil {
 		logger.Printf("closing checkpoints: %v", err)
+	}
+	if col != nil {
+		if err := col.Stop(); err != nil {
+			logger.Printf("telemetry: %v", err)
+		}
+		if err := capture.Close(); err != nil {
+			logger.Printf("telemetry: %v", err)
+		}
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Printf("serve: %v", err)

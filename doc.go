@@ -134,6 +134,28 @@
 // progress hooks to local runs, and study.Sweep.CheckRecord gates every
 // record a campaign accepts. See docs/SWEEPD.md for the protocol.
 //
+// The v8 layer makes performance a continuously observed property of all
+// of this rather than a benchmark-day artifact. internal/telemetry is an
+// FTDC-style metrics-capture subsystem: a telemetry.Collector registers
+// gauge and counter sources (sweep cells/trials/steps done, scratch-pool
+// footprint via the Bytes accounting on flood.Scratch and the dyngraph
+// stores, farm lease/completion churn, runtime heap/GC stats) and samples
+// them once per second — plus once per completed cell — into a
+// delta-encoded, size-capped, ring-buffered capture file
+// (*.ftdc.jsonl) whose reader tolerates kill truncation exactly like the
+// sweep checkpoint. The hot paths stay allocation-free: engines and sweep
+// loops only bump atomic counters; reading, encoding, and fsync batching
+// happen on the collector's goroutine. study.SweepOpts.Telemetry wires a
+// local sweep, campaign.WorkerOpts.Telemetry a farm worker, and
+// campaign.Options.Telemetry the server (which additionally serves live
+// snapshots on GET /metrics and per-campaign worker heartbeats and
+// counters on GET /campaigns/{id}/metrics, and supports DELETE
+// /campaigns/{id} for finished-state GC). telemetry.ReadCaptureFile and
+// telemetry.Summarize decode and aggregate captures — `sweep
+// -telemetry-report` renders the table, and `benchtab -compare a.json
+// b.json` diffs two microbenchmark records row by row with the same
+// slack semantics as the CI baseline gate. See docs/TELEMETRY.md.
+//
 // The library lives under internal/ (see DESIGN.md for the module map);
 // cmd/ holds the CLIs, examples/ runnable scenarios, and bench_test.go one
 // benchmark per experiment of EXPERIMENTS.md plus the flooding and

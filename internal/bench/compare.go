@@ -1,0 +1,120 @@
+package bench
+
+// Row-by-row diffing of two BENCH_<date>.json records, behind
+// `benchtab -compare a.json b.json`: where the baseline gate answers "did
+// THE pinned row regress against the committed record", compare answers
+// "what moved between these two runs" — every row, with percentage deltas
+// for ns/op and B/op and absolute allocs/op, plus a regression verdict per
+// row using the same slack semantics as the gate. Telemetry summaries
+// (telemetry.Summarize) cover runtime behavior of a sweep; this covers the
+// microbenchmark trajectory between PRs.
+
+import (
+	"fmt"
+	"io"
+)
+
+// CompareRow is the diff of one benchmark row between record A (the
+// reference, usually older) and record B (the candidate).
+type CompareRow struct {
+	Name string
+	// A and B are the matched rows; OnlyIn marks rows present in just one
+	// record ("a" or "b"), in which case the other side and the deltas are
+	// zero and the row is never a regression.
+	A, B   MicroResult
+	OnlyIn string
+	// DeltaNsPct and DeltaBytesPct are B relative to A in percent
+	// (+10 = B is 10% slower / bigger).
+	DeltaNsPct    float64
+	DeltaBytesPct float64
+	// Regressed reports whether B exceeds A's ns/op by more than the slack
+	// or allocates more per op — allocation growth has no slack, matching
+	// the zero-alloc engine pins.
+	Regressed bool
+}
+
+// Compare diffs two records row by row. Rows are emitted in A's order,
+// followed by rows that exist only in B; matching is by name. slackPct is
+// the ns/op slowdown tolerated before a row counts as regressed.
+func Compare(a, b MicroRecord, slackPct float64) []CompareRow {
+	inB := make(map[string]MicroResult, len(b.Benchmarks))
+	for _, r := range b.Benchmarks {
+		inB[r.Name] = r
+	}
+	rows := make([]CompareRow, 0, len(a.Benchmarks))
+	for _, ra := range a.Benchmarks {
+		rb, ok := inB[ra.Name]
+		if !ok {
+			rows = append(rows, CompareRow{Name: ra.Name, A: ra, OnlyIn: "a"})
+			continue
+		}
+		delete(inB, ra.Name)
+		row := CompareRow{Name: ra.Name, A: ra, B: rb}
+		if ra.NsPerOp > 0 {
+			row.DeltaNsPct = 100 * (rb.NsPerOp/ra.NsPerOp - 1)
+		}
+		if ra.BytesPerOp > 0 {
+			row.DeltaBytesPct = 100 * (float64(rb.BytesPerOp)/float64(ra.BytesPerOp) - 1)
+		}
+		row.Regressed = rb.NsPerOp > ra.NsPerOp*(1+slackPct/100) || rb.AllocsPerOp > ra.AllocsPerOp
+		rows = append(rows, row)
+	}
+	for _, rb := range b.Benchmarks {
+		if _, ok := inB[rb.Name]; ok {
+			rows = append(rows, CompareRow{Name: rb.Name, B: rb, OnlyIn: "b"})
+		}
+	}
+	return rows
+}
+
+// Regressions filters the regressed rows.
+func Regressions(rows []CompareRow) []CompareRow {
+	var out []CompareRow
+	for _, r := range rows {
+		if r.Regressed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WriteCompare renders the diff as an aligned text table: one line per
+// row with both sides' ns/op, the percentage delta, both sides' allocs,
+// and a REGRESSED marker.
+func WriteCompare(w io.Writer, rows []CompareRow) error {
+	width := len("benchmark")
+	for _, r := range rows {
+		if len(r.Name) > width {
+			width = len(r.Name)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s %14s %14s %9s %13s %s\n",
+		width, "benchmark", "a ns/op", "b ns/op", "Δns", "allocs a→b", ""); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		switch r.OnlyIn {
+		case "a":
+			if _, err := fmt.Fprintf(w, "%-*s %14.0f %14s %9s %13s only in a\n",
+				width, r.Name, r.A.NsPerOp, "-", "-", "-"); err != nil {
+				return err
+			}
+		case "b":
+			if _, err := fmt.Fprintf(w, "%-*s %14s %14.0f %9s %13s only in b\n",
+				width, r.Name, "-", r.B.NsPerOp, "-", "-"); err != nil {
+				return err
+			}
+		default:
+			mark := ""
+			if r.Regressed {
+				mark = "REGRESSED"
+			}
+			if _, err := fmt.Fprintf(w, "%-*s %14.0f %14.0f %8.1f%% %13s %s\n",
+				width, r.Name, r.A.NsPerOp, r.B.NsPerOp, r.DeltaNsPct,
+				fmt.Sprintf("%d→%d", r.A.AllocsPerOp, r.B.AllocsPerOp), mark); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

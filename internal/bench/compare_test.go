@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func rec(rows ...MicroResult) MicroRecord {
+	return MicroRecord{Schema: "repro-bench/v1", Benchmarks: rows}
+}
+
+func TestCompare(t *testing.T) {
+	a := rec(
+		MicroResult{Name: "fast", NsPerOp: 1000, AllocsPerOp: 0, BytesPerOp: 0},
+		MicroResult{Name: "slow", NsPerOp: 2000, AllocsPerOp: 3, BytesPerOp: 100},
+		MicroResult{Name: "gone", NsPerOp: 500},
+	)
+	b := rec(
+		MicroResult{Name: "fast", NsPerOp: 1100, AllocsPerOp: 0, BytesPerOp: 0},  // +10%: within slack
+		MicroResult{Name: "slow", NsPerOp: 2900, AllocsPerOp: 3, BytesPerOp: 50}, // +45%: regressed
+		MicroResult{Name: "new", NsPerOp: 700},
+	)
+	rows := Compare(a, b, 25)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4: %+v", len(rows), rows)
+	}
+	byName := map[string]CompareRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	fast := byName["fast"]
+	if fast.Regressed || fast.DeltaNsPct < 9.9 || fast.DeltaNsPct > 10.1 {
+		t.Fatalf("fast = %+v", fast)
+	}
+	slow := byName["slow"]
+	if !slow.Regressed || slow.DeltaBytesPct < -51 || slow.DeltaBytesPct > -49 {
+		t.Fatalf("slow = %+v", slow)
+	}
+	if byName["gone"].OnlyIn != "a" || byName["new"].OnlyIn != "b" {
+		t.Fatalf("unmatched rows: %+v / %+v", byName["gone"], byName["new"])
+	}
+	if byName["gone"].Regressed || byName["new"].Regressed {
+		t.Fatal("unmatched rows must not count as regressions")
+	}
+	if got := Regressions(rows); len(got) != 1 || got[0].Name != "slow" {
+		t.Fatalf("regressions = %+v", got)
+	}
+
+	// Allocation growth regresses with zero slack, even when faster.
+	b2 := rec(MicroResult{Name: "fast", NsPerOp: 900, AllocsPerOp: 1})
+	if got := Regressions(Compare(rec(a.Benchmarks[0]), b2, 25)); len(got) != 1 {
+		t.Fatalf("alloc growth not flagged: %+v", got)
+	}
+
+	// Identical records: no regressions, table renders every row.
+	same := Compare(a, a, 25)
+	if len(Regressions(same)) != 0 {
+		t.Fatalf("self-compare regressed: %+v", Regressions(same))
+	}
+	var buf strings.Builder
+	if err := WriteCompare(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"benchmark", "REGRESSED", "only in a", "only in b", "3→3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compare table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -46,6 +46,10 @@ func (s *Set) Reset(n int) {
 // Len returns the universe size n.
 func (s *Set) Len() int { return s.n }
 
+// Bytes returns the heap bytes retained by the backing array — the set's
+// contribution to a scratch-footprint gauge.
+func (s *Set) Bytes() int64 { return int64(cap(s.words)) * 8 }
+
 // Get reports whether i is a member. Indices must be in [0, Len()): the
 // hot-path accessors check only the word bound (negative or far-out
 // indices panic like a slice access), so an index in the last word's

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -41,6 +42,15 @@ import (
 // invalid client input; the HTTP layer maps it to a 5xx so workers retry
 // instead of discarding their result.
 var ErrInternal = errors.New("campaign: internal error")
+
+// ErrUnknown marks a request naming a campaign the server does not have;
+// the HTTP layer maps it to 404.
+var ErrUnknown = errors.New("campaign: unknown campaign")
+
+// ErrBusy marks a deletion refused because unexpired leases are out — a
+// worker is (presumably) computing one of the campaign's cells. The HTTP
+// layer maps it to 409; retry after the leases complete or expire.
+var ErrBusy = errors.New("campaign: campaign has active leases")
 
 // cellState is the lifecycle of one grid cell on the server.
 type cellState uint8
@@ -109,6 +119,46 @@ type Progress struct {
 	// of farm idle time (records from old checkpoints without wall_ms
 	// count as 0 and drag the mean down; they are rare and transitional).
 	MeanWallMS float64 `json:"mean_wall_ms,omitempty"`
+	// Workers are per-worker heartbeats (sorted by name), present once any
+	// worker has leased from the campaign.
+	Workers []WorkerProgress `json:"workers,omitempty"`
+}
+
+// WorkerProgress is the heartbeat the server keeps per worker name: when
+// the worker last interacted with the campaign (lease, completion, or
+// release), how many cell completions it posted, and its mean per-cell
+// wall time. It is diagnostic bookkeeping, not scheduling state — the farm
+// still has no worker registry; a worker that vanishes simply stops
+// appearing fresh here while lease expiry recovers its cells.
+type WorkerProgress struct {
+	Worker string `json:"worker"`
+	// LastSeenMS is the last interaction, as Unix milliseconds.
+	LastSeenMS int64 `json:"last_seen_ms"`
+	// Completed counts completion posts (including duplicates — the worker
+	// did the work either way).
+	Completed int `json:"completed"`
+	// MeanWallMS is the mean wall_ms over this worker's completions.
+	MeanWallMS float64 `json:"mean_wall_ms,omitempty"`
+}
+
+// workerStats is the mutable server-side form of WorkerProgress.
+type workerStats struct {
+	lastSeen  time.Time
+	completed int
+	wallMS    int64
+}
+
+// Metrics extends Progress with the campaign's lifetime event counters —
+// the GET /campaigns/{id}/metrics payload. Counter semantics follow the
+// telemetry "_total" convention: monotonic over the campaign's in-memory
+// lifetime (reset by a server restart, like the lease table itself).
+type Metrics struct {
+	Progress
+	LeasesTotal      int64 `json:"leases_total"`
+	CompletionsTotal int64 `json:"completions_total"`
+	DuplicatesTotal  int64 `json:"duplicates_total"`
+	ReleasesTotal    int64 `json:"releases_total"`
+	ExpiriesTotal    int64 `json:"expiries_total"`
 }
 
 // Campaign is one submitted sweep being executed by the farm. All methods
@@ -129,6 +179,15 @@ type Campaign struct {
 	created  time.Time
 	finished time.Time // zero until all cells are done
 	doneWall int64     // sum of wall_ms over done cells (first completion per cell)
+
+	// workers holds per-worker heartbeats; counters are the lifetime event
+	// totals Metrics reports (in-memory only, like the lease table).
+	workers     map[string]*workerStats
+	leaseCount  int64
+	completions int64
+	duplicates  int64
+	releases    int64
+	expiries    int64
 }
 
 // newCampaign builds the in-memory state for a submitted sweep, marking
@@ -148,6 +207,7 @@ func newCampaign(id string, sw study.Sweep, done map[study.Key]study.CellRecord,
 		done:    make(map[study.Key]study.CellRecord, len(keys)),
 		ckpt:    ckpt,
 		created: now,
+		workers: make(map[string]*workerStats),
 	}
 	for i, k := range keys {
 		c.index[k] = i
@@ -193,6 +253,7 @@ func (c *Campaign) expireLocked(now time.Time) {
 			continue
 		}
 		delete(c.leases, token)
+		c.expiries++
 		if c.byCell[l.cell] == token {
 			c.byCell[l.cell] = ""
 			if c.state[l.cell] == cellLeased {
@@ -200,6 +261,22 @@ func (c *Campaign) expireLocked(now time.Time) {
 			}
 		}
 	}
+}
+
+// touchWorkerLocked updates the worker's heartbeat ("" names no worker —
+// e.g. a completion whose lease already expired and whose request did not
+// carry a name).
+func (c *Campaign) touchWorkerLocked(worker string, now time.Time) *workerStats {
+	if worker == "" {
+		return nil
+	}
+	ws, ok := c.workers[worker]
+	if !ok {
+		ws = &workerStats{}
+		c.workers[worker] = ws
+	}
+	ws.lastSeen = now
+	return ws
 }
 
 // doneCountLocked counts completed cells.
@@ -229,6 +306,8 @@ func (c *Campaign) lease(worker string, ttl time.Duration, now time.Time) (Lease
 		c.state[i] = cellLeased
 		c.byCell[i] = token
 		c.leases[token] = &lease{token: token, worker: worker, cell: i, expires: now.Add(ttl)}
+		c.leaseCount++
+		c.touchWorkerLocked(worker, now)
 		return Lease{
 			Campaign: c.id,
 			Token:    token,
@@ -254,6 +333,13 @@ func (c *Campaign) complete(token string, rec study.CellRecord, now time.Time) (
 	}
 	key := rec.Key()
 	i := c.index[key] // CheckRecord proved membership
+	// Attribute the completion before the lease disappears: a stale token
+	// (expired, or a resubmitted duplicate) no longer names a worker, so
+	// the completion still counts but credits no heartbeat.
+	var worker string
+	if l, ok := c.leases[token]; ok {
+		worker = l.worker
+	}
 	// Whatever lease is out on this cell — this worker's, or a re-lease
 	// granted after this worker was presumed dead — the cell is done now.
 	if cur := c.byCell[i]; cur != "" {
@@ -266,6 +352,13 @@ func (c *Campaign) complete(token string, rec study.CellRecord, now time.Time) (
 		// Only the first completion counts toward doneWall so MeanWallMS
 		// reflects per-cell cost, not duplicated work.
 		c.doneWall += rec.WallMS
+	} else {
+		c.duplicates++
+	}
+	c.completions++
+	if ws := c.touchWorkerLocked(worker, now); ws != nil {
+		ws.completed++
+		ws.wallMS += rec.WallMS
 	}
 	c.state[i] = cellDone
 	c.done[key] = rec // later duplicate wins, matching checkpoint replay
@@ -307,6 +400,8 @@ func (c *Campaign) release(token string, now time.Time) bool {
 		return false
 	}
 	delete(c.leases, token)
+	c.releases++
+	c.touchWorkerLocked(l.worker, now)
 	if c.byCell[l.cell] == token {
 		c.byCell[l.cell] = ""
 		if c.state[l.cell] == cellLeased {
@@ -320,6 +415,10 @@ func (c *Campaign) release(token string, now time.Time) bool {
 func (c *Campaign) progress(now time.Time) Progress {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.progressLocked(now)
+}
+
+func (c *Campaign) progressLocked(now time.Time) Progress {
 	c.expireLocked(now)
 	p := Progress{ID: c.id, Cells: len(c.keys)}
 	for _, s := range c.state {
@@ -344,7 +443,45 @@ func (c *Campaign) progress(now time.Time) Progress {
 	if p.Done > 0 {
 		p.MeanWallMS = float64(c.doneWall) / float64(p.Done)
 	}
+	if len(c.workers) > 0 {
+		p.Workers = make([]WorkerProgress, 0, len(c.workers))
+		for name, ws := range c.workers {
+			wp := WorkerProgress{
+				Worker:     name,
+				LastSeenMS: ws.lastSeen.UnixMilli(),
+				Completed:  ws.completed,
+			}
+			if ws.completed > 0 {
+				wp.MeanWallMS = float64(ws.wallMS) / float64(ws.completed)
+			}
+			p.Workers = append(p.Workers, wp)
+		}
+		sort.Slice(p.Workers, func(i, j int) bool { return p.Workers[i].Worker < p.Workers[j].Worker })
+	}
 	return p
+}
+
+// metrics snapshots the campaign's progress plus lifetime event counters.
+func (c *Campaign) metrics(now time.Time) Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Metrics{
+		Progress:         c.progressLocked(now),
+		LeasesTotal:      c.leaseCount,
+		CompletionsTotal: c.completions,
+		DuplicatesTotal:  c.duplicates,
+		ReleasesTotal:    c.releases,
+		ExpiriesTotal:    c.expiries,
+	}
+}
+
+// activeLeases counts unexpired leases — the guard Delete checks so a
+// campaign is never yanked out from under a working worker.
+func (c *Campaign) activeLeases(now time.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	return len(c.leases)
 }
 
 // meanWallMS returns the observed mean per-cell wall time, 0 when no cell

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -421,5 +422,151 @@ func TestConcurrentFarm(t *testing.T) {
 	}
 	if got, want := renderCSV(t, c.records()), renderCSV(t, local); got != want {
 		t.Fatalf("concurrent farm report differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestWorkerHeartbeatsAndMetrics pins the diagnostic bookkeeping: per-
+// worker last-seen/completed/mean-wall attribution and the campaign's
+// lifetime event counters, including the stale-token path (completion
+// counted, no worker credited) and expiry counting.
+func TestWorkerHeartbeatsAndMetrics(t *testing.T) {
+	m, clock := newTestManager(t, time.Minute)
+	sw := testSweep()
+	c, err := m.Submit(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l1, _ := m.Lease("alpha")
+	rec1 := recordFor(t, l1.Cell)
+	clock.advance(10 * time.Second)
+	if _, err := m.Complete(c.ID(), l1.Token, rec1); err != nil {
+		t.Fatal(err)
+	}
+
+	// beta leases and releases: seen, zero completions.
+	l2, _ := m.Lease("beta")
+	if err := m.Release(c.ID(), l2.Token); err != nil {
+		t.Fatal(err)
+	}
+
+	// gamma leases and dies; expiry must not credit a completion.
+	if _, status := m.Lease("gamma"); status != StatusLeased {
+		t.Fatalf("gamma lease status %q", status)
+	}
+	clock.advance(2 * time.Minute) // past TTL
+
+	// A duplicate completion with a stale token still counts the event but
+	// credits no worker (the lease is gone).
+	if _, err := m.Complete(c.ID(), "stale-token", rec1); err != nil {
+		t.Fatal(err)
+	}
+
+	p, ok := m.Progress(c.ID())
+	if !ok {
+		t.Fatal("campaign vanished")
+	}
+	if len(p.Workers) != 3 {
+		t.Fatalf("got %d workers, want 3: %+v", len(p.Workers), p.Workers)
+	}
+	byName := map[string]WorkerProgress{}
+	for _, wp := range p.Workers {
+		byName[wp.Worker] = wp
+	}
+	alpha := byName["alpha"]
+	if alpha.Completed != 1 || alpha.MeanWallMS != float64(rec1.WallMS) {
+		t.Fatalf("alpha = %+v, want 1 completion of %dms", alpha, rec1.WallMS)
+	}
+	wantSeen := clock.now().Add(-2*time.Minute - 10*time.Second).UnixMilli()
+	if alpha.LastSeenMS != wantSeen+10_000 {
+		t.Fatalf("alpha last seen %d, want %d", alpha.LastSeenMS, wantSeen+10_000)
+	}
+	if beta := byName["beta"]; beta.Completed != 0 {
+		t.Fatalf("beta = %+v, want 0 completions", beta)
+	}
+	if gamma := byName["gamma"]; gamma.Completed != 0 {
+		t.Fatalf("gamma = %+v, want 0 completions", gamma)
+	}
+
+	mx, ok := m.Metrics(c.ID())
+	if !ok {
+		t.Fatal("metrics vanished")
+	}
+	if mx.LeasesTotal != 3 || mx.CompletionsTotal != 2 || mx.DuplicatesTotal != 1 ||
+		mx.ReleasesTotal != 1 || mx.ExpiriesTotal != 1 {
+		t.Fatalf("counters = %+v", mx)
+	}
+	if mx.Done != 1 {
+		t.Fatalf("done = %d, want 1", mx.Done)
+	}
+}
+
+// TestDeleteCampaign pins the GC contract: refuse while leased, remove
+// memory and disk state when idle, ErrUnknown for foreign ids, and no
+// resurrection on manager reload.
+func TestDeleteCampaign(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	m, err := NewManager(Options{Dir: dir, LeaseTTL: time.Minute, Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := testSweep()
+	c, err := m.Submit(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := m.Submit(sw) // a second campaign that must survive
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l, _ := m.Lease("w")
+	if err := m.Delete(c.ID()); !errors.Is(err, ErrBusy) {
+		t.Fatalf("delete while leased: %v, want ErrBusy", err)
+	}
+	if err := m.Release(c.ID(), l.Token); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(c.ID()); err != nil {
+		t.Fatalf("delete idle campaign: %v", err)
+	}
+	if _, ok := m.Get(c.ID()); ok {
+		t.Fatal("deleted campaign still resolvable")
+	}
+	for _, name := range []string{c.ID() + ".sweep.json", c.ID() + ".ckpt.jsonl"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("%s survived deletion (err=%v)", name, err)
+		}
+	}
+	if err := m.Delete("c999"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("delete unknown: %v, want ErrUnknown", err)
+	}
+
+	// The surviving campaign still leases, and a reload sees only it.
+	if _, status := m.Lease("w"); status != StatusLeased {
+		t.Fatalf("surviving campaign does not lease: %q", status)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewManager(Options{Dir: dir, LeaseTTL: time.Minute, Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if got := len(m2.Campaigns()); got != 1 {
+		t.Fatalf("reload found %d campaigns, want 1", got)
+	}
+	if _, ok := m2.Get(keep.ID()); !ok {
+		t.Fatalf("reload lost surviving campaign %s", keep.ID())
+	}
+	// Deleted-id sequence is not reused: a new submission gets a fresh id.
+	c3, err := m2.Submit(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.ID() == c.ID() {
+		t.Fatalf("deleted id %s was reused", c.ID())
 	}
 }

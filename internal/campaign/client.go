@@ -187,6 +187,26 @@ func (c *Client) Progress(ctx context.Context, id string) (Progress, error) {
 	return p, err
 }
 
+// Metrics fetches one campaign's progress plus event counters.
+func (c *Client) Metrics(ctx context.Context, id string) (Metrics, error) {
+	var mx Metrics
+	err := c.call(ctx, http.MethodGet, "/campaigns/"+id+"/metrics", nil, &mx)
+	return mx, err
+}
+
+// FarmMetrics fetches the farm-wide snapshot.
+func (c *Client) FarmMetrics(ctx context.Context) (FarmMetrics, error) {
+	var fm FarmMetrics
+	err := c.call(ctx, http.MethodGet, "/metrics", nil, &fm)
+	return fm, err
+}
+
+// Delete removes a campaign and its server-side state. The server refuses
+// (409, surfaced as a permanent error) while unexpired leases are out.
+func (c *Client) Delete(ctx context.Context, id string) error {
+	return c.call(ctx, http.MethodDelete, "/campaigns/"+id, nil, nil)
+}
+
 // Report fetches the rendered report (format "csv" or "md").
 func (c *Client) Report(ctx context.Context, id, format string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/study"
+	"repro/internal/telemetry"
 )
 
 // DefaultLeaseTTL is the floor lease duration when the server is not
@@ -54,6 +55,11 @@ type Options struct {
 	LeaseTTL time.Duration
 	// Now overrides the clock, for tests. Defaults to time.Now.
 	Now func() time.Time
+	// Telemetry, when non-nil, gains farm-wide gauges (campaigns,
+	// farm_cells_done, farm_cells_leased, farm_cells_pending) that the
+	// collector's ticker samples by walking the campaign table — entirely
+	// off the request path.
+	Telemetry *telemetry.Collector
 }
 
 // Manager owns every campaign on the server: submission, persistence,
@@ -63,6 +69,8 @@ type Manager struct {
 	dir string
 	ttl time.Duration
 	now func() time.Time
+
+	telemetry *telemetry.Collector
 
 	mu        sync.RWMutex
 	campaigns map[string]*Campaign
@@ -77,6 +85,7 @@ func NewManager(opts Options) (*Manager, error) {
 		dir:       opts.Dir,
 		ttl:       opts.LeaseTTL,
 		now:       opts.Now,
+		telemetry: opts.Telemetry,
 		campaigns: make(map[string]*Campaign),
 	}
 	if m.ttl <= 0 {
@@ -93,7 +102,30 @@ func NewManager(opts Options) (*Manager, error) {
 			return nil, err
 		}
 	}
+	if m.telemetry != nil {
+		m.telemetry.Gauge("campaigns", func() int64 {
+			m.mu.RLock()
+			defer m.mu.RUnlock()
+			return int64(len(m.campaigns))
+		})
+		m.telemetry.Gauge("farm_cells_done", func() int64 { return m.cellTotals().done })
+		m.telemetry.Gauge("farm_cells_leased", func() int64 { return m.cellTotals().leased })
+		m.telemetry.Gauge("farm_cells_pending", func() int64 { return m.cellTotals().pending })
+	}
 	return m, nil
+}
+
+// cellTotals sums the cell-state partition over every campaign — the
+// farm-wide gauge source and the GET /metrics aggregate.
+func (m *Manager) cellTotals() (t struct{ done, leased, pending int64 }) {
+	now := m.now()
+	for _, c := range m.Campaigns() {
+		p := c.progress(now)
+		t.done += int64(p.Done)
+		t.leased += int64(p.Leased)
+		t.pending += int64(p.Pending)
+	}
+	return t
 }
 
 // reload restores persisted campaigns: for every <id>.sweep.json the
@@ -274,6 +306,58 @@ func (m *Manager) Progress(id string) (Progress, bool) {
 		return Progress{}, false
 	}
 	return c.progress(m.now()), true
+}
+
+// Metrics snapshots one campaign's progress plus event counters.
+func (m *Manager) Metrics(id string) (Metrics, bool) {
+	c, ok := m.Get(id)
+	if !ok {
+		return Metrics{}, false
+	}
+	return c.metrics(m.now()), true
+}
+
+// Telemetry returns the collector wired at construction, nil when none.
+func (m *Manager) Telemetry() *telemetry.Collector { return m.telemetry }
+
+// Delete removes a campaign and its persisted state (<id>.sweep.json and
+// <id>.ckpt.jsonl) — the GC path for finished or abandoned campaigns. It
+// refuses with ErrBusy while unexpired leases are out: a worker may be
+// mid-cell, and its completion must not land on a missing campaign (it
+// would surface to the worker as an unknown-campaign rejection). Deleting
+// an incomplete campaign with no leases is allowed — that is how an
+// abandoned grid is withdrawn. Returns ErrUnknown for foreign ids and
+// wraps file-removal failures in ErrInternal (the campaign is gone from
+// memory either way; a restart may resurrect it from leftover files).
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.campaigns[id]
+	if !ok {
+		return fmt.Errorf("%w %q", ErrUnknown, id)
+	}
+	if n := c.activeLeases(m.now()); n > 0 {
+		return fmt.Errorf("%w: %d unexpired leases on %s", ErrBusy, n, id)
+	}
+	delete(m.campaigns, id)
+	for i, oid := range m.order {
+		if oid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	err := c.close()
+	if m.dir != "" {
+		for _, path := range []string{filepath.Join(m.dir, id+".sweep.json"), m.checkpointPath(id)} {
+			if rmErr := os.Remove(path); rmErr != nil && !os.IsNotExist(rmErr) && err == nil {
+				err = rmErr
+			}
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("%w: deleting campaign %s: %v", ErrInternal, id, err)
+	}
+	return nil
 }
 
 // Close flushes and closes every campaign checkpoint. The manager must

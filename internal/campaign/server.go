@@ -16,14 +16,17 @@ import (
 // report endpoint, which returns the rendered table. See docs/SWEEPD.md
 // for the protocol description.
 //
-//	POST /campaigns            submit a study.Sweep        -> SubmitResponse
-//	GET  /campaigns            list campaign progress      -> ListResponse
-//	GET  /campaigns/{id}       one campaign's progress     -> Progress
-//	GET  /campaigns/{id}/report?format=csv|md  rendered report
-//	POST /lease                request work                -> LeaseResponse
-//	POST /complete             submit a finished cell      -> CompleteResponse
-//	POST /release              return a leased cell        -> statusBody
-//	GET  /healthz              liveness                    -> "ok"
+//	POST   /campaigns            submit a study.Sweep        -> SubmitResponse
+//	GET    /campaigns            list campaign progress      -> ListResponse
+//	GET    /campaigns/{id}       one campaign's progress     -> Progress
+//	DELETE /campaigns/{id}       delete campaign + state     -> {} (409 while leased)
+//	GET    /campaigns/{id}/report?format=csv|md  rendered report
+//	GET    /campaigns/{id}/metrics  progress + event counters -> Metrics
+//	GET    /metrics              farm-wide snapshot          -> FarmMetrics
+//	POST   /lease                request work                -> LeaseResponse
+//	POST   /complete             submit a finished cell      -> CompleteResponse
+//	POST   /release              return a leased cell        -> statusBody
+//	GET    /healthz              liveness                    -> "ok"
 
 // maxBodyBytes bounds request bodies; sweeps and cell records are small,
 // so anything larger is a confused client.
@@ -73,6 +76,19 @@ type ReleaseRequest struct {
 	Token    string `json:"token"`
 }
 
+// FarmMetrics answers GET /metrics: the farm-wide cell-state aggregate
+// plus, when the server runs with a telemetry collector, the collector's
+// current sample (runtime numbers included) — so a scraper or the kill
+// drill can see liveness and load in one round trip.
+type FarmMetrics struct {
+	Campaigns int `json:"campaigns"`
+	Done      int `json:"done"`
+	Leased    int `json:"leased"`
+	Pending   int `json:"pending"`
+	// Telemetry is the collector snapshot, absent when telemetry is off.
+	Telemetry map[string]int64 `json:"telemetry,omitempty"`
+}
+
 // errorBody is the JSON error envelope for non-2xx responses.
 type errorBody struct {
 	Error string `json:"error"`
@@ -93,7 +109,10 @@ func NewServer(m *Manager, logger *log.Logger) *Server {
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /campaigns", s.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleProgress)
+	mux.HandleFunc("DELETE /campaigns/{id}", s.handleDelete)
 	mux.HandleFunc("GET /campaigns/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /campaigns/{id}/metrics", s.handleCampaignMetrics)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /lease", s.handleLease)
 	mux.HandleFunc("POST /complete", s.handleComplete)
 	mux.HandleFunc("POST /release", s.handleRelease)
@@ -170,6 +189,46 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.m.Delete(id); err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrUnknown):
+			status = http.StatusNotFound
+		case errors.Is(err, ErrBusy):
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	s.logf("campaign %s deleted", id)
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleCampaignMetrics(w http.ResponseWriter, r *http.Request) {
+	mx, ok := s.m.Metrics(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, mx)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	t := s.m.cellTotals()
+	fm := FarmMetrics{
+		Campaigns: len(s.m.Campaigns()),
+		Done:      int(t.done),
+		Leased:    int(t.leased),
+		Pending:   int(t.pending),
+	}
+	if col := s.m.Telemetry(); col != nil {
+		fm.Telemetry = col.Snapshot().Values
+	}
+	writeJSON(w, http.StatusOK, fm)
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/spec"
 	"repro/internal/study"
+	"repro/internal/telemetry"
 )
 
 func farmSweep() study.Sweep {
@@ -306,5 +308,109 @@ func TestServerRejects(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad report format: %d", resp.StatusCode)
+	}
+}
+
+// TestDeleteAndMetricsHTTP exercises the new endpoints over real HTTP:
+// DELETE /campaigns/{id} (409 while leased, 200 when idle, 404 after),
+// GET /campaigns/{id}/metrics, and GET /metrics with a telemetry
+// collector wired into the manager.
+func TestDeleteAndMetricsHTTP(t *testing.T) {
+	dir := t.TempDir()
+	col := telemetry.New(telemetry.Options{})
+	mgr, err := campaign.NewManager(campaign.Options{Dir: dir, LeaseTTL: time.Minute, Telemetry: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(campaign.NewServer(mgr, nil))
+	defer func() {
+		srv.Close()
+		mgr.Close()
+	}()
+	cl := &campaign.Client{Base: srv.URL, Retries: 2, Backoff: 10 * time.Millisecond}
+	ctx := context.Background()
+
+	sw := farmSweep()
+	id, _, err := cl.Submit(ctx, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, status, err := cl.Lease(ctx, "worker-a")
+	if err != nil || status != campaign.StatusLeased {
+		t.Fatalf("lease: %v %q", err, status)
+	}
+	// The first lease is the first grid cell; compute its record offline.
+	recs, err := study.RunSweep(study.Sweep{
+		Models:    sw.Models[:1],
+		Protocols: sw.Protocols[:1],
+		Trials:    sw.Trials,
+		Seed:      sw.Seed,
+		MaxSteps:  sw.MaxSteps,
+	}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Key() != l.Cell.Key() {
+		t.Fatalf("test setup: leased cell %s is not the first grid cell", l.Cell.Key())
+	}
+	if _, err := cl.Complete(ctx, id, l.Token, recs[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Heartbeat surfaces in GET /campaigns/{id}.
+	p, err := cl.Progress(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Workers) != 1 || p.Workers[0].Worker != "worker-a" ||
+		p.Workers[0].Completed != 1 || p.Workers[0].LastSeenMS == 0 {
+		t.Fatalf("progress workers = %+v", p.Workers)
+	}
+
+	// Campaign metrics counters over HTTP.
+	mx, err := cl.Metrics(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.LeasesTotal != 1 || mx.CompletionsTotal != 1 || mx.Done != 1 {
+		t.Fatalf("campaign metrics = %+v", mx)
+	}
+
+	// Farm-wide metrics include the collector snapshot (runtime rows).
+	fm, err := cl.FarmMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.Campaigns != 1 || fm.Done != 1 {
+		t.Fatalf("farm metrics = %+v", fm)
+	}
+	if fm.Telemetry["heap_bytes"] <= 0 || fm.Telemetry["campaigns"] != 1 {
+		t.Fatalf("farm telemetry snapshot = %v", fm.Telemetry)
+	}
+
+	// Delete refuses while a lease is out (409 = permanent, no retry).
+	l2, status, err := cl.Lease(ctx, "worker-b")
+	if err != nil || status != campaign.StatusLeased {
+		t.Fatalf("second lease: %v %q", err, status)
+	}
+	if err := cl.Delete(ctx, id); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("delete while leased: %v, want 409", err)
+	}
+	if err := cl.Release(ctx, id, l2.Token); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Delete(ctx, id); err != nil {
+		t.Fatalf("delete idle: %v", err)
+	}
+	if _, err := cl.Progress(ctx, id); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("progress after delete: %v, want 404", err)
+	}
+	if err := cl.Delete(ctx, id); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("double delete: %v, want 404", err)
+	}
+	for _, name := range []string{id + ".sweep.json", id + ".ckpt.jsonl"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("%s survived deletion (err=%v)", name, err)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/spec"
 	"repro/internal/study"
+	"repro/internal/telemetry"
 )
 
 // WorkerOpts configures one worker process's lease loop.
@@ -31,6 +32,12 @@ type WorkerOpts struct {
 	Hold time.Duration
 	// Log receives progress lines; nil silences the worker.
 	Log *log.Logger
+	// Telemetry, when non-nil, receives worker-side counters
+	// (worker_cells_total, worker_duplicates_total,
+	// worker_cell_wall_ms_total, worker_idle_polls_total) plus one sample
+	// per completed cell, so a worker's capture shows throughput even when
+	// cells outlast the ticker interval.
+	Telemetry *telemetry.Collector
 }
 
 func (o WorkerOpts) poll() time.Duration {
@@ -62,6 +69,14 @@ func (o WorkerOpts) logf(format string, args ...any) {
 // study.Run's pool, so farm workers get the same zero-allocation warm
 // path as local sweeps.
 func Work(ctx context.Context, cl *Client, opts WorkerOpts) (completed int, err error) {
+	var cellsDone, dupes, wallMS, idlePolls *telemetry.Counter
+	if opts.Telemetry != nil {
+		cellsDone = opts.Telemetry.Counter("worker_cells_total")
+		dupes = opts.Telemetry.Counter("worker_duplicates_total")
+		wallMS = opts.Telemetry.Counter("worker_cell_wall_ms_total")
+		idlePolls = opts.Telemetry.Counter("worker_idle_polls_total")
+		opts.Telemetry.Gauge("scratch_bytes", study.ScratchHighWater)
+	}
 	for {
 		if ctx.Err() != nil {
 			return completed, nil
@@ -83,6 +98,9 @@ func Work(ctx context.Context, cl *Client, opts WorkerOpts) (completed int, err 
 			}
 			fallthrough
 		case StatusIdle:
+			if idlePolls != nil {
+				idlePolls.Add(1)
+			}
 			select {
 			case <-ctx.Done():
 				return completed, nil
@@ -130,6 +148,14 @@ func Work(ctx context.Context, cl *Client, opts WorkerOpts) (completed int, err 
 			return completed, fmt.Errorf("campaign: completing cell %s: %w", l.Cell.Key(), err)
 		}
 		completed++
+		if opts.Telemetry != nil {
+			cellsDone.Add(1)
+			wallMS.Add(rec.WallMS)
+			if duplicate {
+				dupes.Add(1)
+			}
+			opts.Telemetry.SampleNow()
+		}
 		dup := ""
 		if duplicate {
 			dup = " (duplicate)"

@@ -64,6 +64,17 @@ func (a *Adjacency) Reset(n int) {
 // N returns the universe size.
 func (a *Adjacency) N() int { return a.n }
 
+// Bytes returns the heap bytes retained by the store: the per-node slice
+// headers plus every list's backing array. It is a telemetry accessor, not
+// a hot-path call — it walks all n lists.
+func (a *Adjacency) Bytes() int64 {
+	b := int64(cap(a.lists)) * 24 // slice headers
+	for _, l := range a.lists[:cap(a.lists)] {
+		b += int64(cap(l)) * 4
+	}
+	return b
+}
+
 // Degree returns the current degree of node i.
 func (a *Adjacency) Degree(i int) int { return len(a.lists[i]) }
 

@@ -34,6 +34,17 @@ type Subsample struct {
 	local      rng.RNG // reseeded per (node, epoch) draw
 }
 
+// Bytes returns the heap bytes retained by the wrapper's caches and
+// buffers — a telemetry accessor, not a hot-path call.
+func (s *Subsample) Bytes() int64 {
+	b := int64(cap(s.cacheEpoch))*8 + int64(cap(s.cache))*24 +
+		int64(cap(s.scratch))*4 + int64(cap(s.idx))*8
+	for _, l := range s.cache[:cap(s.cache)] {
+		b += int64(cap(l)) * 4
+	}
+	return b
+}
+
 // NewSubsample wraps inner so each node forwards to at most k random
 // neighbors per step, consuming one draw from r as the base seed of the
 // per-(node, epoch) sampling streams. It panics if k <= 0.

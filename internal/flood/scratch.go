@@ -62,6 +62,24 @@ type Scratch struct {
 // first run and grow monotonically, so one Scratch serves mixed workloads.
 func NewScratch() *Scratch { return &Scratch{} }
 
+// Bytes returns the heap bytes currently retained by the scratch's
+// buffers — the number a telemetry gauge reports as the per-worker memory
+// footprint of the spreading engine. It is an accounting sum over backing
+// array capacities (bitset words, edge and index buffers, adjacency lists,
+// subsample caches), not a runtime measurement, so it is cheap enough to
+// call between trials but is NOT part of the zero-alloc hot path contract.
+func (sc *Scratch) Bytes() int64 {
+	b := sc.informed.Bytes() + sc.pending.Bytes() + sc.active.Bytes()
+	b += int64(cap(sc.edges))*8 + int64(cap(sc.born))*8 + int64(cap(sc.died))*8
+	b += int64(cap(sc.nbrs))*4 + int64(cap(sc.queue))*4 + int64(cap(sc.newly))*4 + int64(cap(sc.expiry))*4
+	b += int64(cap(sc.idx)) * 8
+	b += sc.adj.Bytes()
+	if sc.sub != nil {
+		b += sc.sub.Bytes()
+	}
+	return b
+}
+
 // reset prepares the scratch for a run over n nodes. Only the bitsets need
 // clearing — slice buffers are truncated at use sites and expiry is fully
 // overwritten before any read.

@@ -1,0 +1,37 @@
+package flood
+
+import (
+	"testing"
+
+	"repro/internal/dyngraph"
+	"repro/internal/graph"
+)
+
+// TestScratchBytes pins the footprint accessor: zero for a fresh scratch,
+// positive once a run has sized the buffers, monotone under a larger
+// universe, and stable across repeat runs at the same size (buffers are
+// retained, not reallocated).
+func TestScratchBytes(t *testing.T) {
+	sc := NewScratch()
+	if got := sc.Bytes(); got != 0 {
+		t.Fatalf("fresh scratch reports %d bytes, want 0", got)
+	}
+
+	small := dyngraph.NewStatic(graph.Cycle(64))
+	Run(small, 0, Opts{Scratch: sc})
+	afterSmall := sc.Bytes()
+	if afterSmall <= 0 {
+		t.Fatalf("warmed scratch reports %d bytes, want > 0", afterSmall)
+	}
+
+	Run(small, 0, Opts{Scratch: sc})
+	if got := sc.Bytes(); got != afterSmall {
+		t.Fatalf("repeat run changed footprint: %d -> %d", afterSmall, got)
+	}
+
+	big := dyngraph.NewStatic(graph.Cycle(4096))
+	Run(big, 0, Opts{Scratch: sc})
+	if got := sc.Bytes(); got <= afterSmall {
+		t.Fatalf("64x universe did not grow footprint: %d -> %d", afterSmall, got)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dyngraph"
 	"repro/internal/flood"
@@ -120,7 +121,7 @@ func Run(s Study) (Cell, error) {
 			d := model.MustBuild(s.Model, rng.Seed(s.Seed, modelStream, uint64(trial)))
 			p := protocol.MustBuild(s.Protocol, rng.Seed(s.Seed, protoStream, uint64(trial)))
 			return d, p, s.Source
-		}, s.Trials-1, TrialsOpts{Opts: opts, Workers: s.Workers})...)
+		}, s.Trials-1, TrialsOpts{Opts: opts, Workers: s.Workers, ScratchBytes: &scratchHighWater})...)
 	}
 	cell := Cell{
 		Model:    s.Model.String(),
@@ -180,6 +181,11 @@ type TrialsOpts struct {
 	Opts flood.Opts
 	// Workers bounds the number of concurrent trials; 0 means GOMAXPROCS.
 	Workers int
+	// ScratchBytes, when non-nil, receives (atomic max) the largest
+	// per-worker scratch footprint after each worker drains its trials —
+	// one flood.Scratch.Bytes call per worker, entirely off the trial hot
+	// path, feeding the telemetry scratch_bytes gauge.
+	ScratchBytes *atomic.Int64
 }
 
 // Trials runs `trials` independent executions in a bounded worker pool and
@@ -213,6 +219,9 @@ func Trials(factory Factory, trials int, opts TrialsOpts) []flood.Result {
 				d, p, source := factory(trial)
 				results[trial] = p.Run(d, source, wopts)
 			}
+			if opts.ScratchBytes != nil {
+				atomicMax(opts.ScratchBytes, wopts.Scratch.Bytes())
+			}
 		}()
 	}
 	for trial := 0; trial < trials; trial++ {
@@ -221,6 +230,30 @@ func Trials(factory Factory, trials int, opts TrialsOpts) []flood.Result {
 	close(work)
 	wg.Wait()
 	return results
+}
+
+// scratchHighWater tracks the largest per-worker flood.Scratch footprint
+// observed by any study run in this process. It is deliberately NOT part
+// of Cell: scratch capacities depend on how trials were packed onto
+// workers, and a Cell must stay a pure function of the Study for any
+// Workers value. A process-wide high-water mark is exactly what the
+// telemetry scratch_bytes gauge wants anyway.
+var scratchHighWater atomic.Int64
+
+// ScratchHighWater returns the largest per-worker scratch footprint
+// (flood.Scratch.Bytes) observed by any study run so far in this process
+// — the telemetry scratch_bytes gauge source. Zero until a run with at
+// least two trials completes (trial 0 runs without a pooled scratch).
+func ScratchHighWater() int64 { return scratchHighWater.Load() }
+
+// atomicMax raises *a to v if v is larger, preserving concurrent raises.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // TimesOf extracts the completion times of completed runs and the count of

@@ -10,6 +10,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/protocol"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 )
 
 // Sweep is the declarative form of a grid campaign: every model spec
@@ -257,6 +258,14 @@ type SweepOpts struct {
 	// closed or receives. This is the graceful-shutdown hook: a SIGINT
 	// costs at most the wall time of one cell and zero completed work.
 	Stop <-chan struct{}
+	// Telemetry, when non-nil, receives sweep progress counters
+	// (sweep_cells_total, sweep_cells_resumed_total, sweep_trials_total,
+	// sweep_steps_total, sweep_wall_ms_total) and a scratch_bytes gauge
+	// tracking the largest per-worker engine footprint seen so far. All
+	// updates happen between cells — never inside the spreading hot path —
+	// and each freshly completed cell triggers one extra sample so short
+	// sweeps still leave a capture trail.
+	Telemetry *telemetry.Collector
 }
 
 // RunSweep executes the sweep's grid, skipping every cell whose key is
@@ -279,6 +288,15 @@ func RunSweep(sw Sweep, done map[Key]CellRecord, sink func(CellRecord) error) ([
 func RunSweepOpts(sw Sweep, opts SweepOpts) ([]CellRecord, error) {
 	if err := sw.Validate(); err != nil {
 		return nil, err
+	}
+	var cellsDone, cellsResumed, trialsDone, stepsDone, wallMS *telemetry.Counter
+	if opts.Telemetry != nil {
+		cellsDone = opts.Telemetry.Counter("sweep_cells_total")
+		cellsResumed = opts.Telemetry.Counter("sweep_cells_resumed_total")
+		trialsDone = opts.Telemetry.Counter("sweep_trials_total")
+		stepsDone = opts.Telemetry.Counter("sweep_steps_total")
+		wallMS = opts.Telemetry.Counter("sweep_wall_ms_total")
+		opts.Telemetry.Gauge("scratch_bytes", ScratchHighWater)
 	}
 	total := len(sw.Models) * len(sw.Protocols)
 	records := make([]CellRecord, 0, total)
@@ -305,6 +323,9 @@ func RunSweepOpts(sw Sweep, opts SweepOpts) ([]CellRecord, error) {
 				if err := sw.CheckRecord(rec); err != nil {
 					return records, fmt.Errorf("%w; discard the checkpoint (-fresh) to rerun", err)
 				}
+				if cellsResumed != nil {
+					cellsResumed.Add(1)
+				}
 				records = append(records, rec)
 				continue
 			}
@@ -322,6 +343,17 @@ func RunSweepOpts(sw Sweep, opts SweepOpts) ([]CellRecord, error) {
 				}
 			}
 			records = append(records, rec)
+			if opts.Telemetry != nil {
+				cellsDone.Add(1)
+				trialsDone.Add(int64(len(cell.Results)))
+				var steps int64
+				for _, r := range cell.Results {
+					steps += int64(r.Time)
+				}
+				stepsDone.Add(steps)
+				wallMS.Add(rec.WallMS)
+				opts.Telemetry.SampleNow()
+			}
 		}
 	}
 	return records, nil

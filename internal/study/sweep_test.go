@@ -7,6 +7,7 @@ import (
 	"os"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/model"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/spec"
 	"repro/internal/study"
+	"repro/internal/telemetry"
 )
 
 func baseSweep() study.Sweep {
@@ -382,4 +384,76 @@ func readFile(t *testing.T, path string) string {
 		t.Fatal(err)
 	}
 	return string(data)
+}
+
+// captureSink collects telemetry samples in memory.
+type captureSink struct {
+	mu      sync.Mutex
+	samples []telemetry.Sample
+}
+
+func (c *captureSink) Append(s telemetry.Sample) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.samples = append(c.samples, s)
+	return nil
+}
+
+// TestRunSweepTelemetry wires a collector through a small sweep and checks
+// the counters a capture would record: cells/trials/steps totals, a
+// positive scratch footprint, and one per-cell sample from SampleNow.
+func TestRunSweepTelemetry(t *testing.T) {
+	sw := baseSweep()
+	col := telemetry.New(telemetry.Options{NoRuntime: true})
+	sink := &captureSink{}
+	col.Start(sink)
+	half := sw.Keys()[:3]
+	done := map[study.Key]study.CellRecord{}
+	records, err := study.RunSweep(sw, nil, func(rec study.CellRecord) error {
+		if len(done) < len(half) {
+			done[rec.Key()] = rec
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = study.RunSweepOpts(sw, study.SweepOpts{Done: done, Telemetry: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Snapshot()
+	total := int64(len(sw.Keys()))
+	resumed := int64(len(done))
+	if got := s.Values["sweep_cells_total"]; got != total-resumed {
+		t.Fatalf("sweep_cells_total = %d, want %d", got, total-resumed)
+	}
+	if got := s.Values["sweep_cells_resumed_total"]; got != resumed {
+		t.Fatalf("sweep_cells_resumed_total = %d, want %d", got, resumed)
+	}
+	if got := s.Values["sweep_trials_total"]; got != (total-resumed)*int64(sw.Trials) {
+		t.Fatalf("sweep_trials_total = %d, want %d", got, (total-resumed)*int64(sw.Trials))
+	}
+	var wantSteps int64
+	for _, rec := range records[len(half):] {
+		for _, steps := range rec.Times {
+			wantSteps += int64(steps)
+		}
+	}
+	if got := s.Values["sweep_steps_total"]; got != wantSteps {
+		t.Fatalf("sweep_steps_total = %d, want %d", got, wantSteps)
+	}
+	if got := s.Values["scratch_bytes"]; got <= 0 {
+		t.Fatalf("scratch_bytes = %d, want > 0", got)
+	}
+	// SampleNow fires once per fresh cell; Stop appends one more.
+	sink.mu.Lock()
+	n := len(sink.samples)
+	sink.mu.Unlock()
+	if n < int(total-resumed)+1 {
+		t.Fatalf("got %d samples, want >= %d (per-cell + final)", n, int(total-resumed)+1)
+	}
 }

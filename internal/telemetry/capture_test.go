@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// mkSample builds a sample with the given metrics.
+func mkSample(ts int64, kv ...any) Sample {
+	v := map[string]int64{}
+	for i := 0; i < len(kv); i += 2 {
+		v[kv[i].(string)] = int64(kv[i+1].(int))
+	}
+	return Sample{TimeMS: ts, Values: v}
+}
+
+// writeAll appends samples to a fresh capture at path and closes it.
+func writeAll(t *testing.T, path string, opts CaptureOptions, samples []Sample) {
+	t.Helper()
+	c, err := OpenCapture(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if err := c.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaptureRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t"+Ext)
+	samples := []Sample{
+		mkSample(1000, "a_total", 0, "heap", 100),
+		mkSample(2000, "a_total", 3, "heap", 90),             // mixed-sign deltas
+		mkSample(3000, "a_total", 3, "heap", 90),             // no change: empty delta
+		mkSample(4100, "a_total", 7, "heap", 250, "late", 5), // metric appears mid-run
+		mkSample(5000, "a_total", 7, "heap", 240, "late", 5),
+		mkSample(6000, "a_total", 9, "heap", 240), // metric disappears: forces a ref
+		mkSample(7000, "a_total", 12, "heap", 300),
+	}
+	writeAll(t, path, CaptureOptions{}, samples)
+	got, err := ReadCaptureFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, samples) {
+		t.Fatalf("round trip mismatch:\ngot  %v\nwant %v", got, samples)
+	}
+}
+
+// TestCaptureDeltaEncoding checks the wire shape: refs only where the
+// format requires them, deltas carrying only changed metrics.
+func TestCaptureDeltaEncoding(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t"+Ext)
+	var samples []Sample
+	for i := 0; i < 10; i++ {
+		samples = append(samples, mkSample(int64(1000*(i+1)), "a_total", i, "g", 42))
+	}
+	writeAll(t, path, CaptureOptions{RefEvery: 4}, samples)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != len(samples) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(samples))
+	}
+	for i, line := range lines {
+		var obj captureLine
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		wantRef := i%4 == 0 // RefEvery=4: lines 0, 4, 8 are refs
+		if gotRef := obj.Ref != nil; gotRef != wantRef {
+			t.Fatalf("line %d: ref=%v, want %v (%s)", i, gotRef, wantRef, line)
+		}
+		if obj.Delta != nil {
+			// Only a_total changed between consecutive samples.
+			if len(obj.Delta.V) != 1 || obj.Delta.V["a_total"] != 1 {
+				t.Fatalf("line %d: delta %v, want {a_total:1}", i, obj.Delta.V)
+			}
+		}
+	}
+}
+
+func TestCaptureRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t"+Ext)
+	opts := CaptureOptions{MaxBytes: 4096, RefEvery: 8, SyncEvery: 4}
+	c, err := OpenCapture(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []Sample
+	for i := 0; i < 400; i++ {
+		s := mkSample(int64(1000*(i+1)), "a_total", i, "gauge_one", i%7, "gauge_two", 1000+i)
+		samples = append(samples, s)
+		if err := c.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The ring stayed bounded: live + rotated files within MaxBytes plus
+	// one line of slack (rotation triggers after the append that crosses
+	// half the cap).
+	live, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.Stat(path + ".1")
+	if err != nil {
+		t.Fatalf("expected a rotation after %d samples in %d bytes: %v", len(samples), opts.MaxBytes, err)
+	}
+	slack := int64(512)
+	if total := live.Size() + old.Size(); total > opts.MaxBytes+slack {
+		t.Fatalf("ring exceeded cap: %d bytes total > %d", total, opts.MaxBytes+slack)
+	}
+
+	// The reader sees a contiguous recent suffix of what was written.
+	got, err := ReadCaptureFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || len(got) >= len(samples) {
+		t.Fatalf("got %d samples, want a proper suffix of %d", len(got), len(samples))
+	}
+	tail := samples[len(samples)-len(got):]
+	if !reflect.DeepEqual(got, tail) {
+		t.Fatalf("ring contents are not the written suffix:\nfirst got  %v\nfirst want %v", got[0], tail[0])
+	}
+}
+
+func TestCaptureTruncatedTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t"+Ext)
+	samples := []Sample{
+		mkSample(1000, "a_total", 1),
+		mkSample(2000, "a_total", 2),
+		mkSample(3000, "a_total", 3),
+	}
+	writeAll(t, path, CaptureOptions{}, samples)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-way into the final line: the kill signature. (Cutting only
+	// the trailing newline is not damage — the line still parses, exactly
+	// as the checkpoint scanner treats a severed final newline.)
+	for cut := len(data) - 2; cut > len(data)-10; cut-- {
+		got, err := ReadCapture(bytes.NewReader(data[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(got) != 2 || !reflect.DeepEqual(got, samples[:2]) {
+			t.Fatalf("cut %d: got %v, want first two samples", cut, got)
+		}
+	}
+}
+
+func TestCaptureMidFileGarbageErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t"+Ext)
+	writeAll(t, path, CaptureOptions{}, []Sample{mkSample(1000, "a_total", 1), mkSample(2000, "a_total", 2)})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	corrupt := lines[0] + "{garbage\n" + lines[1]
+	if _, err := ReadCapture(strings.NewReader(corrupt)); err == nil {
+		t.Fatal("mid-file garbage read cleanly")
+	}
+	// A delta with no preceding ref is corruption, not a decodable line.
+	if _, err := ReadCapture(strings.NewReader(`{"d":{"dt":1,"v":{"x":1}}}` + "\n" + lines[0])); err == nil {
+		t.Fatal("leading delta read cleanly")
+	}
+}
+
+// TestOpenCaptureHealsSeveredTail reopens a capture whose final line was
+// cut by a kill: the fragment must be truncated away and the resumed file
+// must read cleanly end to end, with the first new append a full ref.
+func TestOpenCaptureHealsSeveredTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t"+Ext)
+	samples := []Sample{
+		mkSample(1000, "a_total", 1),
+		mkSample(2000, "a_total", 2),
+		mkSample(3000, "a_total", 3),
+	}
+	writeAll(t, path, CaptureOptions{}, samples)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCapture(path, CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := mkSample(9000, "b_total", 9)
+	if err := c.Append(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCaptureFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]Sample{}, samples[:2]...), fresh)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("healed capture mismatch:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+func TestCaptureFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"b" + Ext, "a" + Ext, "a" + Ext + ".1", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := CaptureFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(dir, "a"+Ext), filepath.Join(dir, "b"+Ext)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}

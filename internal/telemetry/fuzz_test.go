@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fuzzLines renders a few samples through the real encoder and returns the
+// file contents, for seeding the corpus.
+func fuzzLines(opts CaptureOptions, samples ...Sample) string {
+	c := &Capture{opts: opts.withDefaults()}
+	var buf bytes.Buffer
+	for _, s := range samples {
+		line, isRef, err := c.encodeLocked(s)
+		if err != nil {
+			panic(err)
+		}
+		if isRef {
+			c.sinceRef = 1
+		} else {
+			c.sinceRef++
+		}
+		c.prev = cloneValues(s.Values)
+		c.prevTS = s.TimeMS
+		buf.Write(line)
+	}
+	return buf.String()
+}
+
+// FuzzReadCapture hammers the capture scanner with the kill-and-rotate
+// reality a long-lived telemetry writer creates: truncated tails, severed
+// newlines, mid-file garbage, deltas with no reference, and negative
+// deltas. The invariants mirror FuzzScanCheckpoint:
+//
+//  1. scanCapture never panics and validLen is a sane offset ending on a
+//     decodable-prefix boundary.
+//  2. Rescanning the reported valid prefix reproduces exactly the same
+//     samples and the same validLen (so OpenCapture's truncate-to-validLen
+//     repair converges).
+//  3. Appending a fresh reference line after the valid prefix — what
+//     OpenCapture's resume path does — yields the old samples plus the new
+//     one.
+func FuzzReadCapture(f *testing.F) {
+	s1 := Sample{TimeMS: 1000, Values: map[string]int64{"a_total": 1, "g": 50}}
+	s2 := Sample{TimeMS: 2000, Values: map[string]int64{"a_total": 3, "g": 40}}
+	s3 := Sample{TimeMS: 3000, Values: map[string]int64{"a_total": 3}}
+	full := fuzzLines(CaptureOptions{}, s1, s2, s3)
+	dense := fuzzLines(CaptureOptions{RefEvery: 2}, s1, s2, s3)
+	f.Add([]byte(""))
+	f.Add([]byte(full))
+	f.Add([]byte(dense))
+	f.Add([]byte(full[:len(full)/2]))                     // kill-truncated tail
+	f.Add([]byte(strings.TrimSuffix(full, "\n")))         // severed trailing newline
+	f.Add([]byte(full + "{garbage\n" + dense))            // mid-file garbage
+	f.Add([]byte(`{"d":{"dt":5,"v":{"x":1}}}` + "\n"))    // delta before any ref
+	f.Add([]byte(`{"ref":{"ts":1},"d":{"dt":1}}` + "\n")) // both sides set
+	f.Add([]byte("\n\n" + full))                          // blank lines
+	f.Add([]byte(`{"ref":{"ts":9,"v":{}}}` + "\n"))       // empty metric set
+	f.Fuzz(func(t *testing.T, data []byte) {
+		samples, validLen, err := scanCapture(bytes.NewReader(data))
+		if err != nil {
+			return // corrupt captures may be rejected; they must not panic
+		}
+		if validLen < 0 || validLen > int64(len(data)) {
+			t.Fatalf("validLen %d out of range for %d input bytes", validLen, len(data))
+		}
+		prefix := data[:validLen]
+		again, againLen, err := scanCapture(bytes.NewReader(prefix))
+		if err != nil {
+			t.Fatalf("rescanning valid prefix failed: %v\nprefix: %q", err, prefix)
+		}
+		if againLen != validLen {
+			t.Fatalf("rescan of valid prefix shrank: %d -> %d\nprefix: %q", validLen, againLen, prefix)
+		}
+		if !reflect.DeepEqual(samples, again) {
+			t.Fatalf("rescan of valid prefix changed samples:\n%+v\nvs\n%+v", samples, again)
+		}
+		// The append step mirrors OpenCapture: truncate to validLen, repair
+		// a severed trailing newline, then append one fresh reference.
+		appended := append([]byte{}, prefix...)
+		if len(appended) > 0 && appended[len(appended)-1] != '\n' {
+			appended = append(appended, '\n')
+		}
+		fresh := fuzzLines(CaptureOptions{}, Sample{TimeMS: 77, Values: map[string]int64{"appended_total": 1}})
+		appended = append(appended, fresh...)
+		merged, _, err := scanCapture(bytes.NewReader(appended))
+		if err != nil {
+			t.Fatalf("append after truncation broke the capture: %v\nfile: %q", err, appended)
+		}
+		if len(merged) != len(samples)+1 {
+			t.Fatalf("append after truncation: got %d samples, want %d", len(merged), len(samples)+1)
+		}
+		last := merged[len(merged)-1]
+		if last.TimeMS != 77 || last.Values["appended_total"] != 1 {
+			t.Fatalf("appended sample lost: %+v", last)
+		}
+		if len(samples) > 0 && !reflect.DeepEqual(merged[:len(samples)], samples) {
+			t.Fatalf("append disturbed earlier samples")
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// MetricSummary aggregates one metric over a decoded capture.
+type MetricSummary struct {
+	Name                  string
+	First, Last, Min, Max int64
+	// Mean is the arithmetic mean over samples (meaningful for gauges).
+	Mean float64
+	// Counter reports whether the metric follows the monotonic "_total"
+	// naming convention; Rate is then (Last-First) per elapsed second.
+	Counter bool
+	Rate    float64
+}
+
+// Summary aggregates a decoded capture: the sample span plus per-metric
+// statistics — what `sweep -telemetry-report` renders and what CI asserts
+// against.
+type Summary struct {
+	Samples        int
+	StartMS, EndMS int64
+	ElapsedSec     float64
+	Metrics        []MetricSummary // name-sorted
+	byName         map[string]int
+}
+
+// Metric returns the named metric's summary.
+func (s Summary) Metric(name string) (MetricSummary, bool) {
+	i, ok := s.byName[name]
+	if !ok {
+		return MetricSummary{}, false
+	}
+	return s.Metrics[i], true
+}
+
+// IsCounter reports whether a metric name follows the monotonic-total
+// convention.
+func IsCounter(name string) bool { return strings.HasSuffix(name, "_total") }
+
+// Summarize aggregates samples (as returned by ReadCaptureFile) into
+// per-metric statistics. Metrics absent from some samples (registered
+// mid-run) aggregate over the samples that carry them.
+func Summarize(samples []Sample) Summary {
+	s := Summary{Samples: len(samples), byName: map[string]int{}}
+	if len(samples) == 0 {
+		return s
+	}
+	s.StartMS = samples[0].TimeMS
+	s.EndMS = samples[len(samples)-1].TimeMS
+	s.ElapsedSec = float64(s.EndMS-s.StartMS) / 1000
+	type acc struct {
+		first, last, min, max int64
+		sum                   float64
+		n                     int
+	}
+	accs := map[string]*acc{}
+	var names []string
+	for _, sample := range samples {
+		for name, v := range sample.Values {
+			a, ok := accs[name]
+			if !ok {
+				a = &acc{first: v, min: v, max: v}
+				accs[name] = a
+				names = append(names, name)
+			}
+			a.last = v
+			if v < a.min {
+				a.min = v
+			}
+			if v > a.max {
+				a.max = v
+			}
+			a.sum += float64(v)
+			a.n++
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := accs[name]
+		m := MetricSummary{
+			Name:    name,
+			First:   a.first,
+			Last:    a.last,
+			Min:     a.min,
+			Max:     a.max,
+			Mean:    a.sum / float64(a.n),
+			Counter: IsCounter(name),
+		}
+		if m.Counter && s.ElapsedSec > 0 {
+			m.Rate = float64(m.Last-m.First) / s.ElapsedSec
+		}
+		s.byName[name] = len(s.Metrics)
+		s.Metrics = append(s.Metrics, m)
+	}
+	return s
+}
+
+// WriteSummary renders the summary as an aligned text table: one metric
+// per row with first/last/min/max/mean and, for counters, the per-second
+// rate.
+func WriteSummary(w io.Writer, s Summary) error {
+	if _, err := fmt.Fprintf(w, "%d samples over %.1fs\n", s.Samples, s.ElapsedSec); err != nil {
+		return err
+	}
+	if s.Samples == 0 {
+		return nil
+	}
+	width := len("metric")
+	for _, m := range s.Metrics {
+		if len(m.Name) > width {
+			width = len(m.Name)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s %14s %14s %14s %14s %14s %12s\n",
+		width, "metric", "first", "last", "min", "max", "mean", "rate/s"); err != nil {
+		return err
+	}
+	for _, m := range s.Metrics {
+		rate := ""
+		if m.Counter {
+			rate = fmt.Sprintf("%.2f", m.Rate)
+		}
+		if _, err := fmt.Fprintf(w, "%-*s %14d %14d %14d %14d %14.1f %12s\n",
+			width, m.Name, m.First, m.Last, m.Min, m.Max, m.Mean, rate); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+// Package telemetry is the always-on metrics-capture subsystem: full-time
+// diagnostic data capture (FTDC-style) for sweeps, workers, and the
+// campaign server, so throughput, churn, and GC behavior are continuously
+// observed properties of the running system rather than benchmark-day
+// artifacts.
+//
+// The design has three layers:
+//
+//   - A Collector registers named int64 metric sources — gauges (current
+//     value: heap bytes, outstanding leases, scratch footprint) and
+//     counters (monotonic totals: cells, trials, steps, GC pauses; the
+//     "_total" suffix marks them) — and snapshots all of them into a
+//     Sample, either on its own ticker goroutine (default 1 s, injectable
+//     clock for tests) or on demand. Sampling is strictly off the
+//     simulation hot path: engines and sweep loops only bump atomic
+//     Counters; the reads, the map building, and the encoding all happen
+//     on the collector's goroutine.
+//   - A Capture appends samples to a delta-encoded, size-capped,
+//     ring-buffered file (<name>.ftdc.jsonl): one full reference sample
+//     every RefEvery lines, compact per-metric deltas in between, fsync
+//     batched every SyncEvery appends, rotation to <name>.ftdc.jsonl.1
+//     keeping the total footprint bounded. The reader tolerates a
+//     kill-truncated tail exactly like the sweep checkpoint scanner.
+//   - Reader/Summarize decode a capture back into absolute samples and
+//     aggregate them (first/last/min/max/mean per metric, per-second
+//     rates for counters) — the API behind `sweep -telemetry-report`.
+//
+// All values are int64 by design: delta encoding of integers round-trips
+// exactly, and every metric of interest (bytes, counts, nanoseconds,
+// milliseconds) is naturally integral. Rates are derived at read time.
+package telemetry
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultInterval is the periodic sampling cadence when Options does not
+// override it. One sample per second keeps a multi-hour run's capture in
+// the low megabytes while still resolving per-cell throughput shifts.
+const DefaultInterval = time.Second
+
+// Sample is one point-in-time reading of every registered metric.
+type Sample struct {
+	// TimeMS is the sample's wall-clock timestamp in Unix milliseconds.
+	TimeMS int64
+	// Values maps metric name to its sampled value. Counters (names
+	// suffixed "_total") are cumulative; gauges are instantaneous.
+	Values map[string]int64
+}
+
+// SampleWriter receives samples; *Capture implements it, and tests use
+// in-memory implementations.
+type SampleWriter interface {
+	Append(Sample) error
+}
+
+// Counter is a monotonic cumulative metric, safe for concurrent use. Hot
+// paths only Add; the collector Loads on its own goroutine.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current cumulative value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Options configures a Collector. The zero value is production-ready:
+// 1 s interval, real clock, runtime metrics on.
+type Options struct {
+	// Interval is the periodic sampling cadence (DefaultInterval when 0).
+	Interval time.Duration
+	// Now overrides the clock, for tests. Defaults to time.Now.
+	Now func() time.Time
+	// NoRuntime disables the built-in runtime.MemStats metrics
+	// (heap_bytes, gc_pause_total_ns, gc_total, alloc_bytes_total,
+	// goroutines) — tests asserting exact sample contents set it.
+	NoRuntime bool
+}
+
+// Collector registers metric sources and snapshots them into Samples.
+// Registration (Gauge, Counter) is expected at startup; Snapshot, Sample,
+// and the ticker may run concurrently with Counter.Add from any goroutine.
+type Collector struct {
+	interval time.Duration
+	now      func() time.Time
+	runtime  bool
+
+	mu       sync.Mutex
+	names    []string // registration order of gauges
+	gauges   map[string]func() int64
+	counters map[string]*Counter
+	cnames   []string // registration order of counters
+
+	writer   SampleWriter
+	writeErr error
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New creates a collector.
+func New(opts Options) *Collector {
+	c := &Collector{
+		interval: opts.Interval,
+		now:      opts.Now,
+		runtime:  !opts.NoRuntime,
+		gauges:   make(map[string]func() int64),
+		counters: make(map[string]*Counter),
+	}
+	if c.interval <= 0 {
+		c.interval = DefaultInterval
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Gauge registers a named instantaneous source. fn is called on the
+// collector's sampling goroutine and must be safe for concurrent use with
+// whatever state it reads. Registering an existing name replaces the
+// source (so a resumed sweep in the same process re-wires cleanly).
+func (c *Collector) Gauge(name string, fn func() int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.gauges[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.gauges[name] = fn
+}
+
+// Counter returns the named counter, creating and registering it on first
+// use. By convention counter names end in "_total"; Summarize derives
+// per-second rates from that suffix.
+func (c *Collector) Counter(name string) *Counter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ctr, ok := c.counters[name]; ok {
+		return ctr
+	}
+	ctr := &Counter{}
+	c.counters[name] = ctr
+	c.cnames = append(c.cnames, name)
+	return ctr
+}
+
+// Snapshot reads every registered source into one Sample. The built-in
+// runtime metrics are read once per snapshot (a single ReadMemStats),
+// never per source.
+func (c *Collector) Snapshot() Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := make(map[string]int64, len(c.names)+len(c.cnames)+5)
+	for _, name := range c.names {
+		v[name] = c.gauges[name]()
+	}
+	for _, name := range c.cnames {
+		v[name] = c.counters[name].Load()
+	}
+	if c.runtime {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		v["heap_bytes"] = int64(ms.HeapAlloc)
+		v["alloc_bytes_total"] = int64(ms.TotalAlloc)
+		v["gc_total"] = int64(ms.NumGC)
+		v["gc_pause_total_ns"] = int64(ms.PauseTotalNs)
+		v["goroutines"] = int64(runtime.NumGoroutine())
+	}
+	return Sample{TimeMS: c.now().UnixMilli(), Values: v}
+}
+
+// Sample snapshots and appends to w.
+func (c *Collector) Sample(w SampleWriter) error {
+	return w.Append(c.Snapshot())
+}
+
+// Start launches the periodic sampler: one sample to w per interval until
+// Stop. Write errors do not stop sampling (a full disk must not take down
+// the sweep it observes); the first error is reported by Stop.
+func (c *Collector) Start(w SampleWriter) {
+	c.mu.Lock()
+	if c.stop != nil {
+		c.mu.Unlock()
+		panic("telemetry: Collector.Start called twice")
+	}
+	c.writer = w
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	stop, done := c.stop, c.done
+	c.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(c.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.recordErr(c.Sample(w))
+			}
+		}
+	}()
+}
+
+// SampleNow writes one immediate sample to the writer Start installed —
+// the per-event hook (e.g. one sample per completed sweep cell) layered on
+// top of the periodic ticker. A no-op before Start.
+func (c *Collector) SampleNow() {
+	c.mu.Lock()
+	w := c.writer
+	c.mu.Unlock()
+	if w == nil {
+		return
+	}
+	c.recordErr(c.Sample(w))
+}
+
+// recordErr remembers the first write failure.
+func (c *Collector) recordErr(err error) {
+	if err == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.writeErr == nil {
+		c.writeErr = err
+	}
+	c.mu.Unlock()
+}
+
+// Stop halts the periodic sampler, writes one final sample (so even a
+// sub-interval run captures its end state), and returns the first write
+// error encountered over the collector's lifetime.
+func (c *Collector) Stop() error {
+	c.mu.Lock()
+	stop, done, w := c.stop, c.done, c.writer
+	c.stop, c.done = nil, nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	if w != nil {
+		c.recordErr(c.Sample(w))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.writeErr
+	c.writeErr = nil
+	return err
+}
+
+// MetricNames returns the registered metric names (gauges, counters, and
+// — when enabled — the built-in runtime metrics), sorted.
+func (c *Collector) MetricNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.names)+len(c.cnames)+5)
+	names = append(names, c.names...)
+	names = append(names, c.cnames...)
+	if c.runtime {
+		names = append(names, "heap_bytes", "alloc_bytes_total", "gc_total", "gc_pause_total_ns", "goroutines")
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders a sample compactly for logs.
+func (s Sample) String() string {
+	names := make([]string, 0, len(s.Values))
+	for name := range s.Values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := fmt.Sprintf("t=%d", s.TimeMS)
+	for _, name := range names {
+		out += fmt.Sprintf(" %s=%d", name, s.Values[name])
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memWriter collects samples in memory.
+type memWriter struct {
+	mu      sync.Mutex
+	samples []Sample
+}
+
+func (m *memWriter) Append(s Sample) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.samples = append(m.samples, s)
+	return nil
+}
+
+func (m *memWriter) all() []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Sample{}, m.samples...)
+}
+
+// testClock is an injectable, manually advanced clock.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *testClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestCollectorSample(t *testing.T) {
+	clock := &testClock{t: time.UnixMilli(50_000)}
+	c := New(Options{Now: clock.now, NoRuntime: true})
+	g := int64(7)
+	c.Gauge("g", func() int64 { return g })
+	ctr := c.Counter("work_total")
+	ctr.Add(3)
+
+	s := c.Snapshot()
+	if s.TimeMS != 50_000 {
+		t.Fatalf("TimeMS = %d, want 50000", s.TimeMS)
+	}
+	if s.Values["g"] != 7 || s.Values["work_total"] != 3 || len(s.Values) != 2 {
+		t.Fatalf("sample = %v", s.Values)
+	}
+
+	// Sources are read live, and Counter is get-or-create idempotent.
+	g = 9
+	if c.Counter("work_total") != ctr {
+		t.Fatal("Counter is not idempotent")
+	}
+	ctr.Add(2)
+	clock.advance(time.Second)
+	w := &memWriter{}
+	if err := c.Sample(w); err != nil {
+		t.Fatal(err)
+	}
+	s = w.all()[0]
+	if s.TimeMS != 51_000 || s.Values["g"] != 9 || s.Values["work_total"] != 5 {
+		t.Fatalf("sample = %+v", s)
+	}
+
+	// Re-registering a gauge replaces the source rather than panicking.
+	c.Gauge("g", func() int64 { return -1 })
+	if got := c.Snapshot().Values["g"]; got != -1 {
+		t.Fatalf("re-registered gauge read %d, want -1", got)
+	}
+}
+
+func TestCollectorRuntimeMetrics(t *testing.T) {
+	c := New(Options{})
+	s := c.Snapshot()
+	for _, name := range []string{"heap_bytes", "alloc_bytes_total", "gc_total", "gc_pause_total_ns", "goroutines"} {
+		if _, ok := s.Values[name]; !ok {
+			t.Fatalf("runtime metric %s missing from %v", name, s.Values)
+		}
+	}
+	if s.Values["heap_bytes"] <= 0 || s.Values["goroutines"] <= 0 {
+		t.Fatalf("implausible runtime metrics: %v", s.Values)
+	}
+	names := c.MetricNames()
+	if len(names) != 5 {
+		t.Fatalf("MetricNames = %v", names)
+	}
+}
+
+func TestCollectorTicker(t *testing.T) {
+	c := New(Options{Interval: 5 * time.Millisecond, NoRuntime: true})
+	ctr := c.Counter("ticks_total")
+	w := &memWriter{}
+	c.Start(w)
+	deadline := time.After(2 * time.Second)
+	for len(w.all()) < 3 {
+		ctr.Add(1)
+		select {
+		case <-deadline:
+			t.Fatal("ticker produced fewer than 3 samples in 2s")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// Stop appends a final sample on top of the ticker's.
+	got := w.all()
+	if len(got) < 4 {
+		t.Fatalf("got %d samples, want >= 4 (ticker + final)", len(got))
+	}
+	// SampleNow before Start must be a silent no-op.
+	c2 := New(Options{NoRuntime: true})
+	c2.SampleNow() // must not panic or write anywhere
+}
+
+func TestCollectorCaptureEndToEnd(t *testing.T) {
+	clock := &testClock{t: time.UnixMilli(1_000)}
+	c := New(Options{Now: clock.now, NoRuntime: true})
+	cells := c.Counter("cells_total")
+	path := filepath.Join(t.TempDir(), "run"+Ext)
+	cp, err := OpenCapture(path, CaptureOptions{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		cells.Add(2)
+		clock.advance(time.Second)
+		if err := c.Sample(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ReadCaptureFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 10 {
+		t.Fatalf("got %d samples, want 10", len(samples))
+	}
+	sum := Summarize(samples)
+	m, ok := sum.Metric("cells_total")
+	if !ok {
+		t.Fatal("cells_total missing from summary")
+	}
+	if m.First != 2 || m.Last != 20 || !m.Counter {
+		t.Fatalf("cells_total summary = %+v", m)
+	}
+	// 18 cells over 9 seconds of samples = 2/s.
+	if m.Rate < 1.99 || m.Rate > 2.01 {
+		t.Fatalf("rate = %f, want 2/s", m.Rate)
+	}
+}
+
+func TestSummarizeAndWrite(t *testing.T) {
+	samples := []Sample{
+		{TimeMS: 0, Values: map[string]int64{"g": 5, "n_total": 0}},
+		{TimeMS: 1000, Values: map[string]int64{"g": 1, "n_total": 10}},
+		{TimeMS: 2000, Values: map[string]int64{"g": 3, "n_total": 30}},
+	}
+	s := Summarize(samples)
+	if s.Samples != 3 || s.ElapsedSec != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	g, _ := s.Metric("g")
+	if g.Min != 1 || g.Max != 5 || g.First != 5 || g.Last != 3 || g.Counter {
+		t.Fatalf("g = %+v", g)
+	}
+	if g.Mean != 3 {
+		t.Fatalf("g mean = %f, want 3", g.Mean)
+	}
+	n, _ := s.Metric("n_total")
+	if !n.Counter || n.Rate != 15 {
+		t.Fatalf("n_total = %+v", n)
+	}
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"3 samples over 2.0s", "n_total", "15.00", "metric"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary output missing %q:\n%s", want, out)
+		}
+	}
+
+	empty := Summarize(nil)
+	if empty.Samples != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+	if _, ok := empty.Metric("g"); ok {
+		t.Fatal("empty summary has metrics")
+	}
+	if err := WriteSummary(&buf, empty); err != nil {
+		t.Fatal(err)
+	}
+}
