@@ -146,6 +146,10 @@ func TestE18SweepMatchesGrid(t *testing.T) {
 				t.Fatalf("cell %d trial %d: sweep (%d, %d) vs grid (%d, %d)",
 					i, trial, rec.Times[trial], rec.HalfTimes[trial], res.Time, res.HalfTime)
 			}
+			if rec.Messages[trial] != res.Messages || rec.Useless[trial] != res.Useless {
+				t.Fatalf("cell %d trial %d: sweep cost (%d, %d) vs grid (%d, %d)",
+					i, trial, rec.Messages[trial], rec.Useless[trial], res.Messages, res.Useless)
+			}
 		}
 	}
 }

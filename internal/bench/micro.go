@@ -209,6 +209,7 @@ func micros(cfg Config) []micro {
 		{"pull/edgemeg-dense", protoMicro(cfg, dense, "pull")},
 		{"pushpull/edgemeg-dense/k=1", protoMicro(cfg, dense, "pushpull:k=1")},
 		{"parsimonious/edgemeg-dense/active=32", protoMicro(cfg, dense, "parsimonious:active=32")},
+		{"async/edgemeg-dense/rate=1", protoMicro(cfg, dense, "async:rate=1")},
 	}
 }
 

@@ -39,7 +39,9 @@ func NewWalker(d dyngraph.Dynamic, start int, r *rng.RNG) *Walker {
 func (w *Walker) Pos() int { return w.pos }
 
 // Step moves the token to a uniform current neighbor (staying put if the
-// node is isolated in this snapshot), then advances the dynamic graph.
+// node is isolated in this snapshot), then advances the dynamic graph. It
+// reports whether the token actually moved — a transmission for message
+// accounting; an isolated step is free.
 //
 // The neighbor set is read through the model's per-node batch view (the
 // interface check is hoisted to construction) — a walker touches one node
@@ -50,16 +52,18 @@ func (w *Walker) Pos() int { return w.pos }
 // simulators now serve this view from neighbor lists maintained in
 // O(churn) per step (in rebuild-identical order), so a long walk on a
 // sparse MEG no longer pays an O(m) adjacency rebuild every step.
-func (w *Walker) Step() {
+func (w *Walker) Step() bool {
 	if w.lister != nil {
 		w.scratch = w.lister.AppendNeighbors(w.pos, w.scratch[:0])
 	} else {
 		w.scratch = dyngraph.AppendNeighbors(w.d, w.pos, w.scratch[:0])
 	}
-	if len(w.scratch) > 0 {
+	moved := len(w.scratch) > 0
+	if moved {
 		w.pos = int(w.scratch[w.r.Intn(len(w.scratch))])
 	}
 	w.d.Step()
+	return moved
 }
 
 // HittingTime runs the walk until it reaches target and returns the number
@@ -85,6 +89,15 @@ type CoverResult struct {
 	Steps int
 	// Visited is the number of distinct nodes seen (== N on success).
 	Visited int
+	// Messages counts token transmissions: one per step the token actually
+	// moved (a step spent isolated sends nothing and costs nothing) — the
+	// walk's analogue of flood.Result.Messages.
+	Messages int64
+	// Useless counts moves onto already-visited nodes. Every node but the
+	// start is first visited by exactly one move, so the same conservation
+	// law the spreading engines obey holds here:
+	// Messages == Useless + (Visited - 1).
+	Useless int64
 }
 
 // CoverTime runs the walk until every node has been visited and returns
@@ -96,19 +109,27 @@ func CoverTime(d dyngraph.Dynamic, start, maxSteps int, r *rng.RNG) CoverResult 
 	w := NewWalker(d, start, r)
 	seen := bitset.New(n)
 	seen.Set(start)
-	visited := 1
-	if visited == n {
-		return CoverResult{Steps: 0, Visited: visited}
+	res := CoverResult{Visited: 1}
+	if res.Visited == n {
+		res.Steps = 0
+		return res
 	}
 	for t := 1; t <= maxSteps; t++ {
-		w.Step()
-		if !seen.Get(w.Pos()) {
+		if !w.Step() {
+			continue // isolated: the token stayed put, no transmission
+		}
+		res.Messages++
+		if seen.Get(w.Pos()) {
+			res.Useless++
+		} else {
 			seen.Set(w.Pos())
-			visited++
-			if visited == n {
-				return CoverResult{Steps: t, Visited: visited}
+			res.Visited++
+			if res.Visited == n {
+				res.Steps = t
+				return res
 			}
 		}
 	}
-	return CoverResult{Steps: -1, Visited: visited}
+	res.Steps = -1
+	return res
 }

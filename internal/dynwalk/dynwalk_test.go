@@ -105,6 +105,30 @@ func TestCoverTimePartialOnCap(t *testing.T) {
 	}
 }
 
+func TestCoverCostConservation(t *testing.T) {
+	// The walk's message accounting mirrors the spreading engines': one
+	// message per actual move, and every visited node beyond the start was
+	// first reached by exactly one move, so
+	// Messages == Useless + (Visited - 1) — covered or capped alike.
+	for _, cap := range []int{5, 1 << 20} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			res := CoverTime(dyngraph.NewStatic(graph.Complete(16)), 0, cap, rng.New(seed))
+			if res.Useless < 0 || res.Messages < 0 {
+				t.Fatalf("negative cost: %+v", res)
+			}
+			if res.Messages != res.Useless+int64(res.Visited-1) {
+				t.Fatalf("conservation violated: %+v", res)
+			}
+		}
+	}
+	// An isolated walker never moves: zero cost even though steps elapse.
+	b := graph.NewBuilder(2)
+	res := CoverTime(dyngraph.NewStatic(b.Build()), 0, 50, rng.New(3))
+	if res.Messages != 0 || res.Useless != 0 {
+		t.Fatalf("isolated walker reported cost: %+v", res)
+	}
+}
+
 func TestCoverTimeSingleNode(t *testing.T) {
 	b := graph.NewBuilder(1)
 	res := CoverTime(dyngraph.NewStatic(b.Build()), 0, 10, rng.New(15))

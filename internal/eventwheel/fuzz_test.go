@@ -1,0 +1,134 @@
+package eventwheel
+
+import (
+	"sort"
+	"testing"
+)
+
+// refSched is the obvious-by-inspection reference: a per-node pending map
+// drained by scanning for the (tick, node) minimum. The wheel must match
+// it event for event under any interleaving of schedules, supersedes,
+// cancels, and drains.
+type refSched struct {
+	next map[int32]int64
+}
+
+func (r *refSched) schedule(node int32, tick int64) { r.next[node] = tick }
+func (r *refSched) cancel(node int32)               { delete(r.next, node) }
+
+func (r *refSched) popBefore(limit int64) (node int32, tick int64, ok bool) {
+	// Deterministic minimum: collect, sort by (tick, node), take the head.
+	type ev struct {
+		tick int64
+		node int32
+	}
+	pend := make([]ev, 0, len(r.next))
+	for n, t := range r.next {
+		if t < limit {
+			pend = append(pend, ev{t, n})
+		}
+	}
+	if len(pend) == 0 {
+		return 0, 0, false
+	}
+	sort.Slice(pend, func(i, j int) bool {
+		return pend[i].tick < pend[j].tick ||
+			(pend[i].tick == pend[j].tick && pend[i].node < pend[j].node)
+	})
+	delete(r.next, pend[0].node)
+	return pend[0].node, pend[0].tick, true
+}
+
+// FuzzEventWheel drives a small wheel (span 8, 4 buckets — so ring wrap
+// and overflow migration are constantly exercised) and the sort-based
+// reference through the same operation stream decoded from the fuzz input,
+// checking every delivery and every Len agree. Scheduled ticks never
+// precede the last delivered tick, per the wheel's forward-only contract.
+func FuzzEventWheel(f *testing.F) {
+	f.Add([]byte{0x00, 0x11, 0x22, 0x33})
+	f.Add([]byte{0x01, 0xFF, 0x02, 0x80, 0x03, 0x40, 0x05})
+	f.Add([]byte{0x02, 0x02, 0x02, 0x01, 0x00, 0x00, 0xF0, 0x0F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 12
+		w := New(8, 4)
+		w.Reset(n)
+		ref := &refSched{next: map[int32]int64{}}
+		var frontier int64 // last delivered tick: new ticks must not precede it
+		var limit int64
+		pos := 0
+		nextByte := func() (byte, bool) {
+			if pos >= len(data) {
+				return 0, false
+			}
+			b := data[pos]
+			pos++
+			return b, true
+		}
+		for {
+			op, more := nextByte()
+			if !more {
+				break
+			}
+			switch op % 4 {
+			case 0, 1: // schedule (twice as likely: keeps the wheel busy)
+				nodeB, ok1 := nextByte()
+				deltaB, ok2 := nextByte()
+				if !ok1 || !ok2 {
+					break
+				}
+				node := int32(nodeB) % n
+				// Deltas span several buckets and reach past the 32-tick
+				// ring horizon, hitting near-bucket, wrap, and overflow.
+				tick := frontier + int64(deltaB)
+				w.Schedule(node, tick)
+				ref.schedule(node, tick)
+			case 2: // cancel
+				nodeB, ok := nextByte()
+				if !ok {
+					break
+				}
+				w.Cancel(int32(nodeB) % n)
+				ref.cancel(int32(nodeB) % n)
+			case 3: // drain up to a raised limit
+				deltaB, ok := nextByte()
+				if !ok {
+					break
+				}
+				limit += int64(deltaB)
+				for {
+					gn, gt, gok := w.PopBefore(limit)
+					wn, wt, wok := ref.popBefore(limit)
+					if gok != wok || gn != wn || gt != wt {
+						t.Fatalf("PopBefore(%d): wheel (%d, %d, %v) != reference (%d, %d, %v)",
+							limit, gn, gt, gok, wn, wt, wok)
+					}
+					if !gok {
+						break
+					}
+					if gt > frontier {
+						frontier = gt
+					}
+				}
+			}
+			if w.Len() != len(ref.next) {
+				t.Fatalf("Len = %d, reference has %d pending", w.Len(), len(ref.next))
+			}
+		}
+		// Final full drain: nothing may be lost or duplicated. Every
+		// pending tick is < frontier + 256 (schedule deltas are one byte),
+		// and keeping the limit tight matters: PopBefore walks the cursor
+		// bucket by bucket toward the limit, as its engine caller — which
+		// raises the limit one step per call — never jumps far ahead.
+		final := frontier + 256
+		for {
+			gn, gt, gok := w.PopBefore(final)
+			wn, wt, wok := ref.popBefore(final)
+			if gok != wok || gn != wn || gt != wt {
+				t.Fatalf("final drain: wheel (%d, %d, %v) != reference (%d, %d, %v)", gn, gt, gok, wn, wt, wok)
+			}
+			if !gok {
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,216 @@
+// Package eventwheel implements the integer-time event scheduler under the
+// asynchronous spreading engine: a bucketed timing wheel for near events
+// plus an overflow min-heap for far ones, with one pending event per node
+// and O(1) amortized schedule/cancel/pop.
+//
+// Time is a monotone int64 tick counter. The wheel divides it into
+// fixed-span buckets (the async engine uses one bucket per graph step);
+// events within the horizon land in their bucket's unordered slice, events
+// beyond it in the overflow heap. Draining orders events totally by
+// (tick, node): the bucket being drained is held in a small binary heap,
+// loaded bucket-by-bucket as the cursor advances and topped up from the
+// overflow heap — so per event the wheel pays one bucket append plus one
+// small-heap push/pop, instead of a log(all pending) heap for everything.
+//
+// Each node has at most one pending event (next[node]); Schedule overwrites
+// and Cancel removes by lazy invalidation — superseded entries stay in
+// their bucket and are skipped at pop time when their tick no longer
+// matches the node's. All state is held in reusable buffers: a warm wheel
+// schedules, cancels, and drains without allocating, which is what lets the
+// async engine keep the package's zero-alloc scratch contract.
+//
+// The firing order and tick-boundary semantics are pinned exactly against a
+// sort-based reference implementation by FuzzEventWheel.
+package eventwheel
+
+// event is one pending firing. The zero node is valid, so validity is
+// judged solely by next[node] == tick.
+type event struct {
+	tick int64
+	node int32
+}
+
+// less orders events by (tick, node) — the wheel's total delivery order.
+func less(a, b event) bool {
+	return a.tick < b.tick || (a.tick == b.tick && a.node < b.node)
+}
+
+// Wheel is a single-owner (not concurrency-safe) event scheduler.
+// The zero value is unusable; construct with New and arm with Reset.
+type Wheel struct {
+	span    int64     // ticks per bucket
+	buckets [][]event // ring of unordered near-future buckets
+	cur     []event   // binary min-heap of the bucket being drained
+	over    []event   // binary min-heap of events beyond the ring horizon
+	next    []int64   // per-node pending tick, -1 when none
+	cursor  int64     // bucket index (tick/span) being drained
+	live    int       // count of valid pending events
+}
+
+// New returns a wheel with the given bucket span in ticks and ring size in
+// buckets. Span and buckets must be positive; larger rings trade memory
+// for fewer overflow-heap operations.
+func New(span int64, buckets int) *Wheel {
+	if span <= 0 || buckets <= 0 {
+		panic("eventwheel: span and buckets must be positive")
+	}
+	return &Wheel{span: span, buckets: make([][]event, buckets)}
+}
+
+// Reset clears all pending events, rewinds time to tick 0, and sizes the
+// wheel for nodes 0..n-1, keeping every buffer's capacity for reuse.
+func (w *Wheel) Reset(n int) {
+	for i := range w.buckets {
+		w.buckets[i] = w.buckets[i][:0]
+	}
+	w.cur = w.cur[:0]
+	w.over = w.over[:0]
+	if cap(w.next) < n {
+		w.next = make([]int64, n)
+	}
+	w.next = w.next[:n]
+	for i := range w.next {
+		w.next[i] = -1
+	}
+	w.cursor = 0
+	w.live = 0
+}
+
+// Len reports the number of nodes with a pending event.
+func (w *Wheel) Len() int { return w.live }
+
+// NextTick returns the tick node is scheduled to fire at, or -1 when it has
+// no pending event.
+func (w *Wheel) NextTick(node int32) int64 { return w.next[node] }
+
+// Schedule sets node's (single) pending event to tick, superseding any
+// earlier one. The tick must not precede an event the wheel has already
+// delivered — the drain is forward-only — and must be non-negative;
+// schedulers that react to a popped event at tick T by rescheduling at
+// T+gap (gap >= 1) satisfy this by construction.
+func (w *Wheel) Schedule(node int32, tick int64) {
+	if tick < 0 {
+		panic("eventwheel: negative tick")
+	}
+	if w.next[node] < 0 {
+		w.live++
+	}
+	w.next[node] = tick
+	step := tick / w.span
+	switch {
+	case step <= w.cursor:
+		// Due in (or before) the bucket being drained: goes through the
+		// drain heap so it still pops in (tick, node) order.
+		w.cur = heapPush(w.cur, event{tick, node})
+	case step < w.cursor+int64(len(w.buckets)):
+		b := step % int64(len(w.buckets))
+		w.buckets[b] = append(w.buckets[b], event{tick, node})
+	default:
+		w.over = heapPush(w.over, event{tick, node})
+	}
+}
+
+// Cancel removes node's pending event, if any. The bucket entry is left
+// behind and invalidated lazily at pop time.
+func (w *Wheel) Cancel(node int32) {
+	if w.next[node] >= 0 {
+		w.next[node] = -1
+		w.live--
+	}
+}
+
+// PopBefore delivers the next pending event with tick < limit, in strict
+// (tick, node) order, consuming it (the node has no pending event until
+// rescheduled). ok is false when no pending event precedes limit; the
+// wheel then holds position, and a later call with a larger limit resumes
+// exactly where this one stopped.
+func (w *Wheel) PopBefore(limit int64) (node int32, tick int64, ok bool) {
+	for {
+		for len(w.cur) > 0 {
+			top := w.cur[0]
+			if top.tick >= limit {
+				return 0, 0, false
+			}
+			w.cur = heapPop(w.cur)
+			if w.next[top.node] != top.tick {
+				continue // superseded or cancelled: lazy invalidation
+			}
+			w.next[top.node] = -1
+			w.live--
+			return top.node, top.tick, true
+		}
+		// Drain heap empty: advance the cursor into the next bucket, but
+		// only once limit reaches it — the caller may still schedule into
+		// the current bucket before raising the limit.
+		if (w.cursor+1)*w.span >= limit {
+			return 0, 0, false
+		}
+		w.cursor++
+		w.loadCursor()
+	}
+}
+
+// loadCursor moves the cursor bucket's entries into the drain heap and tops
+// it up with overflow events that now fall inside the cursor bucket.
+func (w *Wheel) loadCursor() {
+	b := w.cursor % int64(len(w.buckets))
+	for _, e := range w.buckets[b] {
+		if w.next[e.node] == e.tick { // drop stale entries while copying
+			w.cur = heapPush(w.cur, e)
+		}
+	}
+	w.buckets[b] = w.buckets[b][:0]
+	end := (w.cursor + 1) * w.span
+	for len(w.over) > 0 && w.over[0].tick < end {
+		w.cur = heapPush(w.cur, w.over[0])
+		w.over = heapPop(w.over)
+	}
+}
+
+// Bytes reports the wheel's buffer footprint for scratch accounting.
+func (w *Wheel) Bytes() int64 {
+	const eventSize = 16 // int64 + int32, padded
+	total := int64(cap(w.cur)+cap(w.over)) * eventSize
+	for _, b := range w.buckets {
+		total += int64(cap(b)) * eventSize
+	}
+	return total + int64(cap(w.next))*8
+}
+
+// heapPush appends e to the (tick, node)-keyed binary min-heap h.
+func heapPush(h []event, e event) []event {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+// heapPop removes the minimum of h (h[0]) and restores the heap property.
+func heapPop(h []event) []event {
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && less(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && less(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			return h
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}

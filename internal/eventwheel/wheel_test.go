@@ -1,0 +1,165 @@
+package eventwheel
+
+import "testing"
+
+func TestWheelDeliversInTickNodeOrder(t *testing.T) {
+	w := New(8, 4)
+	w.Reset(5)
+	// Same bucket, different ticks; same tick, different nodes.
+	w.Schedule(3, 6)
+	w.Schedule(1, 2)
+	w.Schedule(4, 6)
+	w.Schedule(0, 30) // later bucket
+	want := []struct {
+		node int32
+		tick int64
+	}{{1, 2}, {3, 6}, {4, 6}, {0, 30}}
+	for i, ev := range want {
+		node, tick, ok := w.PopBefore(64)
+		if !ok || node != ev.node || tick != ev.tick {
+			t.Fatalf("pop %d = (%d, %d, %v), want (%d, %d, true)", i, node, tick, ok, ev.node, ev.tick)
+		}
+	}
+	if _, _, ok := w.PopBefore(64); ok {
+		t.Fatal("empty wheel delivered an event")
+	}
+}
+
+func TestWheelLimitIsExclusive(t *testing.T) {
+	w := New(8, 4)
+	w.Reset(2)
+	w.Schedule(0, 8)
+	if _, _, ok := w.PopBefore(8); ok {
+		t.Fatal("PopBefore(8) delivered an event AT tick 8; the limit is exclusive")
+	}
+	node, tick, ok := w.PopBefore(9)
+	if !ok || node != 0 || tick != 8 {
+		t.Fatalf("PopBefore(9) = (%d, %d, %v), want (0, 8, true)", node, tick, ok)
+	}
+}
+
+func TestWheelHoldsPositionBetweenLimits(t *testing.T) {
+	// The async engine drains step by step: events scheduled into the
+	// current step AFTER a failed pop must still be delivered once the
+	// limit rises — the cursor must not run ahead of the limit.
+	w := New(8, 4)
+	w.Reset(3)
+	w.Schedule(0, 20)
+	if _, _, ok := w.PopBefore(8); ok {
+		t.Fatal("delivered an event from a future step")
+	}
+	w.Schedule(1, 5) // into the current (partially drained) step
+	node, tick, ok := w.PopBefore(8)
+	if !ok || node != 1 || tick != 5 {
+		t.Fatalf("late schedule into the open step: got (%d, %d, %v), want (1, 5, true)", node, tick, ok)
+	}
+}
+
+func TestWheelSupersedeAndCancel(t *testing.T) {
+	w := New(8, 4)
+	w.Reset(4)
+	w.Schedule(0, 3)
+	w.Schedule(1, 4)
+	w.Schedule(2, 5)
+	if got := w.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	w.Schedule(0, 12) // supersedes tick 3
+	if got := w.Len(); got != 3 {
+		t.Fatalf("Len after supersede = %d, want 3", got)
+	}
+	if got := w.NextTick(0); got != 12 {
+		t.Fatalf("NextTick(0) = %d, want 12", got)
+	}
+	w.Cancel(1)
+	w.Cancel(1) // idempotent
+	if got := w.Len(); got != 2 {
+		t.Fatalf("Len after cancel = %d, want 2", got)
+	}
+	if got := w.NextTick(1); got != -1 {
+		t.Fatalf("NextTick of cancelled node = %d, want -1", got)
+	}
+	node, tick, ok := w.PopBefore(100)
+	if !ok || node != 2 || tick != 5 {
+		t.Fatalf("first pop = (%d, %d, %v), want (2, 5, true): stale entries must be skipped", node, tick, ok)
+	}
+	node, tick, ok = w.PopBefore(100)
+	if !ok || node != 0 || tick != 12 {
+		t.Fatalf("second pop = (%d, %d, %v), want (0, 12, true)", node, tick, ok)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len after draining = %d, want 0", w.Len())
+	}
+}
+
+func TestWheelOverflowBeyondRing(t *testing.T) {
+	// span 8 × 4 buckets = a 32-tick horizon: ticks far beyond it live in
+	// the overflow heap and must migrate into the ring as the cursor
+	// reaches them.
+	w := New(8, 4)
+	w.Reset(3)
+	w.Schedule(0, 1000)
+	w.Schedule(1, 100)
+	w.Schedule(2, 1)
+	var got []int64
+	limit := int64(8)
+	for len(got) < 3 {
+		if node, tick, ok := w.PopBefore(limit); ok {
+			if w.NextTick(node) != -1 {
+				t.Fatalf("popped node %d still pending", node)
+			}
+			got = append(got, tick)
+		} else {
+			limit += 8
+		}
+	}
+	if got[0] != 1 || got[1] != 100 || got[2] != 1000 {
+		t.Fatalf("overflow delivery order %v, want [1 100 1000]", got)
+	}
+}
+
+func TestWheelResetReuses(t *testing.T) {
+	w := New(4, 2)
+	w.Reset(2)
+	w.Schedule(0, 3)
+	w.Schedule(1, 90)
+	w.PopBefore(4)
+	w.Reset(2)
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", w.Len())
+	}
+	if _, _, ok := w.PopBefore(1 << 20); ok {
+		t.Fatal("Reset left a stale event behind")
+	}
+	// Time rewound to 0: near ticks schedule and deliver again.
+	w.Schedule(1, 2)
+	node, tick, ok := w.PopBefore(4)
+	if !ok || node != 1 || tick != 2 {
+		t.Fatalf("post-Reset pop = (%d, %d, %v), want (1, 2, true)", node, tick, ok)
+	}
+}
+
+func TestWheelBytesGrowsWithUse(t *testing.T) {
+	w := New(8, 4)
+	w.Reset(64)
+	before := w.Bytes()
+	for i := int32(0); i < 64; i++ {
+		w.Schedule(i, int64(i)*7)
+	}
+	if after := w.Bytes(); after <= before {
+		t.Fatalf("Bytes did not grow with buffered events: %d -> %d", before, after)
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, shape := range [][2]int{{0, 4}, {8, 0}, {-1, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) did not panic", shape[0], shape[1])
+				}
+			}()
+			New(int64(shape[0]), shape[1])
+		}()
+	}
+}

@@ -106,3 +106,29 @@ func TestRandomizedPushZeroAlloc(t *testing.T) {
 	opts := Opts{MaxSteps: 1 << 12, Scratch: NewScratch()}
 	assertZeroAlloc(t, "randomized push (arc-scan)", func() { RandomizedPush(d, 0, 2, r, opts) })
 }
+
+// The async engine owes the same contract on all three dispatch paths: a
+// warm scratch (event wheel ring/heaps, per-node clocks, adjacency) serves
+// every run without heap traffic. Runs are deterministic per clock seed,
+// so the warm-up run reaches every buffer's high-water capacity.
+
+func TestAsyncDeltaZeroAlloc(t *testing.T) {
+	d := dyngraph.NewStatic(graph.Torus(12, 12))
+	opts := Opts{MaxSteps: 1 << 12, Scratch: NewScratch()}
+	if res := Async(d, 0, 1, 7, opts); !res.Completed {
+		t.Fatal("async on the torus did not complete")
+	}
+	assertZeroAlloc(t, "async delta", func() { Async(d, 0, 1, 7, opts) })
+}
+
+func TestAsyncBatchZeroAlloc(t *testing.T) {
+	d := batcherOnly{dyngraph.NewStatic(graph.Torus(12, 12))}
+	opts := Opts{MaxSteps: 1 << 12, Scratch: NewScratch()}
+	assertZeroAlloc(t, "async batch", func() { Async(d, 0, 1, 7, opts) })
+}
+
+func TestAsyncMemberZeroAlloc(t *testing.T) {
+	d := listerOnly{dyngraph.NewStatic(graph.Torus(12, 12))}
+	opts := Opts{MaxSteps: 1 << 12, Scratch: NewScratch()}
+	assertZeroAlloc(t, "async member", func() { Async(d, 0, 1, 7, opts) })
+}

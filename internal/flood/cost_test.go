@@ -1,0 +1,114 @@
+package flood_test
+
+// The message-cost property layer: every registered protocol on every
+// registered model must satisfy the conservation law
+//
+//	Messages == Useless + (Informed - 1)
+//
+// because every node beyond the source was informed by exactly one
+// delivery, and every other delivery was useless. record() enforces it by
+// construction; this test pins the msgs each engine FEEDS record() —
+// an engine that forgets a transmission (or double-counts one) breaks the
+// law through the Useless derivation going negative or the informed count
+// outrunning the messages.
+//
+// Both registries are iterated in full, so a newly registered model or
+// protocol is covered automatically — and a registry that shrank fails
+// loudly instead of silently testing less.
+
+import (
+	"testing"
+
+	"repro/internal/flood"
+	"repro/internal/model"
+	_ "repro/internal/model/all"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+const (
+	costModelStream uint64 = 0xC057 << 1
+	costProtoStream uint64 = 0xC057<<1 | 1
+)
+
+func TestCostConservationAcrossRegistries(t *testing.T) {
+	models := model.Names()
+	protocols := protocol.Names()
+	if len(models) < 8 {
+		t.Fatalf("model registry shrank: %d models %v", len(models), models)
+	}
+	if len(protocols) < 6 {
+		t.Fatalf("protocol registry shrank: %d protocols %v", len(protocols), protocols)
+	}
+	opts := flood.Opts{MaxSteps: 1 << 11, KeepTimeline: true}
+	for _, mname := range models {
+		for _, pname := range protocols {
+			t.Run(mname+"/"+pname, func(t *testing.T) {
+				seed := rng.Seed(42, costModelStream, uint64(len(mname)+13*len(pname)))
+				d := model.MustBuild(model.New(mname), seed)
+				p := protocol.MustBuild(protocol.New(pname), rng.Seed(seed, costProtoStream))
+				res := p.Run(d, 0, opts)
+				checkCost(t, res)
+				if pname == "pull" && res.Useless != 0 {
+					// Pull counts only answered queries, and an answer
+					// reaching an already-informed asker never happens —
+					// the asker would not have asked.
+					t.Errorf("pull reported %d useless messages, want 0", res.Useless)
+				}
+			})
+		}
+	}
+}
+
+// checkCost asserts the cost invariants every engine owes: conservation,
+// non-negative waste, and a cost timeline aligned with the size timeline.
+func checkCost(t *testing.T, res flood.Result) {
+	t.Helper()
+	if res.Useless < 0 {
+		t.Errorf("negative Useless %d (an engine reported fewer messages than first-time informs)", res.Useless)
+	}
+	if got, want := res.Messages, res.Useless+int64(res.Informed-1); got != want {
+		t.Errorf("conservation violated: Messages = %d, Useless + (Informed-1) = %d", got, want)
+	}
+	if int64(res.Informed-1) > res.Messages {
+		t.Errorf("informed %d nodes with only %d messages", res.Informed, res.Messages)
+	}
+	if len(res.CostTimeline) != len(res.Timeline) {
+		t.Fatalf("CostTimeline has %d entries, Timeline has %d", len(res.CostTimeline), len(res.Timeline))
+	}
+	if len(res.CostTimeline) == 0 {
+		return
+	}
+	if res.CostTimeline[0] != 0 {
+		t.Errorf("CostTimeline[0] = %d, want 0 (no messages before step 1)", res.CostTimeline[0])
+	}
+	for i := 1; i < len(res.CostTimeline); i++ {
+		if res.CostTimeline[i] < res.CostTimeline[i-1] {
+			t.Fatalf("CostTimeline decreases at %d: %d -> %d", i, res.CostTimeline[i-1], res.CostTimeline[i])
+		}
+	}
+	if last := res.CostTimeline[len(res.CostTimeline)-1]; last != res.Messages {
+		t.Errorf("CostTimeline ends at %d, Messages = %d", last, res.Messages)
+	}
+}
+
+// TestCostTimelineOptional pins that cost TOTALS are engine output
+// regardless of KeepTimeline — sweeps run timeline-free and still
+// checkpoint per-trial costs — and that the per-step series appears only
+// when asked for.
+func TestCostTimelineOptional(t *testing.T) {
+	seed := uint64(7)
+	ms := model.New("edgemeg").WithInt("n", 96).WithFloat("p", 0.03).WithFloat("q", 0.2)
+	with := flood.Run(model.MustBuild(ms, seed), 0, flood.Opts{MaxSteps: 1 << 12, KeepTimeline: true})
+	without := flood.Run(model.MustBuild(ms, seed), 0, flood.Opts{MaxSteps: 1 << 12})
+	if without.CostTimeline != nil {
+		t.Errorf("KeepTimeline=false still recorded a CostTimeline of %d entries", len(without.CostTimeline))
+	}
+	if with.Messages != without.Messages || with.Useless != without.Useless {
+		t.Errorf("cost totals depend on KeepTimeline: %d/%d vs %d/%d",
+			with.Messages, with.Useless, without.Messages, without.Useless)
+	}
+	if with.Messages == 0 {
+		t.Error("flooding an edge-MEG sent no messages")
+	}
+}

@@ -38,6 +38,27 @@ type Result struct {
 	Timeline []int
 	// Completed reports whether every node was informed within MaxSteps.
 	Completed bool
+	// Messages counts rumor transmissions over the whole run: every
+	// delivery of the rumor from an informed node to a neighbor. Flooding
+	// transmits once per (informed endpoint, edge) per step — an edge with
+	// both endpoints informed costs two messages; push-style engines
+	// transmit once per contact; pull once per answered query (a query to
+	// an uninformed node transfers nothing and costs nothing).
+	Messages int64
+	// Useless counts messages that informed no one: deliveries to nodes
+	// already informed, or first informed by another message of the same
+	// step. Every non-source node is first informed by exactly one
+	// message, so the conservation law
+	//
+	//	Messages == Useless + (Informed - 1)
+	//
+	// holds exactly for every engine — the cost metric of Ahmadi–Kuhn–
+	// Kutten–Molla that the parsimonious strategy competes on.
+	Useless int64
+	// CostTimeline records cumulative Messages after each step, aligned
+	// index-by-index with Timeline (CostTimeline[0] == 0 at t = 0).
+	// Recorded only under KeepTimeline, like Timeline.
+	CostTimeline []int64
 }
 
 // SaturationTime returns Time - HalfTime, the duration of the saturation
@@ -49,15 +70,33 @@ func (r Result) SaturationTime() int {
 	return r.Time - r.HalfTime
 }
 
+// Sentinel returns of TimeToFraction. Both are negative, so callers that
+// only care whether a time is available can keep testing `>= 0`; callers
+// that care WHY it is not must distinguish them.
+const (
+	// TimeNever: the process provably never reached the fraction — the
+	// trajectory is fully known (run completed, or its whole Timeline is
+	// on record) and tops out below the target.
+	TimeNever = -1
+	// TimeUnknown: the run cannot answer — it was cut off at MaxSteps
+	// before reaching the fraction (the process might have reached it
+	// later), or it ran without a Timeline and the tracked events do not
+	// pin the requested fraction even though the run did reach it.
+	TimeUnknown = -2
+)
+
 // TimeToFraction returns the first time at which at least frac·n nodes
-// were informed, or -1 if that time is unknown. With a recorded Timeline
-// every fraction is answerable. Without one (KeepTimeline == false) the
-// run only tracked three exact events, and the method falls back on them:
-// t = 0 for fractions the source alone satisfies, HalfTime when frac·n is
-// exactly the half threshold ⌈n/2⌉, and Time for frac == 1 on completed
-// runs. Any other fraction — including ones the run did reach, at an
-// unrecorded time — returns -1; fractions beyond the final Informed count
-// return -1 always.
+// were informed. With a recorded Timeline every reached fraction is
+// answerable; an unreached one is TimeNever when the recorded trajectory
+// is the whole process (Completed) and TimeUnknown when the run was cut
+// off, since later steps might have reached it. Without a Timeline
+// (KeepTimeline == false) the run only tracked three exact events, and
+// the method falls back on them: t = 0 for fractions the source alone
+// satisfies, HalfTime when frac·n is exactly the half threshold ⌈n/2⌉,
+// and Time for frac == 1 on completed runs. Any other fraction the run
+// reached at an unrecorded time — and any fraction beyond Informed on a
+// cut-off run — is TimeUnknown; fractions beyond n on a completed run
+// are TimeNever.
 func (r Result) TimeToFraction(n int, frac float64) int {
 	need := int(frac * float64(n))
 	if need < 1 {
@@ -69,21 +108,27 @@ func (r Result) TimeToFraction(n int, frac float64) int {
 				return t
 			}
 		}
-		return -1
+		if r.Completed {
+			return TimeNever // full trajectory on record; it never got there
+		}
+		return TimeUnknown // cut off at MaxSteps short of the fraction
 	}
 	// Timeline-free fallback: answer from the always-tracked events when
 	// they pin the requested fraction exactly.
 	switch {
-	case need > r.Informed:
-		return -1 // never reached
 	case need <= 1:
 		return 0 // the source satisfies it from the start
+	case need > r.Informed:
+		if r.Completed {
+			return TimeNever // Informed == n is the process maximum
+		}
+		return TimeUnknown // cut off; the process might still get there
 	case need == n && r.Completed:
 		return r.Time
 	case need == (n+1)/2 && r.HalfTime >= 0:
 		return r.HalfTime
 	}
-	return -1
+	return TimeUnknown // reached, but at a time the run did not record
 }
 
 // Opts configures a spreading run.
@@ -131,6 +176,7 @@ func start(n, source int, opts Opts) (sc *Scratch, res Result, done bool) {
 	res = Result{Time: -1, HalfTime: -1, Informed: 1}
 	if opts.KeepTimeline {
 		res.Timeline = append(res.Timeline, 1)
+		res.CostTimeline = append(res.CostTimeline, 0)
 	}
 	if 2 >= n {
 		res.HalfTime = 0
@@ -149,10 +195,19 @@ func start(n, source int, opts Opts) (sc *Scratch, res Result, done bool) {
 // run completed. It is the shared per-step bookkeeping of every engine in
 // this package: a field added to Result is tracked by all protocols at
 // once.
-func record(res *Result, opts Opts, n, size, t int) bool {
+//
+// msgs is the number of rumor transmissions the step performed; record
+// derives Useless from it as msgs minus the step's first-time informs
+// (size - previous Informed), which makes the conservation law
+// Messages == Useless + (Informed - 1) hold by construction in every
+// engine — the property test's anchor.
+func record(res *Result, opts Opts, n, size, t int, msgs int64) bool {
+	res.Messages += msgs
+	res.Useless += msgs - int64(size-res.Informed)
 	res.Informed = size
 	if opts.KeepTimeline {
 		res.Timeline = append(res.Timeline, size)
+		res.CostTimeline = append(res.CostTimeline, res.Messages)
 	}
 	if res.HalfTime < 0 && 2*size >= n {
 		res.HalfTime = t + 1
@@ -253,16 +308,23 @@ func runEdgeScan(b dyngraph.Batcher, d dyngraph.Dynamic, sc *Scratch, opts Opts,
 	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
 		sc.edges = b.AppendEdges(sc.edges[:0])
+		var msgs int64
 		for _, e := range sc.edges {
-			if informed.Get(int(e.U)) {
-				if !informed.Get(int(e.V)) {
+			ui, vi := informed.Get(int(e.U)), informed.Get(int(e.V))
+			if ui {
+				msgs++
+				if !vi {
 					pending.Set(int(e.V))
 				}
-			} else if informed.Get(int(e.V)) {
-				pending.Set(int(e.U))
+			}
+			if vi {
+				msgs++
+				if !ui {
+					pending.Set(int(e.U))
+				}
 			}
 		}
-		if record(res, opts, n, informed.Absorb(&pending), t) {
+		if record(res, opts, n, informed.Absorb(&pending), t, msgs) {
 			return
 		}
 		d.Step()
@@ -297,14 +359,24 @@ func runDeltaScan(db dyngraph.DeltaBatcher, d dyngraph.Dynamic, sc *Scratch, opt
 	sc.adj.Reset(n)
 	sc.adj.AddEdges(sc.edges)
 	sc.active.Reset(n)
+	// load maintains Σ_{i ∈ informed} deg(i) over the CURRENT adjacency —
+	// the step's message count under flooding semantics (every informed
+	// endpoint of every edge transmits once per step, whether or not the
+	// active-set sweep visits it). Maintained incrementally from the same
+	// events the active set consumes: + deg of each newly informed node,
+	// ±1 per informed endpoint of each born/died edge — so the cost matches
+	// the full edge scan exactly without an O(m) rescan.
+	var load int64
 	// Seed the active set with the informed set (the source).
 	sc.queue = sc.informed.AppendMembers(sc.queue[:0])
 	for _, i := range sc.queue {
 		sc.active.Set(int(i))
+		load += int64(sc.adj.Degree(int(i)))
 	}
 	informed, pending, active := sc.informed, sc.pending, sc.active
 	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
+		msgs := load
 		sc.queue = active.AppendMembers(sc.queue[:0])
 		for _, ii := range sc.queue {
 			i := int(ii)
@@ -327,8 +399,9 @@ func runDeltaScan(db dyngraph.DeltaBatcher, d dyngraph.Dynamic, sc *Scratch, opt
 		size := informed.Absorb(&pending)
 		for _, f := range sc.newly {
 			active.Set(int(f))
+			load += int64(sc.adj.Degree(int(f)))
 		}
-		if record(res, opts, n, size, t) {
+		if record(res, opts, n, size, t, msgs) {
 			return
 		}
 		d.Step()
@@ -337,9 +410,19 @@ func runDeltaScan(db dyngraph.DeltaBatcher, d dyngraph.Dynamic, sc *Scratch, opt
 		for _, e := range sc.born {
 			if informed.Get(int(e.U)) {
 				active.Set(int(e.U))
+				load++
 			}
 			if informed.Get(int(e.V)) {
 				active.Set(int(e.V))
+				load++
+			}
+		}
+		for _, e := range sc.died {
+			if informed.Get(int(e.U)) {
+				load--
+			}
+			if informed.Get(int(e.V)) {
+				load--
 			}
 		}
 	}
@@ -354,12 +437,16 @@ func runArcScan(ab dyngraph.ArcBatcher, d dyngraph.Dynamic, sc *Scratch, opts Op
 	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
 		sc.edges = ab.AppendArcs(sc.edges[:0])
+		var msgs int64
 		for _, e := range sc.edges {
-			if informed.Get(int(e.U)) && !informed.Get(int(e.V)) {
-				pending.Set(int(e.V))
+			if informed.Get(int(e.U)) {
+				msgs++ // an informed tail transmits along every arc it keeps
+				if !informed.Get(int(e.V)) {
+					pending.Set(int(e.V))
+				}
 			}
 		}
-		if record(res, opts, n, informed.Absorb(&pending), t) {
+		if record(res, opts, n, informed.Absorb(&pending), t, msgs) {
 			return
 		}
 		d.Step()
@@ -379,13 +466,15 @@ func runMemberScan(d dyngraph.Dynamic, sc *Scratch, opts Opts, res *Result) {
 	for t := 0; t < maxSteps; t++ {
 		// Scan snapshot E_t for edges leaving the informed set.
 		sc.queue = informed.AppendMembers(sc.queue[:0])
+		var msgs int64
 		for _, i := range sc.queue {
 			sc.nbrs = nr.append(int(i), sc.nbrs[:0])
+			msgs += int64(len(sc.nbrs)) // one transmission per neighbor
 			for _, j := range sc.nbrs {
 				pending.Set(int(j))
 			}
 		}
-		if record(res, opts, n, informed.Absorb(&pending), t) {
+		if record(res, opts, n, informed.Absorb(&pending), t, msgs) {
 			return
 		}
 		d.Step()

@@ -166,8 +166,20 @@ func TestTimeToFraction(t *testing.T) {
 	if got := r.TimeToFraction(16, 1.0); got != 4 {
 		t.Fatalf("TimeToFraction(1.0) = %d, want 4", got)
 	}
-	if got := r.TimeToFraction(32, 1.0); got != -1 {
-		t.Fatalf("unreachable fraction should be -1, got %d", got)
+	// A completed run's timeline is the whole trajectory, so a level it
+	// never hits is provably never reached — not merely unobserved.
+	if got := r.TimeToFraction(32, 1.0); got != TimeNever {
+		t.Fatalf("unreachable fraction should be TimeNever, got %d", got)
+	}
+	// The same timeline cut off at MaxSteps proves nothing about later
+	// steps: the level might have been reached after the cutoff.
+	cut := Result{Timeline: []int{1, 2, 4, 8, 16}, Completed: false}
+	if got := cut.TimeToFraction(32, 1.0); got != TimeUnknown {
+		t.Fatalf("cut-off fraction should be TimeUnknown, got %d", got)
+	}
+	// Levels the cut-off timeline does reach are still answered exactly.
+	if got := cut.TimeToFraction(16, 0.5); got != 3 {
+		t.Fatalf("cut-off reached fraction = %d, want 3", got)
 	}
 }
 
@@ -185,14 +197,23 @@ func TestTimeToFractionWithoutTimeline(t *testing.T) {
 	if got := r.TimeToFraction(n, 0.05); got != 0 {
 		t.Fatalf("source-only fraction should be 0: got %d", got)
 	}
-	// Reached fractions at unrecorded times are unknown: -1.
-	if got := r.TimeToFraction(n, 0.75); got != -1 {
-		t.Fatalf("unrecorded fraction should be -1: got %d", got)
+	// Reached fractions at unrecorded times are unknown, not never: the
+	// run did pass through 0.75·n, the tracked events just don't say when.
+	if got := r.TimeToFraction(n, 0.75); got != TimeUnknown {
+		t.Fatalf("unrecorded fraction should be TimeUnknown: got %d", got)
 	}
-	// Fractions beyond the final informed count were never reached.
+	// A run cut off at MaxSteps below the level proves nothing — the
+	// level might have been reached had the run continued.
 	capped := Result{Time: -1, HalfTime: 3, Informed: 10}
-	if got := capped.TimeToFraction(n, 1.0); got != -1 {
-		t.Fatalf("incomplete run full fraction should be -1: got %d", got)
+	if got := capped.TimeToFraction(n, 1.0); got != TimeUnknown {
+		t.Fatalf("cut-off full fraction should be TimeUnknown: got %d", got)
+	}
+	// A COMPLETED run's trajectory is final, so a level above its final
+	// informed count (here: measured against a larger denominator n) was
+	// provably never reached.
+	island := Result{Time: 4, HalfTime: -1, Informed: 6, Completed: true}
+	if got := island.TimeToFraction(n, 1.0); got != TimeNever {
+		t.Fatalf("level above a completed run should be TimeNever: got %d", got)
 	}
 	if got := capped.TimeToFraction(n, 0.5); got != 3 {
 		t.Fatalf("incomplete run half fraction should be HalfTime: got %d", got)

@@ -45,12 +45,17 @@ func Parsimonious(d dyngraph.Dynamic, source, active int, opts Opts) Result {
 	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
 		newly := sc.newly[:0]
-		// Only active nodes transmit on snapshot E_t. Marking informed
-		// immediately is safe — activeList is fixed for the round, so a
-		// node informed mid-round cannot transmit until the next one —
-		// and keeps newly duplicate-free.
+		// Only active nodes transmit on snapshot E_t — that restriction is
+		// the whole point of the protocol, and the message count shows it:
+		// one transmission per (transmitter, neighbor), so silent informed
+		// nodes cost nothing where plain flooding keeps paying degree.
+		// Marking informed immediately is safe — activeList is fixed for
+		// the round, so a node informed mid-round cannot transmit until the
+		// next one — and keeps newly duplicate-free.
+		var msgs int64
 		for _, i := range activeList {
 			sc.nbrs = nr.append(int(i), sc.nbrs[:0])
+			msgs += int64(len(sc.nbrs))
 			for _, j := range sc.nbrs {
 				if !informed.Get(int(j)) {
 					informed.Set(int(j))
@@ -75,7 +80,7 @@ func Parsimonious(d dyngraph.Dynamic, source, active int, opts Opts) Result {
 		// run sharing this scratch.
 		sc.newly, sc.queue = newly[:0], activeList
 		size += len(newly)
-		if record(&res, opts, n, size, t) {
+		if record(&res, opts, n, size, t, msgs) {
 			return res
 		}
 		// All transmitters silent and nobody newly informed: the process
@@ -111,8 +116,11 @@ func parsimoniousDelta(db dyngraph.DeltaBatcher, d dyngraph.Dynamic, sc *Scratch
 	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
 		newly := sc.newly[:0]
+		var msgs int64
 		for _, i := range activeList {
-			for _, j := range sc.adj.Neighbors(int(i)) {
+			nbrs := sc.adj.Neighbors(int(i))
+			msgs += int64(len(nbrs))
+			for _, j := range nbrs {
 				if !informed.Get(int(j)) {
 					informed.Set(int(j))
 					newly = append(newly, j)
@@ -132,7 +140,7 @@ func parsimoniousDelta(db dyngraph.DeltaBatcher, d dyngraph.Dynamic, sc *Scratch
 		}
 		sc.newly, sc.queue = newly[:0], activeList
 		size += len(newly)
-		if record(res, opts, n, size, t) {
+		if record(res, opts, n, size, t, msgs) {
 			return
 		}
 		if len(activeList) == 0 {

@@ -40,16 +40,22 @@ func Pull(d dyngraph.Dynamic, source int, r *rng.RNG, opts Opts) Result {
 	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
 		sc.queue = informed.AppendUnset(sc.queue[:0])
+		// Message accounting: only an answered query moves the rumor — a
+		// query to an uninformed neighbor transfers nothing and costs
+		// nothing — and each success first-informs its own querier, so pull
+		// is the zero-waste engine: Useless stays 0 by construction.
+		var msgs int64
 		for _, i := range sc.queue {
 			sc.nbrs = nr.append(int(i), sc.nbrs[:0])
 			if len(sc.nbrs) == 0 {
 				continue
 			}
 			if informed.Get(int(sc.nbrs[r.Intn(len(sc.nbrs))])) {
+				msgs++
 				pending.Set(int(i))
 			}
 		}
-		if record(&res, opts, n, informed.Absorb(&pending), t) {
+		if record(&res, opts, n, informed.Absorb(&pending), t, msgs) {
 			return res
 		}
 		d.Step()

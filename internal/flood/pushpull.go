@@ -43,6 +43,10 @@ func PushPull(d dyngraph.Dynamic, source, k int, r *rng.RNG, opts Opts) Result {
 
 	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
+		// Message accounting: every push contact delivers the rumor (one
+		// message each, useful or not); a pull costs one only when the
+		// queried neighbor is informed and answers, like the Pull engine.
+		var msgs int64
 		for i := 0; i < n; i++ {
 			sc.nbrs = nr.append(i, sc.nbrs[:0])
 			if len(sc.nbrs) == 0 {
@@ -51,10 +55,12 @@ func PushPull(d dyngraph.Dynamic, source, k int, r *rng.RNG, opts Opts) Result {
 			if informed.Get(i) {
 				// Push: contact at most k distinct random neighbors.
 				if len(sc.nbrs) <= k {
+					msgs += int64(len(sc.nbrs))
 					for _, j := range sc.nbrs {
 						pending.Set(int(j))
 					}
 				} else {
+					msgs += int64(k)
 					sc.idx = r.SampleDistinctInto(len(sc.nbrs), k, sc.idx[:0])
 					for _, idx := range sc.idx {
 						pending.Set(int(sc.nbrs[idx]))
@@ -66,11 +72,12 @@ func PushPull(d dyngraph.Dynamic, source, k int, r *rng.RNG, opts Opts) Result {
 				// its RNG draw), preserving the engine's historical
 				// random-stream consumption.
 				if informed.Get(int(sc.nbrs[r.Intn(len(sc.nbrs))])) {
+					msgs++
 					pending.Set(i)
 				}
 			}
 		}
-		if record(&res, opts, n, informed.Absorb(&pending), t) {
+		if record(&res, opts, n, informed.Absorb(&pending), t, msgs) {
 			return res
 		}
 		d.Step()

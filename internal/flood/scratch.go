@@ -3,6 +3,7 @@ package flood
 import (
 	"repro/internal/bitset"
 	"repro/internal/dyngraph"
+	"repro/internal/eventwheel"
 	"repro/internal/rng"
 )
 
@@ -56,6 +57,11 @@ type Scratch struct {
 	active bitset.Set
 	// born and died receive the per-step churn batches.
 	born, died []dyngraph.Edge
+	// wheel is the async engine's event scheduler; clocks its per-node
+	// Poisson-clock RNG streams. Both are sized lazily by the first async
+	// run and reused across trials like every other buffer.
+	wheel  *eventwheel.Wheel
+	clocks []rng.RNG
 }
 
 // NewScratch returns an empty Scratch. Buffers are sized lazily by the
@@ -77,6 +83,10 @@ func (sc *Scratch) Bytes() int64 {
 	if sc.sub != nil {
 		b += sc.sub.Bytes()
 	}
+	if sc.wheel != nil {
+		b += sc.wheel.Bytes()
+	}
+	b += int64(cap(sc.clocks)) * 8
 	return b
 }
 
@@ -106,4 +116,18 @@ func (sc *Scratch) expirySlice(n int) []int32 {
 		sc.expiry = make([]int32, n)
 	}
 	return sc.expiry[:n]
+}
+
+// asyncState returns the event wheel (reset for n nodes) and the per-node
+// clock buffer of the async engine. Clock entries are garbage until
+// reseeded; Async reseeds every entry before any draw.
+func (sc *Scratch) asyncState(n int) (*eventwheel.Wheel, []rng.RNG) {
+	if sc.wheel == nil {
+		sc.wheel = eventwheel.New(TicksPerStep, asyncWheelBuckets)
+	}
+	sc.wheel.Reset(n)
+	if cap(sc.clocks) < n {
+		sc.clocks = make([]rng.RNG, n)
+	}
+	return sc.wheel, sc.clocks[:n]
 }

@@ -31,6 +31,7 @@ func allSpecs(t *testing.T) []protocol.Spec {
 		"pull":         protocol.New("pull"),
 		"pushpull":     protocol.New("pushpull").WithInt("k", 1),
 		"parsimonious": protocol.New("parsimonious").WithInt("active", 8),
+		"async":        protocol.New("async").WithFloat("rate", 1),
 	}
 	names := protocol.Names()
 	out := make([]protocol.Spec, 0, len(names))
@@ -79,6 +80,8 @@ func TestBuildErrors(t *testing.T) {
 		protocol.New("push").With("k", "many"),
 		protocol.New("pushpull").WithInt("k", -1),
 		protocol.New("parsimonious").WithInt("active", 0),
+		protocol.New("async").WithFloat("rate", 0),
+		protocol.New("async").WithFloat("rate", -2),
 	} {
 		if _, err := protocol.Build(s, 1); err == nil {
 			t.Errorf("Build(%v) succeeded, want error", s)
@@ -107,6 +110,11 @@ func TestSpecBuiltMatchesDirectCall(t *testing.T) {
 		},
 		"parsimonious:active=8": func() flood.Result {
 			return flood.Parsimonious(model.MustBuild(megSpec, modelSeed), 0, 8, opts)
+		},
+		"async:rate=1": func() flood.Result {
+			// The async adapter draws one clock seed from its protocol RNG
+			// per Run, so the direct call derives it the same way.
+			return flood.Async(model.MustBuild(megSpec, modelSeed), 0, 1, rng.New(protoSeed).Uint64(), opts)
 		},
 	}
 	for text, call := range direct {

@@ -51,6 +51,20 @@ func (p *pushPullProto) Run(d dyngraph.Dynamic, source int, opts flood.Opts) flo
 	return flood.PushPull(d, source, p.k, p.r, opts)
 }
 
+// asyncProto is the asynchronous Poisson-clock push protocol: nodes fire
+// on private exponential clocks (rate expected firings per graph step) and
+// informed firings push to one random current neighbor. Each Run derives a
+// fresh clock seed from the protocol's stream, so one built instance runs
+// independent trials like the other randomized protocols.
+type asyncProto struct {
+	rate float64
+	r    *rng.RNG
+}
+
+func (p *asyncProto) Run(d dyngraph.Dynamic, source int, opts flood.Opts) flood.Result {
+	return flood.Async(d, source, p.rate, p.r.Uint64(), opts)
+}
+
 // parsimoniousProto is the bounded-activity-window flooding of [4].
 type parsimoniousProto struct {
 	active int
@@ -112,6 +126,21 @@ func init() {
 				return nil, err
 			}
 			return &pushPullProto{k: k, r: r}, nil
+		},
+	})
+
+	Register(Definition{
+		Name: "async",
+		Help: "asynchronous push (Pourmiri–Mans): per-node Poisson clocks of the given rate fire against the current snapshot; informed firings push to one random neighbor",
+		Params: []spec.Param{
+			{Name: "rate", Kind: spec.Float, Default: "1", Help: "expected clock firings per node per graph step"},
+		},
+		Build: func(a spec.Args, r *rng.RNG) (Protocol, error) {
+			rate := a.Float("rate")
+			if !(rate > 0) {
+				return nil, fmt.Errorf("rate must be > 0, got %v", rate)
+			}
+			return &asyncProto{rate: rate, r: r}, nil
 		},
 	})
 

@@ -48,6 +48,13 @@ type CellRecord struct {
 	Times     []int `json:"times"`
 	HalfTimes []int `json:"half_times"`
 	Informed  []int `json:"informed"`
+	// Messages and Useless hold the per-trial message costs, in trial
+	// order (flood.Result.Messages/Useless). Records written before cost
+	// accounting existed read as nil — HasCost distinguishes them, and the
+	// report layer only emits cost columns when every record carries them,
+	// so old checkpoints keep reporting byte-identically.
+	Messages []int64 `json:"messages,omitempty"`
+	Useless  []int64 `json:"useless,omitempty"`
 	// WallMS is the wall-clock milliseconds the cell took on whichever
 	// worker executed it. It is diagnostic only — never part of the Key,
 	// never reported in CSV/markdown, and two legitimate records for the
@@ -74,13 +81,23 @@ func Record(s Study, c Cell) CellRecord {
 		Times:     make([]int, len(c.Results)),
 		HalfTimes: make([]int, len(c.Results)),
 		Informed:  make([]int, len(c.Results)),
+		Messages:  make([]int64, len(c.Results)),
+		Useless:   make([]int64, len(c.Results)),
 	}
 	for i, res := range c.Results {
 		rec.Times[i] = res.Time
 		rec.HalfTimes[i] = res.HalfTime
 		rec.Informed[i] = res.Informed
+		rec.Messages[i] = res.Messages
+		rec.Useless[i] = res.Useless
 	}
 	return rec
+}
+
+// HasCost reports whether the record carries per-trial message costs —
+// false exactly for records checkpointed before cost accounting existed.
+func (r CellRecord) HasCost() bool {
+	return r.Messages != nil && r.Useless != nil
 }
 
 // CompletedTimes returns the completion times of completed trials, in
@@ -114,6 +131,15 @@ func (r CellRecord) Validate() error {
 	if len(r.Times) != r.Trials || len(r.HalfTimes) != r.Trials || len(r.Informed) != r.Trials {
 		return fmt.Errorf("study: record %s has %d/%d/%d per-trial entries for %d trials",
 			r.Key(), len(r.Times), len(r.HalfTimes), len(r.Informed), r.Trials)
+	}
+	// Cost arrays are optional as a PAIR (pre-cost records have neither),
+	// but a lone or short one is damage, not age.
+	if (r.Messages != nil) != (r.Useless != nil) {
+		return fmt.Errorf("study: record %s has messages without useless (or vice versa)", r.Key())
+	}
+	if r.HasCost() && (len(r.Messages) != r.Trials || len(r.Useless) != r.Trials) {
+		return fmt.Errorf("study: record %s has %d/%d cost entries for %d trials",
+			r.Key(), len(r.Messages), len(r.Useless), r.Trials)
 	}
 	if r.WallMS < 0 {
 		return fmt.Errorf("study: record %s: negative wall_ms %d", r.Key(), r.WallMS)

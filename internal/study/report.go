@@ -33,6 +33,17 @@ type Row struct {
 	// InformedFrac is the mean final |I|/n over ALL trials, completed or
 	// not.
 	InformedFrac float64
+	// HasCost reports whether the underlying record carried per-trial
+	// message costs; the cost columns below are meaningful only when true.
+	// Renderers emit them only when EVERY row has them (see costColumns),
+	// so checkpoints from before cost accounting report byte-identically.
+	HasCost bool
+	// MedianMsgs and MeanMsgs summarize per-trial Messages over ALL
+	// trials; UselessFrac is total Useless over total Messages (NaN when
+	// no messages were sent).
+	MedianMsgs  float64
+	MeanMsgs    float64
+	UselessFrac float64
 }
 
 // Report aggregates checkpoint records into rows sorted by (model,
@@ -67,6 +78,19 @@ func Report(records []CellRecord) []Row {
 		row.P95Time = stats.Quantile(times, 0.95)
 		row.MedianHalf = stats.Median(halves)
 		row.InformedFrac = informed / float64(rec.Trials)
+		if rec.HasCost() {
+			row.HasCost = true
+			msgs := make([]float64, rec.Trials)
+			var totalMsgs, totalUseless float64
+			for i := 0; i < rec.Trials; i++ {
+				msgs[i] = float64(rec.Messages[i])
+				totalMsgs += float64(rec.Messages[i])
+				totalUseless += float64(rec.Useless[i])
+			}
+			row.MedianMsgs = stats.Median(msgs)
+			row.MeanMsgs = stats.Mean(msgs)
+			row.UselessFrac = totalUseless / totalMsgs // NaN when 0/0
+		}
 		rows = append(rows, row)
 	}
 	sort.Slice(rows, func(i, j int) bool {
@@ -85,17 +109,42 @@ func Report(records []CellRecord) []Row {
 	return rows
 }
 
-// reportHeader names the report columns, shared by the CSV and markdown
-// renderers so the two stay aligned.
+// reportHeader names the always-present report columns, shared by the CSV
+// and markdown renderers so the two stay aligned; costHeader appends the
+// message-cost columns when the rows carry them.
 var reportHeader = []string{
 	"model", "protocol", "trials", "seed", "completed",
 	"median_time", "mean_time", "p95_time", "median_half", "informed_frac",
 }
 
+var costHeader = []string{"median_messages", "mean_messages", "useless_frac"}
+
+// costColumns gates the cost columns: they are rendered only when every
+// row carries cost data. A report over pre-cost checkpoint records — or a
+// mix of old and new records after resuming an old checkpoint — therefore
+// produces the exact byte stream it always did, preserving the sweep
+// layer's resume-report-byte-identity contract across the format change.
+func costColumns(rows []Row) bool {
+	for _, r := range rows {
+		if !r.HasCost {
+			return false
+		}
+	}
+	return len(rows) > 0
+}
+
+// header returns the column names for rows, with cost columns when gated in.
+func header(cost bool) []string {
+	if !cost {
+		return reportHeader
+	}
+	return append(append([]string{}, reportHeader...), costHeader...)
+}
+
 // csvCells renders a row with full float precision, for machine
 // consumption.
-func (r Row) csvCells() []string {
-	return []string{
+func (r Row) csvCells(cost bool) []string {
+	cells := []string{
 		r.Model, r.Protocol,
 		strconv.Itoa(r.Trials),
 		strconv.FormatUint(r.Seed, 10),
@@ -104,12 +153,16 @@ func (r Row) csvCells() []string {
 		gfloat(r.MedianHalf),
 		gfloat(r.InformedFrac),
 	}
+	if cost {
+		cells = append(cells, gfloat(r.MedianMsgs), gfloat(r.MeanMsgs), gfloat(r.UselessFrac))
+	}
+	return cells
 }
 
 // markdownCells renders a row compactly for human-facing tables; NaN
 // (no completed trials) prints as "-".
-func (r Row) markdownCells() []string {
-	return []string{
+func (r Row) markdownCells(cost bool) []string {
+	cells := []string{
 		r.Model, r.Protocol,
 		strconv.Itoa(r.Trials),
 		strconv.FormatUint(r.Seed, 10),
@@ -118,6 +171,10 @@ func (r Row) markdownCells() []string {
 		ffloat(r.MedianHalf),
 		fmt.Sprintf("%.3f", r.InformedFrac),
 	}
+	if cost {
+		cells = append(cells, ffloat(r.MedianMsgs), ffloat(r.MeanMsgs), pfloat(r.UselessFrac))
+	}
+	return cells
 }
 
 func gfloat(v float64) string {
@@ -134,26 +191,39 @@ func ffloat(v float64) string {
 	return fmt.Sprintf("%.1f", v)
 }
 
+// pfloat renders a fraction with three decimals for markdown ("-" for NaN).
+func pfloat(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
 // WriteCSV emits the rows as CSV with a header line. Fields containing
-// commas — every parameterized spec string — are quoted.
+// commas — every parameterized spec string — are quoted. Message-cost
+// columns are appended when every row carries them (see costColumns).
 func WriteCSV(w io.Writer, rows []Row) error {
+	cost := costColumns(rows)
 	lines := make([][]string, 0, len(rows)+1)
-	lines = append(lines, reportHeader)
+	lines = append(lines, header(cost))
 	for _, r := range rows {
-		lines = append(lines, r.csvCells())
+		lines = append(lines, r.csvCells(cost))
 	}
 	return csv.NewWriter(w).WriteAll(lines)
 }
 
 // WriteMarkdown emits the rows as a GitHub-flavored markdown table with
 // columns padded to equal width, readable both rendered and raw.
+// Message-cost columns are appended when every row carries them.
 func WriteMarkdown(w io.Writer, rows []Row) error {
+	cost := costColumns(rows)
+	head := header(cost)
 	table := make([][]string, 0, len(rows)+1)
-	table = append(table, reportHeader)
+	table = append(table, head)
 	for _, r := range rows {
-		table = append(table, r.markdownCells())
+		table = append(table, r.markdownCells(cost))
 	}
-	widths := make([]int, len(reportHeader))
+	widths := make([]int, len(head))
 	for _, cells := range table {
 		for i, c := range cells {
 			if len(c) > widths[i] {

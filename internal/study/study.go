@@ -81,6 +81,11 @@ type Cell struct {
 	Results []flood.Result
 	// Times summarizes the completion times of completed trials.
 	Times stats.Summary
+	// Messages and Useless summarize the per-trial message costs
+	// (flood.Result.Messages/Useless) over ALL trials, completed or not —
+	// an incomplete run's cost is real spend, not a missing value.
+	Messages stats.Summary
+	Useless  stats.Summary
 	// Incomplete counts trials that hit MaxSteps (or died) uninformed.
 	Incomplete int
 }
@@ -132,6 +137,9 @@ func Run(s Study) (Cell, error) {
 	times, incomplete := TimesOf(results)
 	cell.Times = stats.Summarize(times)
 	cell.Incomplete = incomplete
+	msgs, useless := CostsOf(results)
+	cell.Messages = stats.Summarize(msgs)
+	cell.Useless = stats.Summarize(useless)
 	return cell, nil
 }
 
@@ -270,16 +278,30 @@ func TimesOf(results []flood.Result) (times []float64, incomplete int) {
 	return times, incomplete
 }
 
+// CostsOf extracts the per-trial message costs, over all trials.
+func CostsOf(results []flood.Result) (msgs, useless []float64) {
+	msgs = make([]float64, len(results))
+	useless = make([]float64, len(results))
+	for i, r := range results {
+		msgs[i] = float64(r.Messages)
+		useless[i] = float64(r.Useless)
+	}
+	return msgs, useless
+}
+
 // trialJSON is the JSON-lines record of one trial.
 type trialJSON struct {
-	Model     string `json:"model"`
-	Protocol  string `json:"protocol"`
-	Trial     int    `json:"trial"`
-	Time      int    `json:"time"`
-	HalfTime  int    `json:"half_time"`
-	Informed  int    `json:"informed"`
-	Completed bool   `json:"completed"`
-	Timeline  []int  `json:"timeline,omitempty"`
+	Model        string  `json:"model"`
+	Protocol     string  `json:"protocol"`
+	Trial        int     `json:"trial"`
+	Time         int     `json:"time"`
+	HalfTime     int     `json:"half_time"`
+	Informed     int     `json:"informed"`
+	Completed    bool    `json:"completed"`
+	Messages     int64   `json:"messages"`
+	Useless      int64   `json:"useless"`
+	Timeline     []int   `json:"timeline,omitempty"`
+	CostTimeline []int64 `json:"cost_timeline,omitempty"`
 }
 
 // WriteJSONL emits one JSON object per trial, in trial order — the
@@ -289,14 +311,17 @@ func (c Cell) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for trial, r := range c.Results {
 		rec := trialJSON{
-			Model:     c.Model,
-			Protocol:  c.Protocol,
-			Trial:     trial,
-			Time:      r.Time,
-			HalfTime:  r.HalfTime,
-			Informed:  r.Informed,
-			Completed: r.Completed,
-			Timeline:  r.Timeline,
+			Model:        c.Model,
+			Protocol:     c.Protocol,
+			Trial:        trial,
+			Time:         r.Time,
+			HalfTime:     r.HalfTime,
+			Informed:     r.Informed,
+			Completed:    r.Completed,
+			Messages:     r.Messages,
+			Useless:      r.Useless,
+			Timeline:     r.Timeline,
+			CostTimeline: r.CostTimeline,
 		}
 		if err := enc.Encode(rec); err != nil {
 			return fmt.Errorf("study: emitting trial %d: %w", trial, err)

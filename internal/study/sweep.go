@@ -260,7 +260,9 @@ type SweepOpts struct {
 	Stop <-chan struct{}
 	// Telemetry, when non-nil, receives sweep progress counters
 	// (sweep_cells_total, sweep_cells_resumed_total, sweep_trials_total,
-	// sweep_steps_total, sweep_wall_ms_total) and a scratch_bytes gauge
+	// sweep_steps_total, sweep_wall_ms_total, plus the message-cost
+	// throughput counters messages_total/useless_total) and a
+	// scratch_bytes gauge
 	// tracking the largest per-worker engine footprint seen so far. All
 	// updates happen between cells — never inside the spreading hot path —
 	// and each freshly completed cell triggers one extra sample so short
@@ -289,13 +291,15 @@ func RunSweepOpts(sw Sweep, opts SweepOpts) ([]CellRecord, error) {
 	if err := sw.Validate(); err != nil {
 		return nil, err
 	}
-	var cellsDone, cellsResumed, trialsDone, stepsDone, wallMS *telemetry.Counter
+	var cellsDone, cellsResumed, trialsDone, stepsDone, wallMS, msgsTotal, uselessTotal *telemetry.Counter
 	if opts.Telemetry != nil {
 		cellsDone = opts.Telemetry.Counter("sweep_cells_total")
 		cellsResumed = opts.Telemetry.Counter("sweep_cells_resumed_total")
 		trialsDone = opts.Telemetry.Counter("sweep_trials_total")
 		stepsDone = opts.Telemetry.Counter("sweep_steps_total")
 		wallMS = opts.Telemetry.Counter("sweep_wall_ms_total")
+		msgsTotal = opts.Telemetry.Counter("messages_total")
+		uselessTotal = opts.Telemetry.Counter("useless_total")
 		opts.Telemetry.Gauge("scratch_bytes", ScratchHighWater)
 	}
 	total := len(sw.Models) * len(sw.Protocols)
@@ -346,11 +350,17 @@ func RunSweepOpts(sw Sweep, opts SweepOpts) ([]CellRecord, error) {
 			if opts.Telemetry != nil {
 				cellsDone.Add(1)
 				trialsDone.Add(int64(len(cell.Results)))
-				var steps int64
+				// Cost throughput, summed per completed cell — between
+				// cells, never inside the spreading hot path.
+				var steps, msgs, useless int64
 				for _, r := range cell.Results {
 					steps += int64(r.Time)
+					msgs += r.Messages
+					useless += r.Useless
 				}
 				stepsDone.Add(steps)
+				msgsTotal.Add(msgs)
+				uselessTotal.Add(useless)
 				wallMS.Add(rec.WallMS)
 				opts.Telemetry.SampleNow()
 			}

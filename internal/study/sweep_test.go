@@ -286,6 +286,91 @@ func TestReportAggregates(t *testing.T) {
 	}
 }
 
+// TestReportCostColumnsGated pins the cost-column gate: the report renders
+// median_messages/mean_messages/useless_frac exactly when EVERY record
+// carries per-trial costs, so a checkpoint written before cost accounting
+// existed — or a resumed mix of old and new records — keeps producing the
+// byte stream it always did.
+func TestReportCostColumnsGated(t *testing.T) {
+	old := study.CellRecord{
+		Model: "aaa", Protocol: "flood", Trials: 2, Seed: 1, N: 10,
+		Times:     []int{4, 2},
+		HalfTimes: []int{2, 1},
+		Informed:  []int{10, 10},
+	}
+	costed := study.CellRecord{
+		Model: "zzz", Protocol: "flood", Trials: 2, Seed: 1, N: 10,
+		Times:     []int{4, 2},
+		HalfTimes: []int{2, 1},
+		Informed:  []int{10, 10},
+		Messages:  []int64{30, 20},
+		Useless:   []int64{21, 11},
+	}
+	legacyCSV, legacyMD := renderReports(t, []study.CellRecord{old})
+	if strings.Contains(legacyCSV, "median_messages") || strings.Contains(legacyMD, "median_messages") {
+		t.Fatalf("pre-cost record rendered cost columns:\n%s", legacyCSV)
+	}
+	mixedCSV, _ := renderReports(t, []study.CellRecord{old, costed})
+	if strings.Contains(mixedCSV, "median_messages") {
+		t.Fatalf("mixed records rendered cost columns:\n%s", mixedCSV)
+	}
+	// The legacy record renders the identical line whether or not a costed
+	// record sits beside it.
+	for _, line := range strings.Split(legacyCSV, "\n")[1:] {
+		if line != "" && !strings.Contains(mixedCSV, line) {
+			t.Fatalf("legacy row changed in mixed report: %q missing from\n%s", line, mixedCSV)
+		}
+	}
+	csv, md := renderReports(t, []study.CellRecord{costed})
+	if !strings.HasPrefix(csv, "model,protocol,trials,seed,completed,median_time,mean_time,p95_time,median_half,informed_frac,median_messages,mean_messages,useless_frac\n") {
+		t.Fatalf("all-cost CSV header wrong:\n%s", csv)
+	}
+	// 50 messages total, 32 useless: median 25, mean 25, frac 0.64.
+	if !strings.Contains(csv, ",25,25,0.64") {
+		t.Fatalf("cost cells wrong:\n%s", csv)
+	}
+	if !strings.Contains(md, "| 0.640") {
+		t.Fatalf("markdown useless_frac wrong:\n%s", md)
+	}
+	// Zero messages: useless_frac is NaN, rendered not crashed.
+	zero := costed
+	zero.Messages = []int64{0, 0}
+	zero.Useless = []int64{0, 0}
+	csv, md = renderReports(t, []study.CellRecord{zero})
+	if !strings.Contains(csv, ",0,0,NaN") || !strings.Contains(md, "| - ") {
+		t.Fatalf("0/0 useless_frac rendering wrong:\ncsv: %s\nmd: %s", csv, md)
+	}
+}
+
+// TestValidateCostPairs pins that a record with half its cost data is
+// damage, not a pre-cost record.
+func TestValidateCostPairs(t *testing.T) {
+	base := study.CellRecord{
+		Model: "m", Protocol: "p", Trials: 2, Seed: 1, N: 4,
+		Times: []int{1, 2}, HalfTimes: []int{1, 1}, Informed: []int{4, 4},
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("pre-cost record must validate: %v", err)
+	}
+	lone := base
+	lone.Messages = []int64{3, 4}
+	if err := lone.Validate(); err == nil {
+		t.Fatal("record with Messages but no Useless must not validate")
+	}
+	short := base
+	short.Messages = []int64{3}
+	short.Useless = []int64{1}
+	if err := short.Validate(); err == nil {
+		t.Fatal("record with short cost arrays must not validate")
+	}
+	full := base
+	full.Messages = []int64{3, 4}
+	full.Useless = []int64{0, 1}
+	if err := full.Validate(); err != nil {
+		t.Fatalf("costed record must validate: %v", err)
+	}
+}
+
 // TestOpenCheckpointHealsSeveredTail pins the resume-append contract: a
 // checkpoint ending in a kill-severed partial line must be truncated back
 // to its last intact record before appending, so the next record starts on
