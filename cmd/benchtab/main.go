@@ -35,6 +35,8 @@ func main() {
 		"row compared against -baseline (must be mode-independent: same workload under -quick and full)")
 	baselineSlack := flag.Float64("baseline-slack", 25, "percent slowdown tolerated by -baseline before failing")
 	compare := flag.Bool("compare", false, "diff two BENCH_<date>.json records row by row (benchtab -compare a.json b.json); exits nonzero when any row of b regressed beyond -baseline-slack or allocates more than a")
+	gateModeIndependent := flag.Bool("gate-mode-independent", false,
+		"with -compare: fail only on regressed rows marked mode-independent in both records — the cross-mode CI gate (a -quick record against the committed full-suite baseline)")
 	flag.Parse()
 
 	if *compare {
@@ -50,7 +52,15 @@ func main() {
 				rows := bench.Compare(a, b, *baselineSlack)
 				err = bench.WriteCompare(os.Stdout, rows)
 				if err == nil {
-					if bad := bench.Regressions(rows); len(bad) > 0 {
+					bad := bench.Regressions(rows)
+					if *gateModeIndependent {
+						bad = bench.GatedRegressions(rows)
+					}
+					if len(bad) > 0 {
+						for _, r := range bad {
+							fmt.Fprintf(os.Stderr, "benchtab: regressed: %s (%.0f -> %.0f ns/op, allocs %d -> %d)\n",
+								r.Name, r.A.NsPerOp, r.B.NsPerOp, r.A.AllocsPerOp, r.B.AllocsPerOp)
+						}
 						fmt.Fprintf(os.Stderr, "benchtab: %d row(s) regressed beyond %.0f%% slack\n",
 							len(bad), *baselineSlack)
 						os.Exit(1)

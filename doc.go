@@ -156,6 +156,28 @@
 // b.json` diffs two microbenchmark records row by row with the same
 // slack semantics as the CI baseline gate. See docs/TELEMETRY.md.
 //
+// The v9 layer scales the sparse stationary regime to n = 10⁶ on one
+// box. The edgemeg simulator's alive-pair position map and per-step
+// exclude map became one open-addressing rank index (power-of-two
+// slots, linear probing, backward-shift deletion); dyngraph.Adjacency
+// became a CSR arena — {off, len, cap} segment headers over one shared
+// int32 buffer with move-to-end growth and slack-preserving compaction,
+// layout-preserved across same-n Resets; the flood frontier sets became
+// two-level bitsets (bitset.TwoLevel: a summary word per 64 leaf words)
+// so the delta engine's per-step sweep is O(active words) rather than
+// O(n/64); and the spec-versioned stream parameter on edgemeg/edgemeg4
+// selects the sampling stream — stream=v1 (default) replays every pre-v9
+// RNG stream byte-for-byte, stream=v2 draws O(churn) numbers per step
+// via geometric skipping over the Bernoulli sweeps and, for the
+// generalized chain, per-state-class cohorts with conditional-alias
+// destinations. Net: ~3.6 ms/step and zero warm allocations at n = 10⁶
+// with ~110 MB tracked resident (Bytes() accounting, pinned under the
+// 4 GB budget by internal/flood/million_test.go), per-step churn
+// surfaced as born_per_step/died_per_step telemetry gauges, and the CI
+// perf gate widened to every mode-independent BENCH row (benchtab
+// -compare -gate-mode-independent), including the two new million-node
+// rows.
+//
 // The library lives under internal/ (see DESIGN.md for the module map);
 // cmd/ holds the CLIs, examples/ runnable scenarios, and bench_test.go one
 // benchmark per experiment of EXPERIMENTS.md plus the flooding and

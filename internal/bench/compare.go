@@ -78,6 +78,25 @@ func Regressions(rows []CompareRow) []CompareRow {
 	return out
 }
 
+// GatedRegressions filters the regressed rows whose workload is
+// comparable across run modes: rows marked ModeIndependent in BOTH
+// records. This is the CI cross-mode gate — a quick CI record diffed
+// against the committed full-suite baseline may only fail on rows whose
+// workload is identical in the two modes; every other row legitimately
+// differs (reduced sizes under -quick) and is reported but never gates.
+// Records written before the mode_independent field parse with it false
+// everywhere, so gating against an old baseline fails nothing until a
+// fresh baseline is committed.
+func GatedRegressions(rows []CompareRow) []CompareRow {
+	var out []CompareRow
+	for _, r := range rows {
+		if r.Regressed && r.A.ModeIndependent && r.B.ModeIndependent {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // WriteCompare renders the diff as an aligned text table: one line per
 // row with both sides' ns/op, the percentage delta, both sides' allocs,
 // and a REGRESSED marker.

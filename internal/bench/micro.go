@@ -37,6 +37,16 @@ type MicroResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// ModeIndependent marks rows whose workload is identical under -quick
+	// and full runs — the rows a quick CI record may be gated against a
+	// committed full-suite baseline on (see GatedRegressions). Additive
+	// field: records written before it parse with it false, which gates
+	// nothing.
+	ModeIndependent bool `json:"mode_independent,omitempty"`
+	// ResidentBytes reports the workload's resident engine + model
+	// footprint per Bytes() accounting, for rows that measure memory
+	// (the million-node rows); zero when the row does not report it.
+	ResidentBytes int64 `json:"resident_bytes,omitempty"`
 }
 
 // MicroRecord is the whole BENCH_<date>.json document.
@@ -60,6 +70,12 @@ type MicroRecord struct {
 type micro struct {
 	name string
 	run  func(b *testing.B)
+	// modeIndependent marks the workload as identical under -quick and
+	// full runs, making the row eligible for the cross-mode CI gate.
+	modeIndependent bool
+	// resident, when non-nil, reports the workload's resident footprint
+	// (Bytes() accounting) after the benchmark ran.
+	resident func() int64
 }
 
 // memberScanOnly hides batch snapshot interfaces, forcing the flooding
@@ -182,16 +198,17 @@ func micros(cfg Config) []micro {
 	}
 	forceBatch := func(d dyngraph.Dynamic) dyngraph.Dynamic { return batchScanOnly{d} }
 	forceMember := func(d dyngraph.Dynamic) dyngraph.Dynamic { return memberScanOnly{d} }
-	return []micro{
-		{"flood/edgemeg-sparse/delta-scan", floodMicro(cfg, sparse, nil)},
-		{"flood/edgemeg-sparse/edge-scan", floodMicro(cfg, sparse, forceBatch)},
-		{"flood/edgemeg-sparse/member-scan", floodMicro(cfg, sparse, forceMember)},
-		{"flood/edgemeg-sparse-4k/delta-scan", floodMicro(cfg, sparse4k, nil)},
-		{"flood/edgemeg-sparse-4k/edge-scan", floodMicro(cfg, sparse4k, forceBatch)},
-		{"flood/edgemeg-sparse-64k/delta-scan", floodMicro(cfg, sparse64k, nil)},
-		{"flood/edgemeg-sparse-64k/edge-scan", floodMicro(cfg, sparse64k, forceBatch)},
-		{"flood/waypoint/edge-scan", floodMicro(cfg, waypoint, nil)},
-		{"flood/static-torus/engine-only", func(b *testing.B) {
+	megamicros := millionNodeMicros(cfg)
+	rows := []micro{
+		{name: "flood/edgemeg-sparse/delta-scan", run: floodMicro(cfg, sparse, nil)},
+		{name: "flood/edgemeg-sparse/edge-scan", run: floodMicro(cfg, sparse, forceBatch)},
+		{name: "flood/edgemeg-sparse/member-scan", run: floodMicro(cfg, sparse, forceMember)},
+		{name: "flood/edgemeg-sparse-4k/delta-scan", run: floodMicro(cfg, sparse4k, nil)},
+		{name: "flood/edgemeg-sparse-4k/edge-scan", run: floodMicro(cfg, sparse4k, forceBatch)},
+		{name: "flood/edgemeg-sparse-64k/delta-scan", run: floodMicro(cfg, sparse64k, nil)},
+		{name: "flood/edgemeg-sparse-64k/edge-scan", run: floodMicro(cfg, sparse64k, forceBatch)},
+		{name: "flood/waypoint/edge-scan", run: floodMicro(cfg, waypoint, nil)},
+		{name: "flood/static-torus/engine-only", modeIndependent: true, run: func(b *testing.B) {
 			// Pure engine cost: the static model is stateless across runs,
 			// so nothing but the spreading core is measured (since the
 			// delta refactor, the incremental engine: per-run adjacency
@@ -204,12 +221,81 @@ func micros(cfg Config) []micro {
 				}
 			}
 		}},
-		{"walk/edgemeg-sparse/8k-steps", walkMicro(cfg, walkSpec, walkSteps)},
-		{"push/edgemeg-dense/k=2", protoMicro(cfg, dense, "push:k=2")},
-		{"pull/edgemeg-dense", protoMicro(cfg, dense, "pull")},
-		{"pushpull/edgemeg-dense/k=1", protoMicro(cfg, dense, "pushpull:k=1")},
-		{"parsimonious/edgemeg-dense/active=32", protoMicro(cfg, dense, "parsimonious:active=32")},
-		{"async/edgemeg-dense/rate=1", protoMicro(cfg, dense, "async:rate=1")},
+		{name: "walk/edgemeg-sparse/8k-steps", run: walkMicro(cfg, walkSpec, walkSteps)},
+		{name: "push/edgemeg-dense/k=2", run: protoMicro(cfg, dense, "push:k=2")},
+		{name: "pull/edgemeg-dense", run: protoMicro(cfg, dense, "pull")},
+		{name: "pushpull/edgemeg-dense/k=1", run: protoMicro(cfg, dense, "pushpull:k=1")},
+		{name: "parsimonious/edgemeg-dense/active=32", run: protoMicro(cfg, dense, "parsimonious:active=32")},
+		{name: "async/edgemeg-dense/rate=1", run: protoMicro(cfg, dense, "async:rate=1")},
+	}
+	return append(rows, megamicros...)
+}
+
+// edgeMEG1M is the million-node workload of the n = 10^6 rows: the sparse
+// two-state MEG at stationary average degree ≈ 2 with long-lived edges
+// (q = 0.01, so churn ≈ 1% of edges per step) on the stream=v2 fast
+// samplers — α = p/(p+q) = 2·10⁻⁶ over ≈ 5·10¹¹ pairs gives ≈ 10⁶ alive
+// edges and ≈ 2·10⁴ churn events per step.
+var edgeMEG1M = model.New("edgemeg").WithInt("n", 1_000_000).
+	WithFloat("p", 2e-8).WithFloat("q", 0.01).With("stream", "v2")
+
+// bytesReporter is the Bytes() accounting the engines and models expose.
+type bytesReporter interface{ Bytes() int64 }
+
+// millionNodeMicros returns the n = 10^6 rows — the tentpole evidence that
+// the sparse engine steps in O(churn) and floods in O(churn + frontier)
+// at a million nodes inside a small resident footprint. Both rows run the
+// SAME workload under -quick and full (they are already step-scoped, not
+// completion-scoped), so they are mode-independent and the CI cross-mode
+// gate covers them.
+func millionNodeMicros(cfg Config) []micro {
+	var stepResident, floodResident int64
+	return []micro{
+		{
+			name:            "step/edgemeg-1m/stream-v2",
+			modeIndependent: true,
+			resident:        func() int64 { return stepResident },
+			run: func(b *testing.B) {
+				// One model for the whole benchmark: the row measures the
+				// warm per-step cost (O(churn) draws + index maintenance),
+				// not the one-time stationary construction.
+				d := model.MustBuild(edgeMEG1M, cfg.Seed)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					d.Step()
+				}
+				b.StopTimer()
+				stepResident = d.(bytesReporter).Bytes()
+			},
+		},
+		{
+			name:            "flood/edgemeg-1m/delta-128steps",
+			modeIndependent: true,
+			resident:        func() int64 { return floodResident },
+			run: func(b *testing.B) {
+				// A fixed 128-step flooding window per op over the evolving
+				// graph (the model persists across iterations; each op seeds
+				// the adjacency from the current snapshot and floods from
+				// scratch). Degree ≈ 2 leaves stragglers, so the window
+				// never completes — the row measures per-step engine work,
+				// not completion time.
+				d := model.MustBuild(edgeMEG1M, cfg.Seed+1)
+				opts := flood.Opts{MaxSteps: 128, Scratch: flood.NewScratch()}
+				// Two untimed windows grow the scratch and the adjacency
+				// arena to their high-water marks so the timed ops report
+				// the warm zero-alloc regime.
+				flood.Run(d, 0, opts)
+				flood.Run(d, 0, opts)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if res := flood.Run(d, 0, opts); res.Informed < 2 {
+						b.Fatal("flood spread nowhere")
+					}
+				}
+				b.StopTimer()
+				floodResident = d.(bytesReporter).Bytes() + opts.Scratch.Bytes()
+			},
+		},
 	}
 }
 
@@ -221,11 +307,15 @@ func RunMicros(cfg Config, w io.Writer) []MicroResult {
 	for _, m := range micros(cfg) {
 		r := testing.Benchmark(m.run)
 		row := MicroResult{
-			Name:        m.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
+			Name:            m.name,
+			Iterations:      r.N,
+			NsPerOp:         float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:     r.AllocsPerOp(),
+			BytesPerOp:      r.AllocedBytesPerOp(),
+			ModeIndependent: m.modeIndependent,
+		}
+		if m.resident != nil {
+			row.ResidentBytes = m.resident()
 		}
 		fmt.Fprintf(w, "%-40s %12.0f ns/op %8d B/op %6d allocs/op\n",
 			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)

@@ -34,6 +34,17 @@ type DeltaBatcher interface {
 // arrays, which is what lets flood.Scratch amortize the store across the
 // trials of a sweep.
 //
+// The store is a CSR-style arena: every node's list lives in one shared
+// []int32 backing array, addressed by a 12-byte {offset, length,
+// capacity} segment header instead of a 24-byte slice header over its
+// own allocation. At n = 10^6 that halves the fixed per-node overhead
+// and, more importantly, collapses a million tiny heap objects into two
+// arrays the GC never walks. Lists keep per-node capacity slack; a list
+// outgrowing its segment relocates to the arena tail (amortized O(1),
+// the old segment becomes a hole), and when the arena runs out the live
+// segments are compacted into a spare buffer — so growth never moves
+// more than the arena once per doubling.
+//
 // Neighbor order within a list is unspecified (removals swap with the
 // last entry), so Adjacency serves order-insensitive consumers — the
 // flooding and parsimonious engines, which treat neighborhoods as sets.
@@ -41,68 +52,151 @@ type DeltaBatcher interface {
 // random walks) must keep reading the model's own neighbor view, whose
 // order is pinned by the fixed-seed equivalence tests.
 type Adjacency struct {
-	lists [][]int32
+	segs  []segment
+	arena []int32
+	spare []int32 // compaction target, swapped with arena; len 0 between uses
+	holes int     // arena slots abandoned by relocated segments
 	n     int
 }
 
+// segment is one node's list header: arena[off:off+len] is the list,
+// arena[off:off+cap] the slots reserved for it.
+type segment struct {
+	off, len, cap int32
+}
+
 // Reset re-sizes the store for a universe of n nodes and empties every
-// list, reusing backing arrays whenever capacity allows.
+// list. At an unchanged n the arena layout — every node's learned
+// capacity — is kept, so a store reused across the trials of a sweep
+// (flood.Scratch) re-seeds into slots it already owns and warm trials
+// never relocate a segment.
 func (a *Adjacency) Reset(n int) {
-	if cap(a.lists) < n {
-		old := a.lists[:cap(a.lists)]
-		a.lists = make([][]int32, n)
-		copy(a.lists, old)
+	if n == a.n && len(a.segs) == n {
+		for i := range a.segs {
+			a.segs[i].len = 0
+		}
+		return
+	}
+	if cap(a.segs) < n {
+		a.segs = make([]segment, n)
 	} else {
-		a.lists = a.lists[:n]
+		a.segs = a.segs[:n]
+		clear(a.segs)
 	}
-	for i := range a.lists {
-		a.lists[i] = a.lists[i][:0]
-	}
+	a.arena = a.arena[:0]
+	a.holes = 0
 	a.n = n
 }
 
 // N returns the universe size.
 func (a *Adjacency) N() int { return a.n }
 
-// Bytes returns the heap bytes retained by the store: the per-node slice
-// headers plus every list's backing array. It is a telemetry accessor, not
-// a hot-path call — it walks all n lists.
+// Bytes returns the heap bytes retained by the store: the segment
+// headers plus both arena buffers. Unlike the per-node-slice store this
+// replaces, the accounting is O(1) — three capacities, no walk.
 func (a *Adjacency) Bytes() int64 {
-	b := int64(cap(a.lists)) * 24 // slice headers
-	for _, l := range a.lists[:cap(a.lists)] {
-		b += int64(cap(l)) * 4
-	}
-	return b
+	return int64(cap(a.segs))*12 + int64(cap(a.arena))*4 + int64(cap(a.spare))*4
 }
 
 // Degree returns the current degree of node i.
-func (a *Adjacency) Degree(i int) int { return len(a.lists[i]) }
+func (a *Adjacency) Degree(i int) int { return int(a.segs[i].len) }
 
 // Neighbors returns node i's current neighbor list. The slice aliases the
-// store and is invalidated by the next Add/Remove/Apply/Reset; callers
+// arena and is invalidated by the next Add/Remove/Apply/Reset; callers
 // must not mutate it.
-func (a *Adjacency) Neighbors(i int) []int32 { return a.lists[i] }
+func (a *Adjacency) Neighbors(i int) []int32 {
+	s := a.segs[i]
+	return a.arena[s.off : s.off+s.len : s.off+s.cap]
+}
 
 // AddEdge inserts the undirected edge {u, v}, which must not be present.
 func (a *Adjacency) AddEdge(u, v int32) {
-	a.lists[u] = append(a.lists[u], v)
-	a.lists[v] = append(a.lists[v], u)
+	a.appendTo(u, v)
+	a.appendTo(v, u)
 }
+
+// appendTo appends w to node u's list, relocating the segment to the
+// arena tail when its slack is exhausted.
+func (a *Adjacency) appendTo(u, w int32) {
+	s := &a.segs[u]
+	if s.len == s.cap {
+		a.growSeg(u)
+		s = &a.segs[u]
+	}
+	a.arena[s.off+s.len] = w
+	s.len++
+}
+
+// growSeg moves node u's segment to the arena tail with doubled capacity.
+// The vacated slots become a hole; holes are reclaimed wholesale by the
+// next compaction.
+func (a *Adjacency) growSeg(u int32) {
+	s := a.segs[u]
+	newCap := s.cap * 2
+	if newCap < 2 {
+		newCap = 2
+	}
+	if len(a.arena)+int(newCap) > cap(a.arena) {
+		a.ensure(int(newCap))
+		s = a.segs[u] // compaction moves offsets
+	}
+	off := int32(len(a.arena))
+	a.arena = a.arena[:len(a.arena)+int(newCap)]
+	copy(a.arena[off:off+s.len], a.arena[s.off:s.off+s.len])
+	a.holes += int(s.cap)
+	a.segs[u] = segment{off: off, len: s.len, cap: newCap}
+}
+
+// ensure makes room for need more arena slots: live segments are
+// compacted (capacities preserved) into the spare buffer, which is grown
+// geometrically only when squeezing the holes out is not enough. The two
+// buffers swap roles, so a store at its high-water size compacts with no
+// allocation — the delta engines' zero-alloc warm-path contract.
+func (a *Adjacency) ensure(need int) {
+	live := len(a.arena) - a.holes
+	target := cap(a.arena)
+	if live+need > target {
+		target = 2 * target
+		if live+need > target {
+			target = live + need
+		}
+	}
+	if target > maxArena {
+		panic("dyngraph: Adjacency arena exceeds int32 offsets")
+	}
+	if cap(a.spare) < target {
+		a.spare = make([]int32, 0, target)
+	}
+	dst := a.spare[:0]
+	for i := range a.segs {
+		s := &a.segs[i]
+		off := int32(len(dst))
+		dst = append(dst, a.arena[s.off:s.off+s.len]...)
+		dst = dst[:int(off)+int(s.cap)]
+		s.off = off
+	}
+	a.spare = a.arena[:0]
+	a.arena = dst
+	a.holes = 0
+}
+
+// maxArena bounds the arena length addressable by int32 segment offsets.
+const maxArena = 1<<31 - 1
 
 // RemoveEdge deletes the undirected edge {u, v}, which must be present.
 // The removal swaps with the last entry, perturbing neighbor order.
 func (a *Adjacency) RemoveEdge(u, v int32) {
-	removeSwap(a.lists, u, v)
-	removeSwap(a.lists, v, u)
+	a.removeFrom(u, v)
+	a.removeFrom(v, u)
 }
 
-func removeSwap(lists [][]int32, u, v int32) {
-	l := lists[u]
+func (a *Adjacency) removeFrom(u, v int32) {
+	s := &a.segs[u]
+	l := a.arena[s.off : s.off+s.len]
 	for i, w := range l {
 		if w == v {
-			last := len(l) - 1
-			l[i] = l[last]
-			lists[u] = l[:last]
+			s.len--
+			l[i] = l[s.len]
 			return
 		}
 	}
@@ -133,8 +227,9 @@ func (a *Adjacency) Apply(born, died []Edge) {
 // U < V, in an unspecified deterministic order. It exists so tests can
 // compare a delta-maintained store against a fresh snapshot batch.
 func (a *Adjacency) AppendEdges(dst []Edge) []Edge {
-	for u, l := range a.lists {
-		for _, v := range l {
+	for u := range a.segs {
+		s := a.segs[u]
+		for _, v := range a.arena[s.off : s.off+s.len] {
 			if int32(u) < v {
 				dst = append(dst, Edge{U: int32(u), V: v})
 			}

@@ -36,6 +36,9 @@ type General struct {
 	// born and died record the edges whose presence flipped in the most
 	// recent Step, backing dyngraph.DeltaBatcher; buffers are reused.
 	born, died []dyngraph.Edge
+	// cc is the per-state-class fast sampler (stream=v2), nil under the
+	// default per-pair sweep; see UseClassChains.
+	cc *classChains
 }
 
 // NewGeneral builds a generalized edge-MEG with each edge's initial state
@@ -93,6 +96,10 @@ func (g *General) N() int { return g.n }
 // the rank, recording each presence flip as a delta edge and mirroring it
 // into the live adjacency.
 func (g *General) Step() {
+	if g.cc != nil {
+		g.stepClasses()
+		return
+	}
 	g.born, g.died = g.born[:0], g.died[:0]
 	rank := int64(0)
 	for u := 0; u < g.n-1; u++ {

@@ -1,0 +1,211 @@
+package edgemeg
+
+import "math/bits"
+
+// rankIndex is an open-addressing hash index from pair ranks (int64) to
+// small integers (int32) — the million-node replacement for the
+// map[int64]int that used to back Sparse.pos. A Go map costs ~50 B per
+// entry (bucket headers, tophash bytes, padding) and allocates on insert;
+// this table costs exactly 12 B per slot (8 B key + 4 B value) at a
+// bounded load factor, and a warm table performs insert, delete, and
+// lookup with zero heap traffic — which is what lets the sparse model
+// step stay alloc-free under churn.
+//
+// Layout: power-of-two slot count, linear probing, and tombstone-free
+// deletion by backward shifting (Knuth 6.4 algorithm R): deleting a key
+// re-slots the probe chain behind it instead of leaving a tombstone, so
+// the table never degrades under the insert/delete churn of a long
+// simulation and lookups stay O(1 / (1 - load)).
+//
+// Keys are pair ranks, always >= 0; slots store rank+1 so the zero word
+// means "empty" and clearing is one memclr. The zero rankIndex is an
+// empty, ready-to-use table.
+type rankIndex struct {
+	keys []int64 // rank+1; 0 = empty slot
+	vals []int32
+	mask uint64 // len(keys) - 1; len is a power of two
+	size int
+}
+
+// hashRank scatters a rank over the table (murmur3 finalizer: full
+// avalanche, so the low bits taken by the mask are well mixed).
+func hashRank(rank int64) uint64 {
+	z := uint64(rank)
+	z ^= z >> 33
+	z *= 0xff51afd7ed558ccd
+	z ^= z >> 33
+	z *= 0xc4ceb9fe1a85ec53
+	z ^= z >> 33
+	return z
+}
+
+// Len returns the number of stored keys.
+func (ri *rankIndex) Len() int { return ri.size }
+
+// Bytes returns the heap bytes retained by the table.
+func (ri *rankIndex) Bytes() int64 { return int64(cap(ri.keys))*8 + int64(cap(ri.vals))*4 }
+
+// Get returns the value stored under rank.
+func (ri *rankIndex) Get(rank int64) (int32, bool) {
+	if ri.size == 0 {
+		return 0, false
+	}
+	k := rank + 1
+	for i := hashRank(rank) & ri.mask; ; i = (i + 1) & ri.mask {
+		switch ri.keys[i] {
+		case k:
+			return ri.vals[i], true
+		case 0:
+			return 0, false
+		}
+	}
+}
+
+// Has reports whether rank is present.
+func (ri *rankIndex) Has(rank int64) bool {
+	_, ok := ri.Get(rank)
+	return ok
+}
+
+// Put stores value under rank, replacing any previous value.
+func (ri *rankIndex) Put(rank int64, value int32) {
+	// Grow at 3/4 load: linear probing stays O(1) expected and the table
+	// never fills (the probe loops below rely on at least one empty slot).
+	if 4*(ri.size+1) > 3*len(ri.keys) {
+		ri.grow()
+	}
+	k := rank + 1
+	for i := hashRank(rank) & ri.mask; ; i = (i + 1) & ri.mask {
+		switch ri.keys[i] {
+		case k:
+			ri.vals[i] = value
+			return
+		case 0:
+			ri.keys[i] = k
+			ri.vals[i] = value
+			ri.size++
+			return
+		}
+	}
+}
+
+// Delete removes rank, reporting whether it was present. The probe chain
+// behind the vacated slot is shifted back (no tombstones), preserving the
+// invariant that every key is reachable from its home slot by a
+// contiguous run of occupied slots.
+func (ri *rankIndex) Delete(rank int64) bool {
+	if ri.size == 0 {
+		return false
+	}
+	k := rank + 1
+	i := hashRank(rank) & ri.mask
+	for {
+		switch ri.keys[i] {
+		case k:
+			goto found
+		case 0:
+			return false
+		}
+		i = (i + 1) & ri.mask
+	}
+found:
+	// Backward-shift deletion: walk the chain after i; any entry whose
+	// home slot does not lie in the cyclic interval (i, j] would become
+	// unreachable with slot i empty, so move it into i and continue from
+	// its old slot.
+	for {
+		ri.keys[i] = 0
+		j := i
+		for {
+			j = (j + 1) & ri.mask
+			kj := ri.keys[j]
+			if kj == 0 {
+				ri.size--
+				return true
+			}
+			home := hashRank(kj-1) & ri.mask
+			// "home in cyclic (i, j]" means the entry is still reachable
+			// with i empty; otherwise relocate it into i.
+			if cyclicBetween(i, home, j) {
+				continue
+			}
+			ri.keys[i] = kj
+			ri.vals[i] = ri.vals[j]
+			i = j
+			break
+		}
+	}
+}
+
+// cyclicBetween reports whether home lies in the half-open cyclic
+// interval (i, j] of table slots.
+func cyclicBetween(i, home, j uint64) bool {
+	if i < j {
+		return home > i && home <= j
+	}
+	return home > i || home <= j
+}
+
+// Clear empties the table, keeping its capacity. Cost is one memclr over
+// the slots, so tables sized to their content (the per-step exclude set)
+// clear in time proportional to what they held.
+func (ri *rankIndex) Clear() {
+	clear(ri.keys)
+	ri.size = 0
+}
+
+// Reserve grows the table so that n keys fit without rehashing.
+func (ri *rankIndex) Reserve(n int) {
+	need := nextPow2(n*4/3 + 1)
+	if need > len(ri.keys) {
+		ri.rehash(need)
+	}
+}
+
+// grow doubles the slot count (from a small floor) and rehashes.
+func (ri *rankIndex) grow() {
+	n := 2 * len(ri.keys)
+	if n < 16 {
+		n = 16
+	}
+	ri.rehash(n)
+}
+
+// rehash re-slots every key into a table of n slots (a power of two).
+func (ri *rankIndex) rehash(n int) {
+	oldKeys, oldVals := ri.keys, ri.vals
+	ri.keys = make([]int64, n)
+	ri.vals = make([]int32, n)
+	ri.mask = uint64(n - 1)
+	for s, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		for i := hashRank(k-1) & ri.mask; ; i = (i + 1) & ri.mask {
+			if ri.keys[i] == 0 {
+				ri.keys[i] = k
+				ri.vals[i] = oldVals[s]
+				break
+			}
+		}
+	}
+}
+
+// AppendKeys appends every stored rank to dst in unspecified order — the
+// test/fuzz iteration hook, not a hot-path call.
+func (ri *rankIndex) AppendKeys(dst []int64) []int64 {
+	for _, k := range ri.keys {
+		if k != 0 {
+			dst = append(dst, k-1)
+		}
+	}
+	return dst
+}
+
+// nextPow2 returns the smallest power of two >= n (and >= 16).
+func nextPow2(n int) int {
+	if n < 16 {
+		return 16
+	}
+	return 1 << bits.Len(uint(n-1))
+}

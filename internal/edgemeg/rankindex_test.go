@@ -1,0 +1,148 @@
+package edgemeg
+
+// The open-addressed rank index is exercised against a plain map reference
+// under interleaved insert/delete/lookup churn: the backshift deletion is
+// the one subtle piece (a wrong cyclic-interval test silently strands keys
+// mid-chain), so both the fuzz harness and the deterministic test compare
+// the full key set, not just the operations' return values.
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// applyRankOps drives idx and ref through the same operation stream and
+// fails on any divergence. Keys are folded into a small range so chains
+// collide and deletions regularly hit mid-chain entries.
+func applyRankOps(t *testing.T, data []byte, keySpace int64) {
+	t.Helper()
+	var idx rankIndex
+	ref := make(map[int64]int32)
+	for i := 0; i+1 < len(data); i += 2 {
+		op, kb := data[i], data[i+1]
+		key := int64(kb) % keySpace
+		switch op % 4 {
+		case 0, 1: // insert/overwrite
+			val := int32(op) + int32(i)
+			idx.Put(key, val)
+			ref[key] = val
+		case 2: // delete
+			got := idx.Delete(key)
+			_, want := ref[key]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, key, got, want)
+			}
+			delete(ref, key)
+		case 3: // lookup
+			gv, gok := idx.Get(key)
+			wv, wok := ref[key]
+			if gok != wok || (gok && gv != wv) {
+				t.Fatalf("op %d: Get(%d) = (%d, %v), want (%d, %v)", i, key, gv, gok, wv, wok)
+			}
+		}
+		if idx.Len() != len(ref) {
+			t.Fatalf("op %d: Len() = %d, want %d", i, idx.Len(), len(ref))
+		}
+	}
+	// Full-state comparison: iteration must surface exactly the reference
+	// key set, and every key must still resolve from its home slot.
+	keys := idx.AppendKeys(nil)
+	if len(keys) != len(ref) {
+		t.Fatalf("AppendKeys returned %d keys, want %d", len(keys), len(ref))
+	}
+	slices.Sort(keys)
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			t.Fatalf("AppendKeys returned duplicate key %d", keys[i])
+		}
+	}
+	for k, v := range ref {
+		if gv, ok := idx.Get(k); !ok || gv != v {
+			t.Fatalf("final: Get(%d) = (%d, %v), want (%d, true)", k, gv, ok, v)
+		}
+	}
+}
+
+func FuzzRankIndex(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1, 3, 1})
+	f.Add([]byte{0, 0, 0, 16, 0, 32, 2, 16, 3, 0, 3, 32})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		applyRankOps(t, data, 64)
+	})
+}
+
+// TestRankIndexChurn runs a long random insert/delete/lookup workload —
+// the shape a sparse MEG step produces — at sizes that force several
+// rehashes, against the map reference.
+func TestRankIndexChurn(t *testing.T) {
+	r := rng.New(7)
+	var idx rankIndex
+	ref := make(map[int64]int32)
+	live := make([]int64, 0, 4096)
+	for step := 0; step < 200_000; step++ {
+		switch {
+		case len(live) == 0 || r.Float64() < 0.55:
+			key := int64(r.Uint64n(1 << 40))
+			if _, dup := ref[key]; dup {
+				continue
+			}
+			idx.Put(key, int32(step))
+			ref[key] = int32(step)
+			live = append(live, key)
+		default:
+			i := r.Intn(len(live))
+			key := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if !idx.Delete(key) {
+				t.Fatalf("step %d: Delete(%d) lost a live key", step, key)
+			}
+			delete(ref, key)
+		}
+		if step%1000 == 0 {
+			probe := int64(r.Uint64n(1 << 40))
+			gv, gok := idx.Get(probe)
+			wv, wok := ref[probe]
+			if gok != wok || (gok && gv != wv) {
+				t.Fatalf("step %d: Get(%d) = (%d, %v), want (%d, %v)", step, probe, gv, gok, wv, wok)
+			}
+		}
+	}
+	if idx.Len() != len(ref) {
+		t.Fatalf("final Len() = %d, want %d", idx.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if gv, ok := idx.Get(k); !ok || gv != v {
+			t.Fatalf("final: Get(%d) = (%d, %v), want (%d, true)", k, gv, ok, v)
+		}
+	}
+}
+
+// TestRankIndexClearReserve pins the scratch-table contract sampleNewEdges
+// relies on: Clear empties without shrinking, and a cleared+reserved table
+// re-fills with no rehash-induced surprises.
+func TestRankIndexClearReserve(t *testing.T) {
+	var idx rankIndex
+	idx.Reserve(100)
+	capBefore := cap(idx.keys)
+	if capBefore < 100 {
+		t.Fatalf("Reserve(100) left capacity %d", capBefore)
+	}
+	for i := int64(0); i < 100; i++ {
+		idx.Put(i*3, int32(i))
+	}
+	if cap(idx.keys) != capBefore {
+		t.Fatalf("reserved table rehashed: cap %d -> %d", capBefore, cap(idx.keys))
+	}
+	idx.Clear()
+	if idx.Len() != 0 || cap(idx.keys) != capBefore {
+		t.Fatalf("Clear: Len %d cap %d, want 0 and %d", idx.Len(), cap(idx.keys), capBefore)
+	}
+	for i := int64(0); i < 50; i++ {
+		if idx.Has(i * 3) {
+			t.Fatalf("cleared table still has %d", i*3)
+		}
+	}
+}

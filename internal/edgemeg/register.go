@@ -60,6 +60,7 @@ func init() {
 			{Name: "init", Kind: model.String, Default: "stationary", Help: "initial law: stationary | empty | full"},
 			{Name: "dense", Kind: model.Bool, Default: "false", Help: "use the dense O(n²)-per-step simulator"},
 			{Name: "fastchurn", Kind: model.Bool, Default: "false", Help: "O(churn)-draw death sampler (same law, different RNG stream; sparse only)"},
+			{Name: "stream", Kind: model.String, Default: "v1", Help: "RNG stream generation: v1 (pinned legacy draws) | v2 (O(churn) samplers on; same law)"},
 		},
 		Build: func(a model.Args, r *rng.RNG) (dyngraph.Dynamic, error) {
 			params := Params{N: a.Int("n"), P: a.Float("p"), Q: a.Float("q")}
@@ -70,13 +71,17 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
+			fast, err := parseStream(a.String("stream"), a.Bool("fastchurn"))
+			if err != nil {
+				return nil, err
+			}
 			if a.Bool("dense") {
-				if a.Bool("fastchurn") {
-					return nil, fmt.Errorf("edgemeg: fastchurn applies to the sparse simulator only")
+				if fast {
+					return nil, fmt.Errorf("edgemeg: fastchurn/stream=v2 apply to the sparse simulator only")
 				}
 				return NewDense(params, init, r), nil
 			}
-			if a.Bool("fastchurn") {
+			if fast {
 				return NewSparseChurn(params, init, r), nil
 			}
 			return NewSparse(params, init, r), nil
@@ -94,9 +99,10 @@ func init() {
 			{Name: "drop", Kind: model.Float, Default: "0.4", Help: "short-on -> short-off rate (contact gap)"},
 			{Name: "settle", Kind: model.Float, Default: "0.05", Help: "short-on -> long-on rate (contact stabilizes)"},
 			{Name: "detach", Kind: model.Float, Default: "0.2", Help: "long-on -> long-off rate (contact ends)"},
+			{Name: "stream", Kind: model.String, Default: "v1", Help: "RNG stream generation: v1 (pinned per-pair sweep) | v2 (per-state-class O(churn) sampler; same law)"},
 		},
 		Build: func(a model.Args, r *rng.RNG) (dyngraph.Dynamic, error) {
-			return NewFourState(FourStateParams{
+			g, err := NewFourState(FourStateParams{
 				N:       a.Int("n"),
 				WakeUp:  a.Float("wake"),
 				Rebound: a.Float("rebound"),
@@ -105,6 +111,32 @@ func init() {
 				Settle:  a.Float("settle"),
 				Detach:  a.Float("detach"),
 			}, r)
+			if err != nil {
+				return nil, err
+			}
+			fast, err := parseStream(a.String("stream"), false)
+			if err != nil {
+				return nil, err
+			}
+			if fast {
+				g.UseClassChains()
+			}
+			return g, nil
 		},
 	})
+}
+
+// parseStream resolves the stream spec param against the legacy fastchurn
+// flag: v1 keeps the pinned RNG draws (unless fastchurn opts into the
+// sparse fast sampler explicitly, as before), v2 turns the O(churn)
+// samplers on. Unset specs parse as v1, so every pre-existing spec string
+// — and every fixed-seed pin over one — is untouched.
+func parseStream(stream string, fastchurn bool) (fast bool, err error) {
+	switch stream {
+	case "v1":
+		return fastchurn, nil
+	case "v2":
+		return true, nil
+	}
+	return false, fmt.Errorf("edgemeg: unknown stream %q (want v1 or v2)", stream)
 }

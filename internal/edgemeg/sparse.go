@@ -30,9 +30,17 @@ import (
 type Sparse struct {
 	params Params
 	r      *rng.RNG
-	edges  []int64       // alive edge ranks, arbitrary but deterministic order
-	pos    map[int64]int // rank -> index in edges
-	adj    [][]adjEntry  // per-node neighbor lists; see adjLive
+	edges  []int64 // alive edge ranks, arbitrary but deterministic order
+	// pos maps rank -> index in edges. It is an open-addressed table
+	// (12 B/slot at <= 3/4 load) rather than a Go map (~50 B/entry),
+	// which is most of what makes n = 10^6 fit in memory; warm
+	// insert/delete/lookup touch no heap, so steps stay alloc-free.
+	pos rankIndex
+	// excl is the reusable per-step exclude set of sampleNewEdges (the
+	// ranks that died this step); rebuilding a map here used to be the
+	// only per-step allocation left in Step.
+	excl rankIndex
+	adj  [][]adjEntry // per-node neighbor lists, nil until rebuildAdj; see adjLive
 	// adjLive reports that adj mirrors the alive set. It flips true on the
 	// first neighbor access (the lazy build) and stays true: insert/remove
 	// then maintain the lists incrementally, sorted by the incident edge's
@@ -66,8 +74,6 @@ func NewSparse(params Params, init Init, r *rng.RNG) *Sparse {
 	s := &Sparse{
 		params: params,
 		r:      r,
-		pos:    make(map[int64]int),
-		adj:    make([][]adjEntry, params.N),
 	}
 	pairs := pairCount(params.N)
 	switch init {
@@ -81,6 +87,7 @@ func NewSparse(params Params, init Init, r *rng.RNG) *Sparse {
 		// Sample Binomial(pairs, alpha) edges uniformly without
 		// replacement — the exact product-Bernoulli law.
 		k := binomialInt64(pairs, params.Alpha(), r)
+		s.pos.Reserve(int(k))
 		s.sampleNewEdges(k, nil)
 	default:
 		panic("edgemeg: unknown Init")
@@ -111,7 +118,10 @@ func NewSparseChurn(params Params, init Init, r *rng.RNG) *Sparse {
 // it as born; it must not already be present.
 func (s *Sparse) insert(rank int64) {
 	p := len(s.edges)
-	s.pos[rank] = p
+	if p > maxAlive {
+		panic("edgemeg: alive set exceeds int32 positions")
+	}
+	s.pos.Put(rank, int32(p))
 	s.edges = append(s.edges, rank)
 	s.born = append(s.born, rank)
 	if s.adjLive {
@@ -127,13 +137,17 @@ func (s *Sparse) insert(rank int64) {
 // change into the live adjacency so the lists stay exactly what a full
 // rebuild from the post-removal edge slice would produce.
 func (s *Sparse) remove(rank int64) {
-	i := s.pos[rank]
+	pi, ok := s.pos.Get(rank)
+	if !ok {
+		panic("edgemeg: remove of a dead rank")
+	}
+	i := int(pi)
 	last := len(s.edges) - 1
 	moved := s.edges[last]
 	s.edges[i] = moved
-	s.pos[moved] = i
+	s.pos.Put(moved, int32(i))
 	s.edges = s.edges[:last]
-	delete(s.pos, rank)
+	s.pos.Delete(rank)
 	if s.adjLive {
 		n := s.params.N
 		u, v := pairFromRank(rank, n)
@@ -198,17 +212,17 @@ func binomialInt64(n int64, p float64, r *rng.RNG) int64 {
 // sampleNewEdges inserts k uniformly random currently-dead pairs into the
 // alive set. exclude optionally holds ranks that must also be avoided (the
 // pairs that died this step: births apply to pre-step dead pairs only).
-func (s *Sparse) sampleNewEdges(k int64, exclude map[int64]struct{}) {
+// The rejection draws are identical to the historical map-backed version,
+// so the RNG stream — and every fixed-seed pin — is unchanged.
+func (s *Sparse) sampleNewEdges(k int64, exclude *rankIndex) {
 	pairs := pairCount(s.params.N)
 	for added := int64(0); added < k; {
 		rank := int64(s.r.Uint64n(uint64(pairs)))
-		if _, isAlive := s.pos[rank]; isAlive {
+		if s.pos.Has(rank) {
 			continue
 		}
-		if exclude != nil {
-			if _, was := exclude[rank]; was {
-				continue
-			}
+		if exclude != nil && exclude.Has(rank) {
+			continue
 		}
 		s.insert(rank)
 		added++
@@ -252,12 +266,17 @@ func (s *Sparse) Step() {
 	if p > 0 {
 		dead := pairs - aliveBefore
 		births := binomialInt64(dead, p, s.r)
-		var exclude map[int64]struct{}
+		var exclude *rankIndex
 		if len(s.died) > 0 && births > 0 {
-			exclude = make(map[int64]struct{}, len(s.died))
+			// Reuse the scratch-held exclude table: clearing and refilling
+			// it is O(churn) with no heap traffic once its capacity covers
+			// the step's deaths — warm steps allocate nothing.
+			s.excl.Clear()
+			s.excl.Reserve(len(s.died))
 			for _, rank := range s.died {
-				exclude[rank] = struct{}{}
+				s.excl.Put(rank, 0)
 			}
+			exclude = &s.excl
 		}
 		s.sampleNewEdges(births, exclude)
 	}
@@ -269,10 +288,16 @@ func (s *Sparse) Step() {
 // this same order (each list sorted by the incident edge's position), at
 // O(degree) per changed edge instead of O(alive) per step.
 func (s *Sparse) rebuildAdj() {
+	n := s.params.N
+	if s.adj == nil {
+		// Allocated here, not in NewSparse: delta and batch consumers
+		// never touch per-node lists, and at n = 10^6 even the empty
+		// slice headers are 24 MB.
+		s.adj = make([][]adjEntry, n)
+	}
 	for i := range s.adj {
 		s.adj[i] = s.adj[i][:0]
 	}
-	n := s.params.N
 	for p, rank := range s.edges {
 		u, v := pairFromRank(rank, n)
 		s.adj[u] = append(s.adj[u], adjEntry{nbr: int32(v), pos: int32(p)})
@@ -336,9 +361,29 @@ func (s *Sparse) HasEdge(i, j int) bool {
 	if i == j {
 		return false
 	}
-	_, ok := s.pos[pairRank(i, j, s.params.N)]
-	return ok
+	return s.pos.Has(pairRank(i, j, s.params.N))
 }
 
 // EdgeCount returns the current number of alive edges.
 func (s *Sparse) EdgeCount() int { return len(s.edges) }
+
+// Bytes returns the heap bytes retained by the simulator's state — the
+// alive slice, the rank index, the exclude scratch, the churn buffers,
+// and the per-node adjacency when a neighbor consumer has forced it. It
+// is the model side of the resident-footprint accounting that gates the
+// million-node engine.
+func (s *Sparse) Bytes() int64 {
+	b := int64(cap(s.edges))*8 + s.pos.Bytes() + s.excl.Bytes()
+	b += int64(cap(s.born))*8 + int64(cap(s.died))*8
+	if s.adj != nil {
+		b += int64(cap(s.adj)) * 24
+		for _, l := range s.adj {
+			b += int64(cap(l)) * 8
+		}
+	}
+	return b
+}
+
+// maxAlive bounds the alive-slice positions the rank index and the
+// adjacency entries store as int32.
+const maxAlive = 1<<31 - 2

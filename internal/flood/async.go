@@ -157,6 +157,9 @@ func asyncDelta(db dyngraph.DeltaBatcher, d dyngraph.Dynamic, sc *Scratch, rate 
 		d.Step()
 		sc.born, sc.died = db.AppendDeltas(sc.born[:0], sc.died[:0])
 		sc.adj.Apply(sc.born, sc.died)
+		sc.bornTotal += int64(len(sc.born))
+		sc.diedTotal += int64(len(sc.died))
+		sc.deltaSteps++
 	}
 }
 

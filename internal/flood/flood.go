@@ -353,12 +353,20 @@ func runEdgeScan(b dyngraph.Batcher, d dyngraph.Dynamic, sc *Scratch, opts Opts,
 // the edge-scan and member-scan engines for a given model state, because
 // marking the uninformed neighbors of every informed node that has any is
 // the same set union regardless of scan order.
+//
+// The active and pending sets are two-level bitsets and the informed-set
+// size is tracked incrementally (AbsorbInto returns the step's new
+// members), so the per-step set work is O(active words + frontier), not
+// O(n/64): no flat sweep over the universe survives in the loop, which is
+// what keeps a million-node step proportional to churn + frontier once
+// the spreading process has localized.
 func runDeltaScan(db dyngraph.DeltaBatcher, d dyngraph.Dynamic, sc *Scratch, opts Opts, res *Result) {
 	n := sc.informed.Len()
 	sc.edges = dyngraph.AppendEdges(d, sc.edges[:0])
 	sc.adj.Reset(n)
 	sc.adj.AddEdges(sc.edges)
 	sc.active.Reset(n)
+	sc.fresh.Reset(n)
 	// load maintains Σ_{i ∈ informed} deg(i) over the CURRENT adjacency —
 	// the step's message count under flooding semantics (every informed
 	// endpoint of every edge transmits once per step, whether or not the
@@ -369,11 +377,12 @@ func runDeltaScan(db dyngraph.DeltaBatcher, d dyngraph.Dynamic, sc *Scratch, opt
 	var load int64
 	// Seed the active set with the informed set (the source).
 	sc.queue = sc.informed.AppendMembers(sc.queue[:0])
+	size := len(sc.queue)
 	for _, i := range sc.queue {
 		sc.active.Set(int(i))
 		load += int64(sc.adj.Degree(int(i)))
 	}
-	informed, pending, active := sc.informed, sc.pending, sc.active
+	informed, pending, active := sc.informed, &sc.fresh, &sc.active
 	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
 		msgs := load
@@ -393,10 +402,10 @@ func runDeltaScan(db dyngraph.DeltaBatcher, d dyngraph.Dynamic, sc *Scratch, opt
 		}
 		// The pending set is exactly the newly informed nodes (pending is
 		// only ever set on uninformed nodes, and informed is frozen within
-		// a step): list them before Absorb clears the set, then activate
-		// them — they may have uninformed neighbors of their own.
+		// a step): list them before the absorb clears the set, then
+		// activate them — they may have uninformed neighbors of their own.
 		sc.newly = pending.AppendMembers(sc.newly[:0])
-		size := informed.Absorb(&pending)
+		size += pending.AbsorbInto(&informed)
 		for _, f := range sc.newly {
 			active.Set(int(f))
 			load += int64(sc.adj.Degree(int(f)))
@@ -407,6 +416,9 @@ func runDeltaScan(db dyngraph.DeltaBatcher, d dyngraph.Dynamic, sc *Scratch, opt
 		d.Step()
 		sc.born, sc.died = db.AppendDeltas(sc.born[:0], sc.died[:0])
 		sc.adj.Apply(sc.born, sc.died)
+		sc.bornTotal += int64(len(sc.born))
+		sc.diedTotal += int64(len(sc.died))
+		sc.deltaSteps++
 		for _, e := range sc.born {
 			if informed.Get(int(e.U)) {
 				active.Set(int(e.U))

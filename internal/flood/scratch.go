@@ -53,10 +53,24 @@ type Scratch struct {
 	// active marks informed nodes that may still have uninformed neighbors
 	// — the only nodes the delta flood engine scans each step. A node
 	// leaves the set when a scan finds its neighborhood fully informed and
-	// re-enters only when a born edge touches it.
-	active bitset.Set
+	// re-enters only when a born edge touches it. Two-level: the per-step
+	// member sweep walks O(active words), not O(n/64) — at n = 10^6 the
+	// active set collapses to a handful of nodes for most of the run and a
+	// flat sweep would dominate the step.
+	active bitset.TwoLevel
+	// fresh is the delta engine's pending set — the nodes reached during
+	// the current step. Two-level for the same reason as active: listing
+	// and committing the step's few newly informed nodes must not cost a
+	// walk over the whole universe.
+	fresh bitset.TwoLevel
 	// born and died receive the per-step churn batches.
 	born, died []dyngraph.Edge
+	// bornTotal/diedTotal/deltaSteps accumulate the delta engines' churn
+	// stream across every run sharing this scratch: edges born, edges
+	// died, and model steps consumed. internal/study harvests them into
+	// the born_per_step/died_per_step telemetry gauges. Plain counters on
+	// the owning worker's scratch — no atomics on the hot path.
+	bornTotal, diedTotal, deltaSteps int64
 	// wheel is the async engine's event scheduler; clocks its per-node
 	// Poisson-clock RNG streams. Both are sized lazily by the first async
 	// run and reused across trials like every other buffer.
@@ -75,7 +89,7 @@ func NewScratch() *Scratch { return &Scratch{} }
 // subsample caches), not a runtime measurement, so it is cheap enough to
 // call between trials but is NOT part of the zero-alloc hot path contract.
 func (sc *Scratch) Bytes() int64 {
-	b := sc.informed.Bytes() + sc.pending.Bytes() + sc.active.Bytes()
+	b := sc.informed.Bytes() + sc.pending.Bytes() + sc.active.Bytes() + sc.fresh.Bytes()
 	b += int64(cap(sc.edges))*8 + int64(cap(sc.born))*8 + int64(cap(sc.died))*8
 	b += int64(cap(sc.nbrs))*4 + int64(cap(sc.queue))*4 + int64(cap(sc.newly))*4 + int64(cap(sc.expiry))*4
 	b += int64(cap(sc.idx)) * 8
@@ -88,6 +102,14 @@ func (sc *Scratch) Bytes() int64 {
 	}
 	b += int64(cap(sc.clocks)) * 8
 	return b
+}
+
+// ChurnTotals returns the cumulative churn the delta engines streamed
+// through this scratch across every run that shared it: edges born, edges
+// died, and model steps consumed. internal/study turns the totals into
+// the born_per_step/died_per_step telemetry gauges.
+func (sc *Scratch) ChurnTotals() (born, died, steps int64) {
+	return sc.bornTotal, sc.diedTotal, sc.deltaSteps
 }
 
 // reset prepares the scratch for a run over n nodes. Only the bitsets need

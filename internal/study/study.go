@@ -230,6 +230,13 @@ func Trials(factory Factory, trials int, opts TrialsOpts) []flood.Result {
 			if opts.ScratchBytes != nil {
 				atomicMax(opts.ScratchBytes, wopts.Scratch.Bytes())
 			}
+			// Harvest the delta engines' churn stream — one read per worker
+			// drain, off the trial hot path, like the scratch footprint.
+			if b, d, s := wopts.Scratch.ChurnTotals(); s > 0 {
+				churnBorn.Add(b)
+				churnDied.Add(d)
+				churnSteps.Add(s)
+			}
 		}()
 	}
 	for trial := 0; trial < trials; trial++ {
@@ -253,6 +260,32 @@ var scratchHighWater atomic.Int64
 // — the telemetry scratch_bytes gauge source. Zero until a run with at
 // least two trials completes (trial 0 runs without a pooled scratch).
 func ScratchHighWater() int64 { return scratchHighWater.Load() }
+
+// churnBorn/churnDied/churnSteps accumulate, process-wide, the churn the
+// delta flooding engines streamed through study workers: edges born,
+// edges died, and model steps consumed. Like scratchHighWater they are
+// deliberately NOT part of Cell — they aggregate over whatever mix of
+// runs the process performed, which is exactly the shape of a telemetry
+// gauge and nothing else.
+var churnBorn, churnDied, churnSteps atomic.Int64
+
+// ChurnBornPerStep returns the mean number of edges born per model step
+// across every delta-engine trial the process has run (rounded to the
+// nearest integer) — the born_per_step telemetry gauge source. Zero until
+// a pooled delta-engine trial completes, like ScratchHighWater.
+func ChurnBornPerStep() int64 { return ratioRounded(&churnBorn) }
+
+// ChurnDiedPerStep is ChurnBornPerStep for edge deaths (died_per_step).
+func ChurnDiedPerStep() int64 { return ratioRounded(&churnDied) }
+
+// ratioRounded divides a churn total by the step total, rounding half up.
+func ratioRounded(total *atomic.Int64) int64 {
+	steps := churnSteps.Load()
+	if steps == 0 {
+		return 0
+	}
+	return (total.Load() + steps/2) / steps
+}
 
 // atomicMax raises *a to v if v is larger, preserving concurrent raises.
 func atomicMax(a *atomic.Int64, v int64) {

@@ -301,6 +301,8 @@ func RunSweepOpts(sw Sweep, opts SweepOpts) ([]CellRecord, error) {
 		msgsTotal = opts.Telemetry.Counter("messages_total")
 		uselessTotal = opts.Telemetry.Counter("useless_total")
 		opts.Telemetry.Gauge("scratch_bytes", ScratchHighWater)
+		opts.Telemetry.Gauge("born_per_step", ChurnBornPerStep)
+		opts.Telemetry.Gauge("died_per_step", ChurnDiedPerStep)
 	}
 	total := len(sw.Models) * len(sw.Protocols)
 	records := make([]CellRecord, 0, total)

@@ -534,6 +534,16 @@ func TestRunSweepTelemetry(t *testing.T) {
 	if got := s.Values["scratch_bytes"]; got <= 0 {
 		t.Fatalf("scratch_bytes = %d, want > 0", got)
 	}
+	// The sweep's edgemeg cells ran through the delta flooding engine, so
+	// the churn gauges must report its per-step edge turnover. At n = 64,
+	// p = 0.03, q = 0.27 the stationary churn is ≈ 54 edges/step in each
+	// direction; the gauges aggregate process-wide, so assert positivity
+	// and sanity (bounded by the pair count), not an exact value.
+	for _, g := range []string{"born_per_step", "died_per_step"} {
+		if got := s.Values[g]; got <= 0 || got > 64*63/2 {
+			t.Fatalf("%s = %d, want in (0, pairs]", g, got)
+		}
+	}
 	// SampleNow fires once per fresh cell; Stop appends one more.
 	sink.mu.Lock()
 	n := len(sink.samples)
