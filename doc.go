@@ -178,6 +178,26 @@
 // -compare -gate-mode-independent), including the two new million-node
 // rows.
 //
+// The v10 layer brings the geometric models into the O(churn) regime the
+// edge-MEGs have enjoyed since v6. geometry.CellList became a persistent
+// incremental index — node→cell assignments with per-cell member lists
+// and swap-remove slots, so Move costs O(1) and a step that moves k
+// nodes costs O(k) maintenance instead of an O(n) rebuild — and every
+// mobility model (waypoint with a new pause parameter, direction,
+// region waypoint, grid walk, discrete waypoint) now implements
+// dyngraph.DeltaBatcher natively: a two-pass scan classifies died pairs
+// against the pre-move index and born pairs against the post-move one,
+// deduplicating both-moved pairs, so the per-step churn computation is
+// O(moved × local density) and the generic O(m log m) Deltifier diff is
+// no longer on any registered model's path. The flood engines report the
+// mover counts through the new moved_per_step telemetry gauge
+// (dyngraph.MoveReporter), warm mobility steps are allocation-free
+// (member-list slack + pinned scratch, internal/mobility/alloc_test.go),
+// and the delta/batch/Deltifier dispatch stays byte-identical per seed
+// (internal/flood/equiv_test.go, TestMobilityDispatchEquivalence). The
+// waypoint-4k delta/deltifier BENCH pair gates the speedup in CI; the
+// 64k waypoint rows pin the large-geometry warm regime.
+//
 // The library lives under internal/ (see DESIGN.md for the module map);
 // cmd/ holds the CLIs, examples/ runnable scenarios, and bench_test.go one
 // benchmark per experiment of EXPERIMENTS.md plus the flooding and

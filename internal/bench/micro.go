@@ -198,6 +198,22 @@ func micros(cfg Config) []micro {
 	}
 	forceBatch := func(d dyngraph.Dynamic) dyngraph.Dynamic { return batchScanOnly{d} }
 	forceMember := func(d dyngraph.Dynamic) dyngraph.Dynamic { return memberScanOnly{d} }
+	// forceDeltify reproduces the pre-incremental mobility pipeline: the
+	// generic snapshot-diff adapter (full AppendEdges + sort + diff every
+	// step) feeding the same delta engine the native AppendDeltas now feeds
+	// directly. The waypoint-4k delta/deltifier pair is the headline
+	// before/after of the O(churn) mobility work.
+	forceDeltify := func(d dyngraph.Dynamic) dyngraph.Dynamic { return dyngraph.NewDeltifier(d) }
+	// Not reduced under -quick: the pair is the cross-mode CI gate's
+	// mobility coverage, so both modes must run the identical workload.
+	// Pause-heavy (fast trips, long rests): a modest fraction of the nodes
+	// move on any step, so the native path's O(moved × density) churn scan
+	// is far below the adapter's unconditional O(m log m) snapshot diff —
+	// the regime the incremental work targets (sensor fields, parked
+	// vehicles, duty-cycled radios all rest most of the time).
+	waypoint4k := model.New("waypoint").WithInt("n", 4096).
+		WithFloat("L", 64).WithFloat("r", 1).WithFloat("vmin", 8).
+		WithFloat("vmax", 8).WithInt("pause", 32)
 	megamicros := millionNodeMicros(cfg)
 	rows := []micro{
 		{name: "flood/edgemeg-sparse/delta-scan", run: floodMicro(cfg, sparse, nil)},
@@ -207,7 +223,10 @@ func micros(cfg Config) []micro {
 		{name: "flood/edgemeg-sparse-4k/edge-scan", run: floodMicro(cfg, sparse4k, forceBatch)},
 		{name: "flood/edgemeg-sparse-64k/delta-scan", run: floodMicro(cfg, sparse64k, nil)},
 		{name: "flood/edgemeg-sparse-64k/edge-scan", run: floodMicro(cfg, sparse64k, forceBatch)},
-		{name: "flood/waypoint/edge-scan", run: floodMicro(cfg, waypoint, nil)},
+		{name: "flood/waypoint/delta-scan", run: floodMicro(cfg, waypoint, nil)},
+		{name: "flood/waypoint/edge-scan", run: floodMicro(cfg, waypoint, forceBatch)},
+		{name: "flood/waypoint-4k/delta", modeIndependent: true, run: floodMicro(cfg, waypoint4k, nil)},
+		{name: "flood/waypoint-4k/deltifier", modeIndependent: true, run: floodMicro(cfg, waypoint4k, forceDeltify)},
 		{name: "flood/static-torus/engine-only", modeIndependent: true, run: func(b *testing.B) {
 			// Pure engine cost: the static model is stateless across runs,
 			// so nothing but the spreading core is measured (since the
@@ -228,6 +247,7 @@ func micros(cfg Config) []micro {
 		{name: "parsimonious/edgemeg-dense/active=32", run: protoMicro(cfg, dense, "parsimonious:active=32")},
 		{name: "async/edgemeg-dense/rate=1", run: protoMicro(cfg, dense, "async:rate=1")},
 	}
+	rows = append(rows, mobilityMicros(cfg)...)
 	return append(rows, megamicros...)
 }
 
@@ -294,6 +314,60 @@ func millionNodeMicros(cfg Config) []micro {
 				}
 				b.StopTimer()
 				floodResident = d.(bytesReporter).Bytes() + opts.Scratch.Bytes()
+			},
+		},
+	}
+}
+
+// waypoint64K is the large geometric workload: 65536 nodes in a 256×256
+// square at radius 1 (average degree ≈ π), fast trips (speed 8) separated
+// by long rests (pause 32), so roughly a quarter of the nodes move on any
+// step — the partial-churn regime the incremental cell lists target, at a
+// scale where the per-step full rebuild + pair rescan used to dominate.
+var waypoint64K = model.New("waypoint").WithInt("n", 65536).
+	WithFloat("L", 256).WithFloat("r", 1).WithFloat("vmin", 8).
+	WithFloat("vmax", 8).WithInt("pause", 32)
+
+// mobilityMicros returns the 64k geometric rows. Like the million-node
+// edge-MEG rows they are step-scoped rather than completion-scoped, run the
+// identical workload under -quick and full, and persist the model across
+// iterations to measure the warm regime.
+func mobilityMicros(cfg Config) []micro {
+	return []micro{
+		{
+			name:            "step/waypoint-64k",
+			modeIndependent: true,
+			run: func(b *testing.B) {
+				// Warm per-step cost of the model alone: O(moved) cell-list
+				// maintenance plus the two-pass churn detection, no engine.
+				d := model.MustBuild(waypoint64K, cfg.Seed)
+				for i := 0; i < 256; i++ {
+					d.Step() // untimed: reach the steady mover mix and buffer high-waters
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					d.Step()
+				}
+			},
+		},
+		{
+			name:            "flood/waypoint-64k/delta",
+			modeIndependent: true,
+			run: func(b *testing.B) {
+				// A fixed 128-step flooding window per op over the evolving
+				// positions — completion at degree ≈ π depends on mobility
+				// mixing and would make the row completion-scoped, so the
+				// window measures per-step engine + model work instead.
+				d := model.MustBuild(waypoint64K, cfg.Seed+1)
+				opts := flood.Opts{MaxSteps: 128, Scratch: flood.NewScratch()}
+				flood.Run(d, 0, opts)
+				flood.Run(d, 0, opts)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if res := flood.Run(d, 0, opts); res.Informed < 2 {
+						b.Fatal("flood spread nowhere")
+					}
+				}
 			},
 		},
 	}

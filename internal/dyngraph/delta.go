@@ -26,6 +26,16 @@ type DeltaBatcher interface {
 	AppendDeltas(born, died []Edge) (b, d []Edge)
 }
 
+// MoveReporter is an optional extension of DeltaBatcher for models whose
+// churn follows node motion (mobility positions, node-MEG states): it
+// reports how many nodes changed position or state in the most recent
+// Step — the k in the O(k × local density) incremental step cost, and the
+// numerator of the moved_per_step telemetry gauge. Before the first Step
+// it reports 0.
+type MoveReporter interface {
+	MovedLastStep() int
+}
+
 // Adjacency is a persistent neighbor store that consumers of DeltaBatcher
 // maintain across steps: per-node neighbor lists over a fixed universe,
 // built once from a snapshot batch and then updated in place from delta

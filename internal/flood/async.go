@@ -147,6 +147,7 @@ func asyncDelta(db dyngraph.DeltaBatcher, d dyngraph.Dynamic, sc *Scratch, rate 
 	sc.adj.Reset(n)
 	sc.adj.AddEdges(sc.edges)
 	size := 1
+	mr, _ := db.(dyngraph.MoveReporter)
 	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
 		msgs, newly := asyncFires(sc, rate, int64(t+1)*TicksPerStep)
@@ -159,6 +160,9 @@ func asyncDelta(db dyngraph.DeltaBatcher, d dyngraph.Dynamic, sc *Scratch, rate 
 		sc.adj.Apply(sc.born, sc.died)
 		sc.bornTotal += int64(len(sc.born))
 		sc.diedTotal += int64(len(sc.died))
+		if mr != nil {
+			sc.movedTotal += int64(mr.MovedLastStep())
+		}
 		sc.deltaSteps++
 	}
 }

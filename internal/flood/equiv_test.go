@@ -434,6 +434,50 @@ func TestEnginesMatchPreRefactorReference(t *testing.T) {
 	}
 }
 
+// TestMobilityDispatchEquivalence pins the incremental-mobility tentpole:
+// for every geometric model the native delta path (the dispatch flood.Run
+// and Parsimonious now pick, fed by the models' own AppendDeltas), the
+// forced batch path, and the generic Deltifier wrapper must produce
+// byte-identical Results at fixed seeds — including the PR 8 cost fields
+// and timelines, which stripCost hides in the pre-refactor pins above.
+func TestMobilityDispatchEquivalence(t *testing.T) {
+	opts := flood.Opts{MaxSteps: 1 << 14, KeepTimeline: true}
+	mobilitySpecs := []model.Spec{
+		model.New("waypoint").WithInt("n", 64).WithFloat("L", 12).WithFloat("r", 1.5),
+		// Pause-heavy waypoint: most nodes rest most steps, so the moved
+		// set is a small fraction of n — the regime the O(moved × density)
+		// step is built for, and the dedup rule's hardest case (moved and
+		// unmoved endpoints mix freely).
+		model.New("waypoint").WithInt("n", 64).WithFloat("L", 12).WithFloat("r", 1.5).
+			WithInt("pause", 8).With("init", "uniform").WithInt("warmup", 5),
+		model.New("direction").WithInt("n", 64).WithFloat("L", 12).WithFloat("r", 1.5),
+		model.New("dwaypoint").WithInt("n", 40).WithInt("m", 5),
+		model.New("walk").WithInt("n", 48).WithInt("m", 8),
+	}
+	for _, ms := range mobilitySpecs {
+		for _, seed := range []uint64{1, 7, 42, 1234} {
+			build := func() dyngraph.Dynamic { return model.MustBuild(ms, seed) }
+			if _, ok := build().(dyngraph.DeltaBatcher); !ok {
+				t.Fatalf("%v: expected a native DeltaBatcher", ms)
+			}
+			native := flood.Run(build(), 0, opts)
+			if batch := flood.Run(forceBatchScan{build()}, 0, opts); !reflect.DeepEqual(native, batch) {
+				t.Errorf("%v seed %d: flood delta %+v != batch %+v", ms, seed, native, batch)
+			}
+			if df := flood.Run(dyngraph.NewDeltifier(build()), 0, opts); !reflect.DeepEqual(native, df) {
+				t.Errorf("%v seed %d: flood delta %+v != deltified %+v", ms, seed, native, df)
+			}
+			pNative := flood.Parsimonious(build(), 0, 6, opts)
+			if pb := flood.Parsimonious(forceBatchScan{build()}, 0, 6, opts); !reflect.DeepEqual(pNative, pb) {
+				t.Errorf("%v seed %d: parsimonious delta %+v != batch %+v", ms, seed, pNative, pb)
+			}
+			if pd := flood.Parsimonious(dyngraph.NewDeltifier(build()), 0, 6, opts); !reflect.DeepEqual(pNative, pd) {
+				t.Errorf("%v seed %d: parsimonious delta %+v != deltified %+v", ms, seed, pNative, pd)
+			}
+		}
+	}
+}
+
 // BenchmarkEngineOnly* isolate the spreading core from model simulation
 // (static graph: Step is free, snapshot access is an append), pitting the
 // bitset/scratch engines against their pre-refactor references. This is

@@ -383,6 +383,7 @@ func runDeltaScan(db dyngraph.DeltaBatcher, d dyngraph.Dynamic, sc *Scratch, opt
 		load += int64(sc.adj.Degree(int(i)))
 	}
 	informed, pending, active := sc.informed, &sc.fresh, &sc.active
+	mr, _ := db.(dyngraph.MoveReporter)
 	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
 		msgs := load
@@ -418,6 +419,9 @@ func runDeltaScan(db dyngraph.DeltaBatcher, d dyngraph.Dynamic, sc *Scratch, opt
 		sc.adj.Apply(sc.born, sc.died)
 		sc.bornTotal += int64(len(sc.born))
 		sc.diedTotal += int64(len(sc.died))
+		if mr != nil {
+			sc.movedTotal += int64(mr.MovedLastStep())
+		}
 		sc.deltaSteps++
 		for _, e := range sc.born {
 			if informed.Get(int(e.U)) {

@@ -53,7 +53,7 @@ func TestMillionNodeFloodFootprint(t *testing.T) {
 			total, modelBytes, scratchBytes)
 	}
 
-	born, died, steps := opts.Scratch.ChurnTotals()
+	born, died, _, steps := opts.Scratch.ChurnTotals()
 	if steps == 0 || born == 0 || died == 0 {
 		t.Fatalf("churn totals born=%d died=%d steps=%d; the delta engine should observe churn every step",
 			born, died, steps)

@@ -113,6 +113,7 @@ func parsimoniousDelta(db dyngraph.DeltaBatcher, d dyngraph.Dynamic, sc *Scratch
 	expiry[source] = int32(active - 1)
 
 	size := 1
+	mr, _ := db.(dyngraph.MoveReporter)
 	maxSteps := opts.maxSteps()
 	for t := 0; t < maxSteps; t++ {
 		newly := sc.newly[:0]
@@ -151,6 +152,9 @@ func parsimoniousDelta(db dyngraph.DeltaBatcher, d dyngraph.Dynamic, sc *Scratch
 		sc.adj.Apply(sc.born, sc.died)
 		sc.bornTotal += int64(len(sc.born))
 		sc.diedTotal += int64(len(sc.died))
+		if mr != nil {
+			sc.movedTotal += int64(mr.MovedLastStep())
+		}
 		sc.deltaSteps++
 	}
 }

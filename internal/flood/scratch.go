@@ -65,12 +65,14 @@ type Scratch struct {
 	fresh bitset.TwoLevel
 	// born and died receive the per-step churn batches.
 	born, died []dyngraph.Edge
-	// bornTotal/diedTotal/deltaSteps accumulate the delta engines' churn
-	// stream across every run sharing this scratch: edges born, edges
-	// died, and model steps consumed. internal/study harvests them into
-	// the born_per_step/died_per_step telemetry gauges. Plain counters on
-	// the owning worker's scratch — no atomics on the hot path.
-	bornTotal, diedTotal, deltaSteps int64
+	// bornTotal/diedTotal/movedTotal/deltaSteps accumulate the delta
+	// engines' churn stream across every run sharing this scratch: edges
+	// born, edges died, nodes moved (models exposing
+	// dyngraph.MoveReporter), and model steps consumed. internal/study
+	// harvests them into the born_per_step/died_per_step/moved_per_step
+	// telemetry gauges. Plain counters on the owning worker's scratch — no
+	// atomics on the hot path.
+	bornTotal, diedTotal, movedTotal, deltaSteps int64
 	// wheel is the async engine's event scheduler; clocks its per-node
 	// Poisson-clock RNG streams. Both are sized lazily by the first async
 	// run and reused across trials like every other buffer.
@@ -106,10 +108,12 @@ func (sc *Scratch) Bytes() int64 {
 
 // ChurnTotals returns the cumulative churn the delta engines streamed
 // through this scratch across every run that shared it: edges born, edges
-// died, and model steps consumed. internal/study turns the totals into
-// the born_per_step/died_per_step telemetry gauges.
-func (sc *Scratch) ChurnTotals() (born, died, steps int64) {
-	return sc.bornTotal, sc.diedTotal, sc.deltaSteps
+// died, nodes moved (0 unless the model reports motion via
+// dyngraph.MoveReporter), and model steps consumed. internal/study turns
+// the totals into the born_per_step/died_per_step/moved_per_step
+// telemetry gauges.
+func (sc *Scratch) ChurnTotals() (born, died, moved, steps int64) {
+	return sc.bornTotal, sc.diedTotal, sc.movedTotal, sc.deltaSteps
 }
 
 // reset prepares the scratch for a run over n nodes. Only the bitsets need

@@ -4,20 +4,24 @@ import "math"
 
 // CellList is a uniform-grid spatial index over a fixed set of points in a
 // rectangle, supporting neighbor queries within a radius r in O(1) expected
-// time per reported neighbor. It is rebuilt in place every simulation step,
-// so construction allocates once and Rebuild reuses all storage.
+// time per reported neighbor. It maintains a persistent node→cell
+// assignment with per-cell member lists, so a step that moves k points
+// costs O(k) index maintenance via Move instead of the O(n) Rebuild the
+// batch path pays. Construction allocates once; Rebuild and Move reuse all
+// storage.
 //
 // The cell side equals the query radius, so a radius query only inspects the
 // 3x3 block of cells around the query point.
 type CellList struct {
-	rect  Rect
-	r     float64
-	cols  int
-	rows  int
-	heads []int32 // head of the linked list per cell, -1 when empty
-	next  []int32 // next index per point, -1 at list end
-	cell  []int32 // cell id per point
-	pts   []Point // the indexed points (caller-owned copy semantics: stored by value)
+	rect    Rect
+	r       float64
+	cols    int
+	rows    int
+	members [][]int32  // per-cell member lists, order unspecified
+	slot    []int32    // position of point i inside members[cell[i]]
+	cell    []int32    // cell id per point
+	pts     []Point    // the indexed points (caller-owned copy semantics: stored by value)
+	pairs   [][2]int32 // scratch for Pairs
 }
 
 // NewCellList builds an index over pts within rect for radius-r queries.
@@ -38,36 +42,82 @@ func NewCellList(rect Rect, r float64, pts []Point) *CellList {
 		rows = 1
 	}
 	c := &CellList{
-		rect:  rect,
-		r:     r,
-		cols:  cols,
-		rows:  rows,
-		heads: make([]int32, cols*rows),
-		next:  make([]int32, len(pts)),
-		cell:  make([]int32, len(pts)),
-		pts:   make([]Point, len(pts)),
+		rect:    rect,
+		r:       r,
+		cols:    cols,
+		rows:    rows,
+		members: make([][]int32, cols*rows),
+		slot:    make([]int32, len(pts)),
+		cell:    make([]int32, len(pts)),
+		pts:     make([]Point, len(pts)),
 	}
 	c.Rebuild(pts)
+	// Reserve slack: a cell's member list grows in Move whenever the cell
+	// exceeds its all-time-high occupancy, and with many cells those maxima
+	// keep trickling in for thousands of steps (extreme-value creep), each
+	// costing an allocation. Generous capacity over the build-time
+	// occupancy makes later crossings rare enough that warm steps are
+	// allocation-free in practice, even where the stationary density runs
+	// well above the build-time draw (the waypoint center bias).
+	for id, m := range c.members {
+		if want := 4*len(m) + 16; cap(m) < want {
+			grown := make([]int32, len(m), want)
+			copy(grown, m)
+			c.members[id] = grown
+		}
+	}
 	return c
 }
 
-// Rebuild reindexes the (possibly moved) points. len(pts) must equal the
-// original point count.
+// Rebuild reindexes the (possibly moved) points from scratch. len(pts) must
+// equal the original point count. Member-list capacities are retained, so a
+// warm Rebuild allocates nothing.
 func (c *CellList) Rebuild(pts []Point) {
 	if len(pts) != len(c.pts) {
 		panic("geometry: Rebuild with different point count")
 	}
 	copy(c.pts, pts)
-	for i := range c.heads {
-		c.heads[i] = -1
+	for i := range c.members {
+		c.members[i] = c.members[i][:0]
 	}
 	for i, p := range c.pts {
 		id := c.cellOf(p)
 		c.cell[i] = id
-		c.next[i] = c.heads[id]
-		c.heads[id] = int32(i)
+		c.slot[i] = int32(len(c.members[id]))
+		c.members[id] = append(c.members[id], int32(i))
 	}
 }
+
+// Move updates point i to position p, maintaining the index incrementally:
+// a same-cell move only updates the stored position, and a cell transition
+// swap-removes i from its old cell's member list and appends it to the new
+// one — O(1) either way.
+func (c *CellList) Move(i int, p Point) {
+	c.pts[i] = p
+	old := c.cell[i]
+	id := c.cellOf(p)
+	if id == old {
+		return
+	}
+	// Swap-remove from the old cell.
+	m := c.members[old]
+	k := c.slot[i]
+	last := int32(len(m) - 1)
+	moved := m[last]
+	m[k] = moved
+	c.slot[moved] = k
+	c.members[old] = m[:last]
+	// Append to the new cell.
+	c.cell[i] = id
+	c.slot[i] = int32(len(c.members[id]))
+	c.members[id] = append(c.members[id], int32(i))
+}
+
+// Position returns the indexed position of point i.
+func (c *CellList) Position(i int) Point { return c.pts[i] }
+
+// RadiusSq returns the squared query radius.
+func (c *CellList) RadiusSq() float64 { return c.r * c.r }
 
 // cellOf maps a point (clamped into the rectangle) to its cell id.
 func (c *CellList) cellOf(p Point) int32 {
@@ -101,7 +151,7 @@ func (c *CellList) ForEachWithin(i int, fn func(j int)) {
 			if nc < 0 || nc >= c.cols {
 				continue
 			}
-			for j := c.heads[nr*c.cols+nc]; j >= 0; j = c.next[j] {
+			for _, j := range c.members[nr*c.cols+nc] {
 				if int(j) != i && Dist2(p, c.pts[j]) <= r2 {
 					fn(int(j))
 				}
@@ -122,9 +172,10 @@ func (c *CellList) AppendPairsWithin(dst [][2]int32) [][2]int32 {
 	stencil := [4][2]int{{0, 1}, {1, -1}, {1, 0}, {1, 1}}
 	for row := 0; row < c.rows; row++ {
 		for col := 0; col < c.cols; col++ {
-			for i := c.heads[row*c.cols+col]; i >= 0; i = c.next[i] {
+			m := c.members[row*c.cols+col]
+			for a, i := range m {
 				pi := c.pts[i]
-				for j := c.next[i]; j >= 0; j = c.next[j] {
+				for _, j := range m[a+1:] {
 					if Dist2(pi, c.pts[j]) <= r2 {
 						dst = append(dst, orderPair(i, j))
 					}
@@ -134,7 +185,7 @@ func (c *CellList) AppendPairsWithin(dst [][2]int32) [][2]int32 {
 					if nr >= c.rows || nc < 0 || nc >= c.cols {
 						continue
 					}
-					for j := c.heads[nr*c.cols+nc]; j >= 0; j = c.next[j] {
+					for _, j := range c.members[nr*c.cols+nc] {
 						if Dist2(pi, c.pts[j]) <= r2 {
 							dst = append(dst, orderPair(i, j))
 						}
@@ -144,6 +195,15 @@ func (c *CellList) AppendPairsWithin(dst [][2]int32) [][2]int32 {
 		}
 	}
 	return dst
+}
+
+// Pairs returns the current within-radius pairs via AppendPairsWithin into
+// an internal scratch buffer reused across calls, so warm callers (the
+// mobility batch views) never reallocate. The returned slice is
+// invalidated by the next Pairs call and must not be retained or modified.
+func (c *CellList) Pairs() [][2]int32 {
+	c.pairs = c.AppendPairsWithin(c.pairs[:0])
+	return c.pairs
 }
 
 func orderPair(i, j int32) [2]int32 {
@@ -171,7 +231,7 @@ func (c *CellList) AppendWithin(i int, dst []int32) []int32 {
 			if nc < 0 || nc >= c.cols {
 				continue
 			}
-			for j := c.heads[nr*c.cols+nc]; j >= 0; j = c.next[j] {
+			for _, j := range c.members[nr*c.cols+nc] {
 				if int(j) != i && Dist2(p, c.pts[j]) <= r2 {
 					dst = append(dst, j)
 				}

@@ -1,0 +1,166 @@
+package geometry
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// equalCellViews asserts that two cell lists over the same points answer
+// every query identically up to ordering: per-point neighbor sets and the
+// full pair enumeration. This is the contract the incremental Move path
+// must share with a from-scratch Rebuild.
+func equalCellViews(t *testing.T, tag string, incr, fresh *CellList, n int) {
+	t.Helper()
+	var a, b []int32
+	for i := 0; i < n; i++ {
+		if incr.Position(i) != fresh.Position(i) {
+			t.Fatalf("%s: point %d stored at %v, rebuild has %v", tag, i, incr.Position(i), fresh.Position(i))
+		}
+		a = incr.AppendWithin(i, a[:0])
+		b = fresh.AppendWithin(i, b[:0])
+		slices.Sort(a)
+		slices.Sort(b)
+		if !slices.Equal(a, b) {
+			t.Fatalf("%s: point %d neighbors diverge: incremental %v, rebuild %v", tag, i, a, b)
+		}
+	}
+	ap := slices.Clone(incr.AppendPairsWithin(nil))
+	bp := slices.Clone(fresh.AppendPairsWithin(nil))
+	sortPairs := func(p [][2]int32) {
+		slices.SortFunc(p, func(x, y [2]int32) int {
+			if x[0] != y[0] {
+				return int(x[0]) - int(y[0])
+			}
+			return int(x[1]) - int(y[1])
+		})
+	}
+	sortPairs(ap)
+	sortPairs(bp)
+	if !slices.Equal(ap, bp) {
+		t.Fatalf("%s: pair enumeration diverges: incremental %d pairs, rebuild %d", tag, len(ap), len(bp))
+	}
+}
+
+// TestCellListMoveMatchesRebuild drives an incremental cell list through
+// random move streams — local jitters that mostly stay in-cell, long jumps
+// that cross many cell boundaries, moves onto exact cell-border
+// coordinates, and no-op moves to the current position — and checks after
+// every batch that it is indistinguishable from an index rebuilt from
+// scratch at the current positions.
+func TestCellListMoveMatchesRebuild(t *testing.T) {
+	r := rng.New(23)
+	const (
+		n      = 120
+		side   = 40.0
+		radius = 3.0
+		rounds = 60
+	)
+	rect := Square(side)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{r.Float64() * side, r.Float64() * side}
+	}
+	incr := NewCellList(rect, radius, pts)
+	for round := 0; round < rounds; round++ {
+		moves := 1 + r.Intn(n/2)
+		for k := 0; k < moves; k++ {
+			i := r.Intn(n)
+			var p Point
+			switch r.Intn(5) {
+			case 0: // small jitter, usually same cell
+				p = Point{pts[i].X + r.Range(-0.3, 0.3), pts[i].Y + r.Range(-0.3, 0.3)}
+			case 1: // long jump across many cells
+				p = Point{r.Float64() * side, r.Float64() * side}
+			case 2: // exact cell-border coordinates
+				var s, rad float64 = side, radius
+				borders := int(s/rad) + 1
+				p = Point{float64(r.Intn(borders)) * radius, float64(r.Intn(borders)) * radius}
+			case 3: // no-op move to the current position
+				p = pts[i]
+			default: // out of the rect: cellOf clamps, the point keeps its value
+				p = Point{pts[i].X + r.Range(-2*side, 2*side), pts[i].Y + r.Range(-2*side, 2*side)}
+			}
+			pts[i] = p
+			incr.Move(i, p)
+		}
+		fresh := NewCellList(rect, radius, pts)
+		equalCellViews(t, "move stream", incr, fresh, n)
+	}
+}
+
+// TestCellListMoveThenRebuild checks that a Rebuild on an index previously
+// maintained by Move resets it correctly (the two modes may be freely
+// interleaved).
+func TestCellListMoveThenRebuild(t *testing.T) {
+	r := rng.New(5)
+	const n = 50
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{r.Float64() * 10, r.Float64() * 10}
+	}
+	cl := NewCellList(Square(10), 1.5, pts)
+	for k := 0; k < 200; k++ {
+		i := r.Intn(n)
+		pts[i] = Point{r.Float64() * 10, r.Float64() * 10}
+		cl.Move(i, pts[i])
+	}
+	for i := range pts {
+		pts[i] = Point{r.Float64() * 10, r.Float64() * 10}
+	}
+	cl.Rebuild(pts)
+	equalCellViews(t, "rebuild after moves", cl, NewCellList(Square(10), 1.5, pts), n)
+}
+
+// FuzzCellListMove feeds arbitrary byte streams as move sequences: each
+// 3-byte group selects a point and a quantized destination (which the
+// index clamps into the rect when out of bounds). The incremental index
+// must match a from-scratch rebuild after the whole stream.
+func FuzzCellListMove(f *testing.F) {
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{1, 255, 128, 2, 0, 255, 1, 1, 1})
+	f.Add([]byte{7, 13, 200, 7, 13, 200, 3, 90, 90})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const (
+			n      = 16
+			side   = 8.0
+			radius = 1.0
+		)
+		r := rng.New(99)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{r.Float64() * side, r.Float64() * side}
+		}
+		incr := NewCellList(Square(side), radius, pts)
+		for k := 0; k+2 < len(data); k += 3 {
+			i := int(data[k]) % n
+			// Quantized targets deliberately overshoot the rect by 25% so
+			// the fuzzer exercises the clamping path too.
+			p := Point{
+				X: (float64(data[k+1])/255 - 0.125) * side * 1.25,
+				Y: (float64(data[k+2])/255 - 0.125) * side * 1.25,
+			}
+			pts[i] = p
+			incr.Move(i, p)
+		}
+		fresh := NewCellList(Square(side), radius, pts)
+		equalCellViews(t, "fuzz", incr, fresh, n)
+	})
+}
+
+func BenchmarkCellListMove(b *testing.B) {
+	r := rng.New(1)
+	const n = 10000
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{r.Float64() * 100, r.Float64() * 100}
+	}
+	cl := NewCellList(Square(100), 2, pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % n
+		p := Point{r.Float64() * 100, r.Float64() * 100}
+		cl.Move(j, p)
+	}
+}

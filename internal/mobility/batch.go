@@ -6,12 +6,12 @@ import (
 )
 
 // appendCellEdges converts the cell list's pair enumeration into dyngraph
-// edges, reusing the model's pair scratch buffer across steps. The cell
-// list checks each candidate pair once, so producing the whole snapshot
-// costs half of what per-node radius queries from every node would.
-func appendCellEdges(cells *geometry.CellList, scratch *[][2]int32, dst []dyngraph.Edge) []dyngraph.Edge {
-	*scratch = cells.AppendPairsWithin((*scratch)[:0])
-	for _, p := range *scratch {
+// edges. The cell list checks each candidate pair once, so producing the
+// whole snapshot costs half of what per-node radius queries from every
+// node would; the pair scratch lives in the cell list itself, so warm
+// batch views never reallocate.
+func appendCellEdges(cells *geometry.CellList, dst []dyngraph.Edge) []dyngraph.Edge {
+	for _, p := range cells.Pairs() {
 		dst = append(dst, dyngraph.Edge{U: p[0], V: p[1]})
 	}
 	return dst
@@ -19,7 +19,7 @@ func appendCellEdges(cells *geometry.CellList, scratch *[][2]int32, dst []dyngra
 
 // AppendEdges implements dyngraph.Batcher via the cell list.
 func (w *Waypoint) AppendEdges(dst []dyngraph.Edge) []dyngraph.Edge {
-	return appendCellEdges(w.cells, &w.pairs, dst)
+	return appendCellEdges(w.cells, dst)
 }
 
 // AppendNeighbors implements dyngraph.NeighborLister.
@@ -29,10 +29,20 @@ func (w *Waypoint) AppendNeighbors(i int, dst []int32) []int32 {
 
 // AppendEdges implements dyngraph.Batcher via the cell list.
 func (d *Direction) AppendEdges(dst []dyngraph.Edge) []dyngraph.Edge {
-	return appendCellEdges(d.cells, &d.pairs, dst)
+	return appendCellEdges(d.cells, dst)
 }
 
 // AppendNeighbors implements dyngraph.NeighborLister.
 func (d *Direction) AppendNeighbors(i int, dst []int32) []int32 {
 	return d.cells.AppendWithin(i, dst)
+}
+
+// AppendEdges implements dyngraph.Batcher via the cell list.
+func (w *RegionWaypoint) AppendEdges(dst []dyngraph.Edge) []dyngraph.Edge {
+	return appendCellEdges(w.cells, dst)
+}
+
+// AppendNeighbors implements dyngraph.NeighborLister.
+func (w *RegionWaypoint) AppendNeighbors(i int, dst []int32) []int32 {
+	return w.cells.AppendWithin(i, dst)
 }

@@ -43,7 +43,7 @@ type Direction struct {
 	pos     []geometry.Point
 	heading []float64
 	cells   *geometry.CellList
-	pairs   [][2]int32 // scratch for batch edge enumeration
+	delta   geomDelta // incremental churn engine (native DeltaBatcher)
 }
 
 // NewDirection builds the simulation with uniform positions and headings
@@ -69,8 +69,11 @@ func NewDirection(params DirectionParams, r *rng.RNG) *Direction {
 // N implements dyngraph.Dynamic.
 func (d *Direction) N() int { return d.params.N }
 
-// Step implements dyngraph.Dynamic.
+// Step implements dyngraph.Dynamic. New positions are staged and committed
+// through the incremental churn engine (see Waypoint.Step); the kinematics
+// and RNG draw order are unchanged from the rebuild-per-step original.
 func (d *Direction) Step() {
+	next := d.delta.stage(len(d.pos))
 	L := d.params.L
 	for i := range d.pos {
 		if d.r.Bool(d.params.Turn) {
@@ -95,9 +98,9 @@ func (d *Direction) Step() {
 		}
 		// A pathological speed > L could still escape after one reflection;
 		// clamp as a safety net.
-		d.pos[i] = geometry.Square(L).Clamp(geometry.Point{X: nx, Y: ny})
+		next[i] = geometry.Square(L).Clamp(geometry.Point{X: nx, Y: ny})
 	}
-	d.cells.Rebuild(d.pos)
+	d.delta.commit(d.pos, d.cells, d.params.R*d.params.R)
 }
 
 // ForEachNeighbor implements dyngraph.Dynamic.

@@ -93,6 +93,7 @@ type RegionWaypoint struct {
 	dest   []geometry.Point
 	speed  []float64
 	cells  *geometry.CellList
+	delta  geomDelta // incremental churn engine (native DeltaBatcher)
 }
 
 // NewRegionWaypoint builds the model with steady-state trip initialization
@@ -135,17 +136,20 @@ func NewRegionWaypoint(n int, region Region, radius, vmin, vmax float64, r *rng.
 // N implements dyngraph.Dynamic.
 func (w *RegionWaypoint) N() int { return len(w.pos) }
 
-// Step implements dyngraph.Dynamic.
+// Step implements dyngraph.Dynamic. New positions are staged and committed
+// through the incremental churn engine (see Waypoint.Step); the kinematics
+// and RNG draw order are unchanged from the rebuild-per-step original.
 func (w *RegionWaypoint) Step() {
+	next := w.delta.stage(len(w.pos))
 	for i := range w.pos {
-		next, reached := geometry.StepToward(w.pos[i], w.dest[i], w.speed[i])
-		w.pos[i] = next
+		np, reached := geometry.StepToward(w.pos[i], w.dest[i], w.speed[i])
+		next[i] = np
 		if reached {
 			w.dest[i] = w.region.Sample(w.r)
 			w.speed[i] = w.r.Range(w.vmin, w.vmax)
 		}
 	}
-	w.cells.Rebuild(w.pos)
+	w.delta.commit(w.pos, w.cells, w.radius*w.radius)
 }
 
 // ForEachNeighbor implements dyngraph.Dynamic.

@@ -23,6 +23,7 @@ func init() {
 			{Name: "r", Kind: model.Float, Default: "1.5", Help: "transmission radius"},
 			{Name: "vmin", Kind: model.Float, Default: "1", Help: "minimum speed"},
 			{Name: "vmax", Kind: model.Float, Default: "0", Help: "maximum speed (0 means vmin)"},
+			{Name: "pause", Kind: model.Int, Default: "0", Help: "steps to rest at each destination before the next trip"},
 			{Name: "init", Kind: model.String, Default: "steady", Help: "initial law: steady (perfect simulation) | uniform"},
 			{Name: "warmup", Kind: model.Int, Default: "0", Help: "steps to advance before use"},
 		},
@@ -31,7 +32,10 @@ func init() {
 			if vmax == 0 {
 				vmax = vmin
 			}
-			params := WaypointParams{N: a.Int("n"), L: a.Float("L"), R: a.Float("r"), VMin: vmin, VMax: vmax}
+			params := WaypointParams{
+				N: a.Int("n"), L: a.Float("L"), R: a.Float("r"),
+				VMin: vmin, VMax: vmax, Pause: a.Int("pause"),
+			}
 			if err := params.Validate(); err != nil {
 				return nil, err
 			}

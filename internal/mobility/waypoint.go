@@ -25,6 +25,13 @@ type WaypointParams struct {
 	R    float64 // transmission radius
 	VMin float64 // minimum speed (distance per time step)
 	VMax float64 // maximum speed
+	// Pause is the number of steps a node rests at each destination before
+	// starting its next trip (the classic waypoint "pause time"). Pause-heavy
+	// workloads move only a small fraction of nodes per step, which the
+	// incremental cell list and native delta stream turn into O(moved)
+	// dynamics. Pause = 0 reproduces the pause-free process exactly, draw
+	// for draw.
+	Pause int
 }
 
 // Validate checks the parameters. The paper assumes VMax = Θ(VMin); we only
@@ -41,6 +48,9 @@ func (p WaypointParams) Validate() error {
 	}
 	if p.VMin <= 0 || p.VMax < p.VMin {
 		return fmt.Errorf("mobility: need 0 < VMin <= VMax, got [%v, %v]", p.VMin, p.VMax)
+	}
+	if p.Pause < 0 {
+		return fmt.Errorf("mobility: need Pause >= 0, got %d", p.Pause)
 	}
 	return nil
 }
@@ -70,8 +80,9 @@ type Waypoint struct {
 	pos    []geometry.Point
 	dest   []geometry.Point
 	speed  []float64
+	wait   []int32 // remaining pause steps per node (all zero when Pause == 0)
 	cells  *geometry.CellList
-	pairs  [][2]int32 // scratch for batch edge enumeration
+	delta  geomDelta // incremental churn engine (native DeltaBatcher)
 }
 
 // NewWaypoint builds a waypoint simulation. It panics on invalid parameters
@@ -86,6 +97,7 @@ func NewWaypoint(params WaypointParams, init WaypointInit, r *rng.RNG) *Waypoint
 		pos:    make([]geometry.Point, params.N),
 		dest:   make([]geometry.Point, params.N),
 		speed:  make([]float64, params.N),
+		wait:   make([]int32, params.N),
 	}
 	for i := range w.pos {
 		switch init {
@@ -142,17 +154,29 @@ func (w *Waypoint) steadyStateTrip() (pos, dest geometry.Point, speed float64) {
 func (w *Waypoint) N() int { return w.params.N }
 
 // Step implements dyngraph.Dynamic: every node advances along its trip by
-// its speed; nodes arriving at their destination draw a fresh trip.
+// its speed; nodes arriving at their destination draw a fresh trip and
+// rest there for Pause steps. The new positions are staged and committed
+// through the incremental churn engine, so cell-list maintenance and the
+// per-step delta batches cost O(moved × local density) instead of a full
+// rebuild — with Pause = 0 the trajectory is draw-for-draw identical to
+// the historical rebuild-per-step implementation.
 func (w *Waypoint) Step() {
+	next := w.delta.stage(len(w.pos))
 	for i := range w.pos {
-		next, reached := geometry.StepToward(w.pos[i], w.dest[i], w.speed[i])
-		w.pos[i] = next
+		if w.wait[i] > 0 {
+			w.wait[i]--
+			next[i] = w.pos[i]
+			continue
+		}
+		np, reached := geometry.StepToward(w.pos[i], w.dest[i], w.speed[i])
+		next[i] = np
 		if reached {
 			w.dest[i] = w.uniformPoint()
 			w.speed[i] = w.r.Range(w.params.VMin, w.params.VMax)
+			w.wait[i] = int32(w.params.Pause)
 		}
 	}
-	w.cells.Rebuild(w.pos)
+	w.delta.commit(w.pos, w.cells, w.params.R*w.params.R)
 }
 
 // ForEachNeighbor implements dyngraph.Dynamic: neighbors are nodes within

@@ -12,8 +12,9 @@ import (
 
 // deltify returns d as a DeltaBatcher-capable Dynamic: the model itself
 // when it implements the interface natively (the edge-MEG family, static,
-// traces) and the generic diff adapter otherwise (mobility and
-// random-path models). Stepping must go through the returned value.
+// traces, and — since the incremental mobility work — the geometric
+// mobility and node-MEG models) and the generic diff adapter otherwise.
+// Stepping must go through the returned value.
 func deltify(d dyngraph.Dynamic) dyngraph.Dynamic {
 	if _, ok := d.(dyngraph.DeltaBatcher); ok {
 		return d
@@ -64,26 +65,38 @@ func TestAdjacencyAppliedDeltasMatchSnapshots(t *testing.T) {
 	}
 }
 
-// TestDeltifierMatchesNativeDeltas cross-checks the two delta sources on a
-// model that has both: wrapping a same-seed edge-MEG in the generic diff
-// adapter must yield step-by-step churn identical (as sets) to the
-// simulator's native AppendDeltas.
+// TestDeltifierMatchesNativeDeltas cross-checks the two delta sources on
+// every model that has both: wrapping a same-seed copy in the generic
+// sorted-diff adapter must yield step-by-step churn identical (as sets) to
+// the simulator's native AppendDeltas. For the geometric mobility and
+// node-MEG models this pins the incremental two-pass churn computation
+// (died against the pre-move index, born against the post-move one,
+// both-moved pairs deduped) against the brute-force snapshot diff.
 func TestDeltifierMatchesNativeDeltas(t *testing.T) {
-	spec := specFor("edgemeg")
-	native := model.MustBuild(spec, 5)
-	wrapped := dyngraph.NewDeltifier(model.MustBuild(spec, 5))
-	ndb := native.(dyngraph.DeltaBatcher)
-	for step := 1; step <= 40; step++ {
-		native.Step()
-		wrapped.Step()
-		nb, nd := ndb.AppendDeltas(nil, nil)
-		wb, wd := wrapped.AppendDeltas(nil, nil)
-		if !reflect.DeepEqual(sortedEdges(nb), sortedEdges(wb)) {
-			t.Fatalf("step %d: native born %v != diffed born %v", step, nb, wb)
+	for _, name := range model.Names() {
+		spec := specFor(name)
+		if _, ok := model.MustBuild(spec, 5).(dyngraph.DeltaBatcher); !ok {
+			continue
 		}
-		if !reflect.DeepEqual(sortedEdges(nd), sortedEdges(wd)) {
-			t.Fatalf("step %d: native died %v != diffed died %v", step, nd, wd)
-		}
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []uint64{5, 77} {
+				native := model.MustBuild(spec, seed)
+				wrapped := dyngraph.NewDeltifier(model.MustBuild(spec, seed))
+				ndb := native.(dyngraph.DeltaBatcher)
+				for step := 1; step <= 40; step++ {
+					native.Step()
+					wrapped.Step()
+					nb, nd := ndb.AppendDeltas(nil, nil)
+					wb, wd := wrapped.AppendDeltas(nil, nil)
+					if !reflect.DeepEqual(sortedEdges(nb), sortedEdges(wb)) {
+						t.Fatalf("seed %d step %d: native born %v != diffed born %v", seed, step, nb, wb)
+					}
+					if !reflect.DeepEqual(sortedEdges(nd), sortedEdges(wd)) {
+						t.Fatalf("seed %d step %d: native died %v != diffed died %v", seed, step, nd, wd)
+					}
+				}
+			}
+		})
 	}
 }
 

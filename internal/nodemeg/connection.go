@@ -24,6 +24,26 @@ func (c SameState) Connected(u, v int) bool { return u == v }
 // NeighborStates implements NeighborEnumerator: Γ(s) = {s}.
 func (c SameState) NeighborStates(s int) []int32 { return []int32{int32(s)} }
 
+// identityEnum is the allocation-free table Sim substitutes for
+// SameState's per-call singleton: gamma[s] is a one-entry view into a
+// shared arena.
+type identityEnum struct {
+	gamma [][]int32
+}
+
+func newIdentityEnum(states int) *identityEnum {
+	arena := make([]int32, states)
+	e := &identityEnum{gamma: make([][]int32, states)}
+	for s := range arena {
+		arena[s] = int32(s)
+		e.gamma[s] = arena[s : s+1 : s+1]
+	}
+	return e
+}
+
+// NeighborStates implements NeighborEnumerator.
+func (e *identityEnum) NeighborStates(s int) []int32 { return e.gamma[s] }
+
 // GridRadius connects two nodes when their states, interpreted as points of
 // an m x m grid (state = i*m + j), are within Euclidean distance R in grid
 // units — the connection map of the discretized geometric mobility models.

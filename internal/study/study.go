@@ -232,9 +232,10 @@ func Trials(factory Factory, trials int, opts TrialsOpts) []flood.Result {
 			}
 			// Harvest the delta engines' churn stream — one read per worker
 			// drain, off the trial hot path, like the scratch footprint.
-			if b, d, s := wopts.Scratch.ChurnTotals(); s > 0 {
+			if b, d, m, s := wopts.Scratch.ChurnTotals(); s > 0 {
 				churnBorn.Add(b)
 				churnDied.Add(d)
+				churnMoved.Add(m)
 				churnSteps.Add(s)
 			}
 		}()
@@ -261,13 +262,14 @@ var scratchHighWater atomic.Int64
 // least two trials completes (trial 0 runs without a pooled scratch).
 func ScratchHighWater() int64 { return scratchHighWater.Load() }
 
-// churnBorn/churnDied/churnSteps accumulate, process-wide, the churn the
-// delta flooding engines streamed through study workers: edges born,
-// edges died, and model steps consumed. Like scratchHighWater they are
-// deliberately NOT part of Cell — they aggregate over whatever mix of
-// runs the process performed, which is exactly the shape of a telemetry
-// gauge and nothing else.
-var churnBorn, churnDied, churnSteps atomic.Int64
+// churnBorn/churnDied/churnMoved/churnSteps accumulate, process-wide, the
+// churn the delta flooding engines streamed through study workers: edges
+// born, edges died, nodes moved (models with dyngraph.MoveReporter), and
+// model steps consumed. Like scratchHighWater they are deliberately NOT
+// part of Cell — they aggregate over whatever mix of runs the process
+// performed, which is exactly the shape of a telemetry gauge and nothing
+// else.
+var churnBorn, churnDied, churnMoved, churnSteps atomic.Int64
 
 // ChurnBornPerStep returns the mean number of edges born per model step
 // across every delta-engine trial the process has run (rounded to the
@@ -277,6 +279,12 @@ func ChurnBornPerStep() int64 { return ratioRounded(&churnBorn) }
 
 // ChurnDiedPerStep is ChurnBornPerStep for edge deaths (died_per_step).
 func ChurnDiedPerStep() int64 { return ratioRounded(&churnDied) }
+
+// ChurnMovedPerStep is ChurnBornPerStep for node motion (moved_per_step):
+// the mean number of nodes that changed position or state per model step,
+// reported only by models exposing dyngraph.MoveReporter (the geometric
+// mobility family and the node-MEGs).
+func ChurnMovedPerStep() int64 { return ratioRounded(&churnMoved) }
 
 // ratioRounded divides a churn total by the step total, rounding half up.
 func ratioRounded(total *atomic.Int64) int64 {

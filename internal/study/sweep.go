@@ -303,6 +303,7 @@ func RunSweepOpts(sw Sweep, opts SweepOpts) ([]CellRecord, error) {
 		opts.Telemetry.Gauge("scratch_bytes", ScratchHighWater)
 		opts.Telemetry.Gauge("born_per_step", ChurnBornPerStep)
 		opts.Telemetry.Gauge("died_per_step", ChurnDiedPerStep)
+		opts.Telemetry.Gauge("moved_per_step", ChurnMovedPerStep)
 	}
 	total := len(sw.Models) * len(sw.Protocols)
 	records := make([]CellRecord, 0, total)

@@ -552,3 +552,45 @@ func TestRunSweepTelemetry(t *testing.T) {
 		t.Fatalf("got %d samples, want >= %d (per-cell + final)", n, int(total-resumed)+1)
 	}
 }
+
+// TestRunSweepMovedGauge runs a mobility cell — a model that reports node
+// motion through dyngraph.MoveReporter — and checks that the
+// moved_per_step gauge is registered and sampled alongside
+// born_per_step/died_per_step. The gauges aggregate process-wide (every
+// delta-engine step this test binary ran divides the ratio), so the moved
+// value itself may round to zero under the full suite; the deterministic
+// per-run moved count is pinned at the flood layer
+// (TestChurnTotalsCountMovedNodes), and the churn gauges must at least
+// report the waypoint cells' edge turnover.
+func TestRunSweepMovedGauge(t *testing.T) {
+	sw := study.Sweep{
+		Models: []spec.Spec{
+			model.New("waypoint").WithInt("n", 48).WithFloat("L", 10).
+				WithFloat("r", 1.5).WithFloat("vmin", 1),
+		},
+		Protocols: []spec.Spec{protocol.New("flood")},
+		Trials:    4,
+		Seed:      11,
+		MaxSteps:  1 << 12,
+	}
+	col := telemetry.New(telemetry.Options{NoRuntime: true})
+	col.Start(&captureSink{})
+	if _, err := study.RunSweepOpts(sw, study.SweepOpts{Telemetry: col}); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Snapshot()
+	if _, ok := s.Values["moved_per_step"]; !ok {
+		t.Fatal("moved_per_step gauge not registered")
+	}
+	if got := s.Values["moved_per_step"]; got < 0 || got > 48*47/2 {
+		t.Fatalf("moved_per_step = %d, want in [0, pairs]", got)
+	}
+	for _, g := range []string{"born_per_step", "died_per_step"} {
+		if got := s.Values[g]; got <= 0 || got > 48*47/2 {
+			t.Fatalf("%s = %d, want in (0, pairs]", g, got)
+		}
+	}
+}
